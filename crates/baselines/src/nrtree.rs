@@ -1,0 +1,122 @@
+//! The no-restructuring tree (NRtree) baseline of §5.2.
+//!
+//! "A baseline tree that is similar [to the speculation-friendly tree] but
+//! never rebalances the structure whatever modifications occur": deletions
+//! stay logical, nodes are never physically removed, and no rotation ever
+//! runs, so the tree silently degenerates under biased workloads — exactly
+//! the behaviour Figure 3 (right column) exhibits.
+
+use sf_stm::{ThreadCtx, Transaction, TxResult};
+use sf_tree::map::{TxMap, TxMapInTx};
+use sf_tree::{Key, SfHandle, SpecFriendlyTree, TreeInspect, Value};
+
+/// No-restructuring tree: a speculation-friendly tree whose maintenance
+/// thread is never started.
+#[derive(Debug, Default)]
+pub struct NoRestructureTree {
+    inner: SpecFriendlyTree,
+}
+
+impl NoRestructureTree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        NoRestructureTree {
+            inner: SpecFriendlyTree::new(),
+        }
+    }
+
+    /// Register a worker thread.
+    pub fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        self.inner.register(ctx)
+    }
+
+    /// Quiescent inspection helpers.
+    pub fn inspect(&self) -> TreeInspect<'_> {
+        self.inner.inspect()
+    }
+}
+
+impl TxMapInTx for NoRestructureTree {
+    fn tx_get<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<Option<Value>> {
+        self.inner.tx_get(tx, key)
+    }
+
+    fn tx_insert<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+        value: Value,
+    ) -> TxResult<bool> {
+        self.inner.tx_insert(tx, key, value)
+    }
+
+    fn tx_delete<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
+        self.inner.tx_delete(tx, key)
+    }
+}
+
+impl TxMap for NoRestructureTree {
+    type Handle = SfHandle;
+
+    fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        self.inner.register(ctx)
+    }
+
+    fn contains(&self, handle: &mut SfHandle, key: Key) -> bool {
+        TxMap::contains(&self.inner, handle, key)
+    }
+
+    fn get(&self, handle: &mut SfHandle, key: Key) -> Option<Value> {
+        TxMap::get(&self.inner, handle, key)
+    }
+
+    fn insert(&self, handle: &mut SfHandle, key: Key, value: Value) -> bool {
+        TxMap::insert(&self.inner, handle, key, value)
+    }
+
+    fn delete(&self, handle: &mut SfHandle, key: Key) -> bool {
+        TxMap::delete(&self.inner, handle, key)
+    }
+
+    fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {
+        TxMap::move_entry(&self.inner, handle, from, to)
+    }
+
+    fn len_quiescent(&self) -> usize {
+        self.inner.len_quiescent()
+    }
+
+    fn name(&self) -> &'static str {
+        "NRtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_stm::Stm;
+
+    #[test]
+    fn behaves_like_a_set_but_never_shrinks_or_balances() {
+        let stm = Stm::default_config();
+        let tree = NoRestructureTree::new();
+        let mut h = tree.register(stm.register());
+        for k in 0..128u64 {
+            assert!(tree.insert(&mut h, k, k));
+        }
+        for k in (0..128u64).step_by(2) {
+            assert!(tree.delete(&mut h, k));
+        }
+        assert_eq!(tree.len_quiescent(), 64);
+        // No restructuring: the in-order insertion chain stays a chain and
+        // the physically reachable node count never decreases.
+        assert_eq!(tree.inspect().depth(), 128);
+        assert_eq!(tree.inspect().reachable_nodes(), 129); // 128 keys + sentinel
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn name_matches_paper_label() {
+        assert_eq!(NoRestructureTree::new().name(), "NRtree");
+    }
+}

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the background maintenance work: the cost of
+//! a full propagation/rotation pass and of rebalancing a degenerate chain,
+//! for both rotation styles (classic vs clone-based). Backs the ablation
+//! discussion of the decoupled-rotation design (§3.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sf_stm::Stm;
+use sf_tree::{OptSpecFriendlyTree, SpecFriendlyTree, TxMap};
+use std::time::Duration;
+
+fn bench_steady_state_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_pass_2048_keys");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+
+    // Classic (portable tree).
+    {
+        let stm = Stm::default_config();
+        let tree = SpecFriendlyTree::new();
+        let mut h = tree.register(stm.register());
+        for k in 0..2048u64 {
+            tree.insert(&mut h, k, k);
+        }
+        let mut worker = tree.maintenance_worker(stm.register());
+        worker.run_until_stable(4096);
+        group.bench_function("classic_steady_pass", |b| b.iter(|| worker.run_pass()));
+    }
+
+    // Clone-based (optimized tree).
+    {
+        let stm = Stm::default_config();
+        let tree = OptSpecFriendlyTree::new();
+        let mut h = tree.register(stm.register());
+        for k in 0..2048u64 {
+            tree.insert(&mut h, k, k);
+        }
+        let mut worker = tree.maintenance_worker(stm.register());
+        worker.run_until_stable(4096);
+        group.bench_function("clone_based_steady_pass", |b| b.iter(|| worker.run_pass()));
+    }
+    group.finish();
+}
+
+fn bench_rebalance_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maintenance_rebalance_chain_512");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(10);
+    group.bench_function("classic", |b| {
+        b.iter(|| {
+            let stm = Stm::default_config();
+            let tree = SpecFriendlyTree::new();
+            let mut h = tree.register(stm.register());
+            for k in 0..512u64 {
+                tree.insert(&mut h, k, k);
+            }
+            let mut worker = tree.maintenance_worker(stm.register());
+            worker.run_until_stable(2048)
+        })
+    });
+    group.bench_function("clone_based", |b| {
+        b.iter(|| {
+            let stm = Stm::default_config();
+            let tree = OptSpecFriendlyTree::new();
+            let mut h = tree.register(stm.register());
+            for k in 0..512u64 {
+                tree.insert(&mut h, k, k);
+            }
+            let mut worker = tree.maintenance_worker(stm.register());
+            worker.run_until_stable(2048)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_steady_state_pass, bench_rebalance_chain);
+criterion_main!(benches);

@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the STM substrate: cost of transactional
+//! reads, writes and commits under the three TM configurations the paper
+//! evaluates (CTL, ETL, elastic). Backs the §2 discussion of optimistic
+//! step complexity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_stm::{Stm, StmConfig, TCell};
+use std::time::Duration;
+
+fn bench_read_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_read_only_64_cells");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    for (name, config) in [
+        ("ctl", StmConfig::ctl()),
+        ("etl", StmConfig::etl()),
+        ("elastic", StmConfig::elastic()),
+    ] {
+        let stm = Stm::new(config);
+        let mut ctx = stm.register();
+        let cells: Vec<TCell<u64>> = (0..64).map(TCell::new).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                ctx.atomically(|tx| {
+                    let mut acc = 0u64;
+                    for cell in &cells {
+                        acc = acc.wrapping_add(tx.read(cell)?);
+                    }
+                    Ok(acc)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_update_8_of_64_cells");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    for (name, config) in [("ctl", StmConfig::ctl()), ("etl", StmConfig::etl())] {
+        let stm = Stm::new(config);
+        let mut ctx = stm.register();
+        let cells: Vec<TCell<u64>> = (0..64).map(TCell::new).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                ctx.atomically(|tx| {
+                    for cell in cells.iter().step_by(8) {
+                        let v = tx.read(cell)?;
+                        tx.write(cell, v + 1)?;
+                    }
+                    Ok(())
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_uread_vs_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_uread_vs_read_traversal");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    let stm = Stm::default_config();
+    let mut ctx = stm.register();
+    let cells: Vec<TCell<u64>> = (0..256).map(TCell::new).collect();
+    group.bench_function("tracked_reads", |b| {
+        b.iter(|| {
+            ctx.atomically(|tx| {
+                let mut acc = 0u64;
+                for cell in &cells {
+                    acc = acc.wrapping_add(tx.read(cell)?);
+                }
+                Ok(acc)
+            })
+        })
+    });
+    let mut ctx2 = stm.register();
+    group.bench_function("unit_reads", |b| {
+        b.iter(|| {
+            ctx2.atomically(|tx| {
+                let mut acc = 0u64;
+                for cell in &cells {
+                    acc = acc.wrapping_add(tx.uread(cell));
+                }
+                Ok(acc)
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_only, bench_read_write, bench_uread_vs_read);
+criterion_main!(benches);

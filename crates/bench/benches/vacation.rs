@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the vacation application's client
+//! transactions on different directory trees (single-threaded latency of the
+//! composed make-reservation transaction, the dominant action of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sf_baselines::RedBlackTree;
+use sf_stm::Stm;
+use sf_tree::OptSpecFriendlyTree;
+use sf_vacation::{DirectoryMap, Manager, ReservationKind};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn bench_reservation<D: DirectoryMap + Default>(
+    group: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+    label: &str,
+) {
+    let stm = Stm::default_config();
+    let manager = Arc::new(Manager::<D>::new());
+    let mut ctx = stm.register();
+    ctx.atomically(|tx| {
+        for id in 1..=256u64 {
+            for kind in ReservationKind::ALL {
+                manager.add_resource(tx, kind, id, 1_000_000, 100)?;
+            }
+            manager.add_customer(tx, id)?;
+        }
+        Ok(())
+    });
+    group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let customer = i % 256 + 1;
+            let resource = (i * 7) % 256 + 1;
+            ctx.atomically(|tx| {
+                let mut reserved = 0;
+                for kind in ReservationKind::ALL {
+                    if manager.query_free(tx, kind, resource)?.unwrap_or(0) > 0
+                        && manager.reserve(tx, kind, customer, resource)?
+                    {
+                        reserved += 1;
+                    }
+                }
+                // Immediately cancel so the customer slots never fill up.
+                for kind in ReservationKind::ALL {
+                    manager.cancel(tx, kind, customer, resource)?;
+                }
+                Ok(reserved)
+            })
+        })
+    });
+}
+
+fn bench_vacation_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vacation_reservation_transaction");
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.sample_size(20);
+    bench_reservation::<OptSpecFriendlyTree>(&mut group, "OptSFtree");
+    bench_reservation::<RedBlackTree>(&mut group, "RBtree");
+    group.finish();
+}
+
+criterion_group!(benches, bench_vacation_transactions);
+criterion_main!(benches);

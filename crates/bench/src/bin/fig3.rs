@@ -1,0 +1,41 @@
+//! Figure 3: throughput (operations per microsecond) of the four trees as a
+//! function of the number of threads, for 5/10/15/20% effective updates,
+//! under the uniform ("normal") and biased key distributions.
+//!
+//! Run with `cargo run -p sf-bench --release --bin fig3`. Scale with
+//! `SF_THREADS`, `SF_DURATION_MS`, `SF_SIZE`.
+
+use sf_bench::{base_config, print_row, run_micro, thread_counts, TreeKind};
+use sf_stm::StmConfig;
+use sf_workloads::Bias;
+
+fn main() {
+    let trees = [
+        TreeKind::RedBlack,
+        TreeKind::SpecFriendly,
+        TreeKind::NoRestructure,
+        TreeKind::Avl,
+    ];
+    for &biased in &[false, true] {
+        for &update_pct in &[5u32, 10, 15, 20] {
+            println!(
+                "# Figure 3 — {} workload, {}% updates",
+                if biased { "biased" } else { "normal" },
+                update_pct
+            );
+            for threads in thread_counts() {
+                for kind in trees {
+                    let mut config = base_config(threads, update_pct as f64 / 100.0);
+                    if biased {
+                        config = config.with_bias(Bias::default());
+                    }
+                    let result = run_micro(kind, StmConfig::ctl(), &config);
+                    print_row(kind.label(), threads, &result);
+                }
+            }
+            println!();
+        }
+    }
+    println!("Expected shape: SFtree at or above RBtree/AVLtree at every update ratio (paper: up to 1.5-1.6x);");
+    println!("NRtree comparable to SFtree on the normal workload but degrading under the biased one.");
+}

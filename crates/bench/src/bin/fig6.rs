@@ -1,0 +1,105 @@
+//! Figure 6: the STAMP vacation travel-reservation application built on the
+//! red-black tree, the optimized speculation-friendly tree and the
+//! no-restructuring tree — speedup over sequential execution and duration,
+//! for the low- and high-contention presets and 1×/8×/16× transaction
+//! counts. Also prints the §5.5 rotation-count comparison.
+//!
+//! Run with `cargo run -p sf-bench --release --bin fig6`. The 8× and 16×
+//! scales are only run when `SF_VACATION_FULL=1` (they multiply the runtime
+//! accordingly). `SF_VACATION_TX` sets the 1× transaction count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sf_baselines::{NoRestructureTree, RedBlackTree, SeqMap};
+use sf_stm::Stm;
+use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree};
+use sf_vacation::{
+    run_vacation, DirectoryMap, Manager, ReservationKind, VacationParams, VacationResult,
+};
+
+fn params(high_contention: bool, multiplier: u64, clients: usize) -> VacationParams {
+    let base = if high_contention {
+        VacationParams::high_contention()
+    } else {
+        VacationParams::low_contention()
+    };
+    VacationParams {
+        num_transactions: sf_bench::vacation_transactions(),
+        ..base
+    }
+    .with_transaction_multiplier(multiplier)
+    .with_clients(clients)
+}
+
+/// Run vacation on a directory type without any background maintenance.
+fn run_plain<D: DirectoryMap + Default>(p: &VacationParams) -> VacationResult {
+    let stm = Stm::default_config();
+    let manager = Arc::new(Manager::<D>::new());
+    run_vacation(&stm, &manager, p)
+}
+
+/// Run vacation on the optimized speculation-friendly tree with one
+/// maintenance thread per directory, as in the paper.
+fn run_opt_sf(p: &VacationParams) -> VacationResult {
+    let stm = Stm::default_config();
+    let manager = Arc::new(Manager::<OptSpecFriendlyTree>::new());
+    let maintenance: Vec<_> = ReservationKind::ALL
+        .iter()
+        .map(|k| {
+            manager.table(*k).start_maintenance_with(
+                stm.register(),
+                MaintenanceConfig {
+                    pass_delay: Duration::from_micros(500),
+                    ..MaintenanceConfig::default()
+                },
+            )
+        })
+        .collect();
+    let result = run_vacation(&stm, &manager, p);
+    drop(maintenance);
+    result
+}
+
+fn main() {
+    let multipliers: Vec<u64> = if std::env::var("SF_VACATION_FULL").is_ok() {
+        vec![1, 8, 16]
+    } else {
+        vec![1]
+    };
+    for &high in &[true, false] {
+        for &mult in &multipliers {
+            println!(
+                "# Figure 6 — vacation {} contention, {}x transactions",
+                if high { "high" } else { "low" },
+                mult
+            );
+            let seq = run_plain::<SeqMap>(&params(high, mult, 1));
+            println!(
+                "{:<12} clients={:<3} duration={:>10.2?}  (sequential baseline)",
+                "Sequential", 1, seq.elapsed
+            );
+            for clients in sf_bench::thread_counts() {
+                let p = params(high, mult, clients);
+                let rb = run_plain::<RedBlackTree>(&p);
+                let sf = run_opt_sf(&p);
+                let nr = run_plain::<NoRestructureTree>(&p);
+                for r in [&rb, &sf, &nr] {
+                    println!(
+                        "{:<12} clients={:<3} duration={:>10.2?} speedup={:>6.2} aborts/commit={:>6.3} rotations={}",
+                        r.structure,
+                        clients,
+                        r.elapsed,
+                        r.speedup_over(&seq),
+                        r.stm.aborts as f64 / r.stm.commits.max(1) as f64,
+                        r.rotations
+                    );
+                }
+            }
+            println!();
+        }
+    }
+    println!("Expected shape: vacation on the speculation-friendly tree always at least matches the built-in red-black tree");
+    println!("(paper: 1.3x at 1x transactions up to 3.5x at 16x), the NRtree is comparable to the SF tree, and the SF tree");
+    println!("triggers far fewer rotations than the red-black tree (paper: ~50k vs ~130k on 8 threads, high contention).");
+}

@@ -1,0 +1,42 @@
+//! Table 1: maximum number of transactional reads per operation on 2^12-sized
+//! balanced search trees as the update ratio increases (0% .. 50%).
+//!
+//! Run with `cargo run -p sf-bench --release --bin table1`. Scale with
+//! `SF_THREADS` (the paper uses 48 concurrent threads), `SF_DURATION_MS` and
+//! `SF_SIZE`.
+
+use sf_bench::{base_config, cell_duration, initial_size, run_micro, thread_counts, TreeKind};
+use sf_stm::StmConfig;
+
+fn main() {
+    let threads = *thread_counts().iter().max().unwrap_or(&4);
+    let ratios = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50];
+    println!(
+        "# Table 1 — maximum transactional reads per operation ({} keys, {} threads, {:?} per cell, TinySTM-CTL-style STM)",
+        initial_size(),
+        threads,
+        cell_duration()
+    );
+    print!("{:<24}", "Update");
+    for r in ratios {
+        print!("{:>8.0}%", r * 100.0);
+    }
+    println!();
+    for kind in [
+        TreeKind::Avl,
+        TreeKind::RedBlack,
+        TreeKind::SpecFriendly,
+        TreeKind::OptSpecFriendly,
+    ] {
+        print!("{:<24}", kind.label());
+        for ratio in ratios {
+            let config = base_config(threads, ratio);
+            let result = run_micro(kind, StmConfig::ctl(), &config);
+            print!("{:>9}", result.stm.max_reads_per_op);
+        }
+        println!();
+    }
+    println!();
+    println!("Paper reference (48 cores): AVL 29/415/711/1008/1981/2081, RBtree 31/573/965/1108/1484/1545, SFtree 29/75/123/120/144/180.");
+    println!("Expected shape: the baselines' read counts blow up with the update ratio, the speculation-friendly trees stay within a small multiple of the 0% column.");
+}

@@ -1,0 +1,185 @@
+//! # sf-bench — harnesses that regenerate the paper's tables and figures
+//!
+//! Each binary in `src/bin/` prints the rows/series of one exhibit of the
+//! paper's evaluation (Table 1, Figures 3-6); the criterion benches in
+//! `benches/` measure the underlying per-operation costs. See
+//! `EXPERIMENTS.md` at the repository root for the mapping and for the
+//! paper-vs-measured discussion.
+//!
+//! All harnesses are parameterized through environment variables so they can
+//! be scaled from a quick laptop run to a long, paper-sized run:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `SF_THREADS` | space-separated thread counts | `1 2 4 8` |
+//! | `SF_DURATION_MS` | measured phase per cell (ms) | `300` |
+//! | `SF_SIZE` | initial tree size | `4096` (2^12) |
+//! | `SF_VACATION_TX` | vacation transactions (1× scale) | `32768` |
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree};
+use sf_stm::{Stm, StmConfig};
+use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree};
+use sf_workloads::{populate, run_workload, RunLength, WorkloadConfig, WorkloadResult};
+
+/// The tree variants compared throughout the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Transaction-encapsulated red-black tree (Oracle-style baseline).
+    RedBlack,
+    /// Transaction-encapsulated AVL tree (STAMP baseline).
+    Avl,
+    /// Speculation-friendly tree, portable variant (Algorithm 1).
+    SpecFriendly,
+    /// Speculation-friendly tree, optimized variant (Algorithm 2).
+    OptSpecFriendly,
+    /// No-restructuring tree.
+    NoRestructure,
+}
+
+impl TreeKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            TreeKind::RedBlack => "RBtree",
+            TreeKind::Avl => "AVLtree",
+            TreeKind::SpecFriendly => "SFtree",
+            TreeKind::OptSpecFriendly => "OptSFtree",
+            TreeKind::NoRestructure => "NRtree",
+        }
+    }
+}
+
+/// Read a space-separated list of thread counts from `SF_THREADS`.
+pub fn thread_counts() -> Vec<usize> {
+    std::env::var("SF_THREADS")
+        .ok()
+        .map(|s| {
+            s.split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Measured-phase duration per benchmark cell (`SF_DURATION_MS`).
+pub fn cell_duration() -> Duration {
+    Duration::from_millis(
+        std::env::var("SF_DURATION_MS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(300),
+    )
+}
+
+/// Initial tree size (`SF_SIZE`).
+pub fn initial_size() -> usize {
+    std::env::var("SF_SIZE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 12)
+}
+
+/// Vacation transaction count at 1× scale (`SF_VACATION_TX`).
+pub fn vacation_transactions() -> u64 {
+    std::env::var("SF_VACATION_TX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1 << 15)
+}
+
+/// Run one micro-benchmark cell: build the tree, start its maintenance thread
+/// when it has one, populate, run the measured phase, and tear down.
+pub fn run_micro(kind: TreeKind, stm_config: StmConfig, config: &WorkloadConfig) -> WorkloadResult {
+    let stm = Stm::new(stm_config);
+    let maintenance_config = MaintenanceConfig {
+        pass_delay: Duration::from_micros(200),
+        ..MaintenanceConfig::default()
+    };
+    match kind {
+        TreeKind::RedBlack => {
+            let tree = Arc::new(RedBlackTree::new());
+            populate(&stm, tree.as_ref(), config);
+            run_workload(&stm, &tree, config)
+        }
+        TreeKind::Avl => {
+            let tree = Arc::new(AvlTree::new());
+            populate(&stm, tree.as_ref(), config);
+            run_workload(&stm, &tree, config)
+        }
+        TreeKind::NoRestructure => {
+            let tree = Arc::new(NoRestructureTree::new());
+            populate(&stm, tree.as_ref(), config);
+            run_workload(&stm, &tree, config)
+        }
+        TreeKind::SpecFriendly => {
+            let tree = Arc::new(SpecFriendlyTree::new());
+            populate(&stm, tree.as_ref(), config);
+            let maintenance = tree.start_maintenance_with(stm.register(), maintenance_config);
+            let result = run_workload(&stm, &tree, config);
+            maintenance.stop();
+            result
+        }
+        TreeKind::OptSpecFriendly => {
+            let tree = Arc::new(OptSpecFriendlyTree::new());
+            populate(&stm, tree.as_ref(), config);
+            let maintenance = tree.start_maintenance_with(stm.register(), maintenance_config);
+            let result = run_workload(&stm, &tree, config);
+            maintenance.stop();
+            result
+        }
+    }
+}
+
+/// Workload configuration shared by the figure harnesses.
+pub fn base_config(threads: usize, update_ratio: f64) -> WorkloadConfig {
+    WorkloadConfig::paper_default()
+        .with_size(initial_size())
+        .with_threads(threads)
+        .with_update_ratio(update_ratio)
+        .with_run(RunLength::Timed(cell_duration()))
+}
+
+/// Pretty-print a throughput row.
+pub fn print_row(label: &str, threads: usize, result: &WorkloadResult) {
+    println!(
+        "{label:<12} threads={threads:<3} throughput={:>8.3} ops/us  effective-updates={:<8} aborts/commit={:>6.3} max-reads/op={}",
+        result.ops_per_microsecond(),
+        result.effective_updates,
+        result.stm.aborts as f64 / result.stm.commits.max(1) as f64,
+        result.stm.max_reads_per_op,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults_are_sane() {
+        assert!(!thread_counts().is_empty());
+        assert!(cell_duration() >= Duration::from_millis(1));
+        assert!(initial_size() >= 2);
+        assert!(vacation_transactions() >= 1);
+    }
+
+    #[test]
+    fn run_micro_executes_each_tree_kind() {
+        let config = WorkloadConfig::smoke_test().with_threads(1);
+        for kind in [
+            TreeKind::RedBlack,
+            TreeKind::Avl,
+            TreeKind::SpecFriendly,
+            TreeKind::OptSpecFriendly,
+            TreeKind::NoRestructure,
+        ] {
+            let result = run_micro(kind, StmConfig::ctl(), &config);
+            assert!(result.total_ops > 0, "{} produced no ops", kind.label());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! # sf-tree — the speculation-friendly binary search tree
+//!
+//! Reproduction of the data structure introduced in *A Speculation-Friendly
+//! Binary Search Tree* (Tyler Crain, Vincent Gramoli, Michel Raynal — PPoPP
+//! 2012). The tree implements an associative-array / set abstraction on top
+//! of the word-based STM of the [`sf_stm`] crate and decouples its
+//! operations exactly as the paper prescribes:
+//!
+//! * **Abstract transactions** ([`SpecFriendlyTree`] / [`OptSpecFriendlyTree`]
+//!   `insert`, `delete`, `contains`, `get`) modify the abstraction only: an
+//!   insert links at most one fresh leaf, a delete merely flips a logical
+//!   deletion flag, and lookups never write.
+//! * **Structural transactions** (the background
+//!   [`maintenance::MaintenanceWorker`]) restructure the tree in many small
+//!   node-local transactions: height propagation, local rotations, physical
+//!   removal of logically deleted nodes, and quiescence-gated reclamation.
+//!
+//! Two variants are provided, matching the paper's Algorithms 1 and 2:
+//!
+//! | | [`SpecFriendlyTree`] (portable) | [`OptSpecFriendlyTree`] (optimized) |
+//! |---|---|---|
+//! | traversal | transactional reads | unit reads + O(1) tracked reads |
+//! | rotations | classic, in place | clone-based (Figure 2(c)) |
+//! | removed flag | not needed | `rem` ∈ {false, true, true-by-left-rotation} |
+//! | TM requirements | standard interface only | unit loads (TinySTM-style) |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sf_stm::Stm;
+//! use sf_tree::{OptSpecFriendlyTree, TxMap};
+//!
+//! let stm = Stm::default_config();
+//! let tree = OptSpecFriendlyTree::new();
+//! let maintenance = tree.start_maintenance(stm.register());
+//!
+//! let mut handle = tree.register(stm.register());
+//! assert!(tree.insert(&mut handle, 7, 70));
+//! assert_eq!(tree.get(&mut handle, 7), Some(70));
+//! assert!(tree.delete(&mut handle, 7));
+//! assert!(!tree.contains(&mut handle, 7));
+//!
+//! maintenance.stop();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod arena;
+pub mod inspect;
+pub mod maintenance;
+pub mod map;
+pub mod node;
+mod optimized;
+mod portable;
+mod shared;
+
+pub use arena::{ActivityHandle, NodeId, OpGuard, TxArena};
+pub use inspect::TreeInspect;
+pub use maintenance::{
+    MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker, PassReport,
+};
+pub use map::{TxMap, TxMapInTx};
+pub use node::{Key, Node, RemState, Side, Value, SENTINEL_KEY};
+pub use optimized::OptSpecFriendlyTree;
+pub use portable::SpecFriendlyTree;
+pub use shared::{SfHandle, TreeStats};

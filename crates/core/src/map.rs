@@ -1,0 +1,156 @@
+//! Tree-agnostic map abstractions.
+//!
+//! Every tree in this reproduction (speculation-friendly, optimized
+//! speculation-friendly, red-black, AVL, no-restructuring) implements the
+//! same two interfaces:
+//!
+//! * [`TxMap`] — complete operations, each executed as its own transaction.
+//!   This is what the synchrobench-style micro-benchmark drives.
+//! * [`TxMapInTx`] — *in-transaction* operations that run inside a caller
+//!   supplied [`Transaction`]. This is the reusability story of §5.4: the
+//!   `move` operation and the vacation application compose several map
+//!   operations into one atomic transaction without knowing anything about
+//!   the tree's synchronization internals.
+
+use sf_stm::{ThreadCtx, Transaction, TxResult};
+
+use crate::node::{Key, Value};
+
+/// In-transaction map operations: compose freely inside one transaction.
+pub trait TxMapInTx: Send + Sync {
+    /// Look up `key`, returning its value if present.
+    fn tx_get<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<Option<Value>>;
+
+    /// Insert `key -> value`. Returns `true` if the key was absent (the map
+    /// changed), `false` if the key was already present.
+    fn tx_insert<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+        value: Value,
+    ) -> TxResult<bool>;
+
+    /// Delete `key`. Returns `true` if the key was present (the map changed).
+    fn tx_delete<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<bool>;
+
+    /// Membership test.
+    fn tx_contains<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
+        Ok(self.tx_get(tx, key)?.is_some())
+    }
+
+    /// Atomically move the value stored at `from` to `to` (§5.4). Succeeds
+    /// only when `from` is present and `to` is absent.
+    fn tx_move<'env>(&'env self, tx: &mut Transaction<'env>, from: Key, to: Key) -> TxResult<bool> {
+        if from == to {
+            return self.tx_contains(tx, from);
+        }
+        let value = match self.tx_get(tx, from)? {
+            Some(v) => v,
+            None => return Ok(false),
+        };
+        if !self.tx_insert(tx, to, value)? {
+            return Ok(false);
+        }
+        let removed = self.tx_delete(tx, from)?;
+        debug_assert!(removed, "source key vanished inside the same transaction");
+        Ok(true)
+    }
+}
+
+/// Top-level map operations, one transaction per call.
+///
+/// `Handle` bundles whatever per-thread state the structure needs: at minimum
+/// the STM thread context, plus (for the speculation-friendly trees) the
+/// activity slot used by the quiescence-based reclamation protocol.
+pub trait TxMap: Send + Sync {
+    /// Per-thread handle.
+    type Handle: Send;
+
+    /// Register a worker thread.
+    fn register(&self, ctx: ThreadCtx) -> Self::Handle;
+
+    /// Membership test.
+    fn contains(&self, handle: &mut Self::Handle, key: Key) -> bool;
+
+    /// Look up a key's value.
+    fn get(&self, handle: &mut Self::Handle, key: Key) -> Option<Value>;
+
+    /// Insert `key -> value`; `true` when the map changed.
+    fn insert(&self, handle: &mut Self::Handle, key: Key, value: Value) -> bool;
+
+    /// Delete `key`; `true` when the map changed.
+    fn delete(&self, handle: &mut Self::Handle, key: Key) -> bool;
+
+    /// Atomically move `from` to `to`; `true` when the map changed.
+    fn move_entry(&self, handle: &mut Self::Handle, from: Key, to: Key) -> bool;
+
+    /// Number of live keys. Only accurate while no concurrent updates run;
+    /// used for test oracles and for sizing reports.
+    fn len_quiescent(&self) -> usize;
+
+    /// Short human-readable name used in benchmark output (e.g. `SFtree`).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use sf_stm::Stm;
+    use std::collections::BTreeMap;
+
+    /// A trivial TxMapInTx implementation (single mutex-protected BTreeMap,
+    /// ignoring the transaction) to exercise the default method logic.
+    struct Oracle(Mutex<BTreeMap<Key, Value>>);
+
+    impl TxMapInTx for Oracle {
+        fn tx_get<'env>(
+            &'env self,
+            _tx: &mut Transaction<'env>,
+            key: Key,
+        ) -> TxResult<Option<Value>> {
+            Ok(self.0.lock().get(&key).copied())
+        }
+        fn tx_insert<'env>(
+            &'env self,
+            _tx: &mut Transaction<'env>,
+            key: Key,
+            value: Value,
+        ) -> TxResult<bool> {
+            Ok(self.0.lock().insert(key, value).is_none())
+        }
+        fn tx_delete<'env>(&'env self, _tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
+            Ok(self.0.lock().remove(&key).is_some())
+        }
+    }
+
+    #[test]
+    fn default_move_semantics() {
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let oracle = Oracle(Mutex::new(BTreeMap::new()));
+        ctx.atomically(|tx| oracle.tx_insert(tx, 1, 10));
+        // Successful move.
+        assert!(ctx.atomically(|tx| oracle.tx_move(tx, 1, 2)));
+        assert_eq!(oracle.0.lock().get(&2), Some(&10));
+        assert!(!oracle.0.lock().contains_key(&1));
+        // Source missing.
+        assert!(!ctx.atomically(|tx| oracle.tx_move(tx, 1, 3)));
+        // Destination occupied.
+        ctx.atomically(|tx| oracle.tx_insert(tx, 5, 50));
+        assert!(!ctx.atomically(|tx| oracle.tx_move(tx, 2, 5)));
+        // Move onto itself is a membership test.
+        assert!(ctx.atomically(|tx| oracle.tx_move(tx, 2, 2)));
+        assert!(!ctx.atomically(|tx| oracle.tx_move(tx, 99, 99)));
+    }
+
+    #[test]
+    fn default_contains_uses_get() {
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let oracle = Oracle(Mutex::new(BTreeMap::new()));
+        assert!(!ctx.atomically(|tx| oracle.tx_contains(tx, 7)));
+        ctx.atomically(|tx| oracle.tx_insert(tx, 7, 70));
+        assert!(ctx.atomically(|tx| oracle.tx_contains(tx, 7)));
+    }
+}

@@ -1,0 +1,243 @@
+//! The tree node and its transactional fields.
+//!
+//! One node layout is shared by the portable tree (Algorithm 1) and the
+//! optimized tree (Algorithm 2). Fields follow the paper:
+//!
+//! * `key` — immutable for the lifetime of a node incarnation (slots are
+//!   recycled only after quiescence, so a traversal never observes the key of
+//!   a slot change under it);
+//! * `value` — the mapped value (the paper's associative-array abstraction);
+//! * `left` / `right` — transactional child pointers (`NodeId::NIL` is ⊥);
+//! * `del` — logical-deletion flag (the *deleted* flag of §3.2);
+//! * `rem` — physical-removal flag, `No`, `Yes`, or `YesByLeftRotation`
+//!   (Algorithm 2, needed by the optimized find to keep traversing through
+//!   nodes removed by clone-based rotations);
+//! * `left_h` / `right_h` / `local_h` — the node-local estimated heights used
+//!   by the distributed rebalancing scheme of Bougé et al. (§3.1); only the
+//!   maintenance thread reads and writes them, so they never conflict with
+//!   abstract transactions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sf_stm::{TCell, TxValue};
+
+use crate::arena::NodeId;
+
+/// Key type of the associative array implemented by the trees.
+pub type Key = u64;
+/// Value type of the associative array implemented by the trees.
+pub type Value = u64;
+
+/// Sentinel key of the root node: `u64::MAX` plays the paper's ∞, so every
+/// real key lives in the root's left subtree and the root itself is never
+/// rotated nor removed.
+pub const SENTINEL_KEY: Key = u64::MAX;
+
+/// Physical-removal state of a node (the `rem` field of Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemState {
+    /// The node is part of the tree.
+    Present,
+    /// The node has been physically unlinked (by a removal or a right
+    /// rotation).
+    Removed,
+    /// The node has been physically unlinked by a **left** rotation; a
+    /// traversal that looks for exactly this node's key must continue towards
+    /// the right child to find the clone that replaced it (§3.3).
+    RemovedByLeftRotation,
+}
+
+impl TxValue for RemState {
+    fn encode(self) -> u64 {
+        match self {
+            RemState::Present => 0,
+            RemState::Removed => 1,
+            RemState::RemovedByLeftRotation => 2,
+        }
+    }
+    fn decode(raw: u64) -> Self {
+        match raw {
+            0 => RemState::Present,
+            1 => RemState::Removed,
+            _ => RemState::RemovedByLeftRotation,
+        }
+    }
+}
+
+impl RemState {
+    /// True for both removal variants (`true` and `true by left rot` are
+    /// equivalent everywhere except one branch of the optimized find).
+    #[inline]
+    pub fn is_removed(self) -> bool {
+        !matches!(self, RemState::Present)
+    }
+}
+
+/// Which child of a parent a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The parent's left child (smaller keys).
+    Left,
+    /// The parent's right child (larger keys).
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+
+    /// The side of a parent with key `parent_key` on which `key` belongs.
+    pub fn for_key(key: Key, parent_key: Key) -> Side {
+        if key < parent_key {
+            Side::Left
+        } else {
+            Side::Right
+        }
+    }
+}
+
+/// A binary-search-tree node with transactional fields.
+#[derive(Debug)]
+pub struct Node {
+    key: AtomicU64,
+    /// Mapped value.
+    pub value: TCell<Value>,
+    /// Left child (keys smaller than `key`), `NodeId::NIL` when absent.
+    pub left: TCell<NodeId>,
+    /// Right child (keys larger than `key`), `NodeId::NIL` when absent.
+    pub right: TCell<NodeId>,
+    /// Logical deletion flag (§3.2).
+    pub del: TCell<bool>,
+    /// Physical removal flag (§3.3).
+    pub rem: TCell<RemState>,
+    /// Estimated height of the left subtree (maintenance-only).
+    pub left_h: TCell<i32>,
+    /// Estimated height of the right subtree (maintenance-only).
+    pub right_h: TCell<i32>,
+    /// Expected local height: `1 + max(left_h, right_h)` (maintenance-only).
+    pub local_h: TCell<i32>,
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            key: AtomicU64::new(0),
+            value: TCell::new(0),
+            left: TCell::new(NodeId::NIL),
+            right: TCell::new(NodeId::NIL),
+            del: TCell::new(false),
+            rem: TCell::new(RemState::Present),
+            left_h: TCell::new(0),
+            right_h: TCell::new(0),
+            local_h: TCell::new(1),
+        }
+    }
+}
+
+impl Node {
+    /// The node's key. Keys are immutable for the lifetime of a node
+    /// incarnation so a plain atomic load is sufficient (the paper's find
+    /// reads `curr.k` outside transactional bookkeeping).
+    #[inline]
+    pub fn key(&self) -> Key {
+        self.key.load(Ordering::Acquire)
+    }
+
+    /// (Re-)initialize a slot for a fresh node that is **not yet published**:
+    /// called right after [`crate::arena::TxArena::alloc`] and before the
+    /// transactional write that links the node into the tree, so plain stores
+    /// are safe (the release fence of the publishing commit makes them
+    /// visible to every reader that can reach the node).
+    pub fn init_fresh(&self, key: Key, value: Value) {
+        self.key.store(key, Ordering::Release);
+        self.value.unsync_store(value);
+        self.left.unsync_store(NodeId::NIL);
+        self.right.unsync_store(NodeId::NIL);
+        self.del.unsync_store(false);
+        self.rem.unsync_store(RemState::Present);
+        self.left_h.unsync_store(0);
+        self.right_h.unsync_store(0);
+        self.local_h.unsync_store(1);
+    }
+
+    /// The child cell on the given side.
+    #[inline]
+    pub fn child(&self, side: Side) -> &TCell<NodeId> {
+        match side {
+            Side::Left => &self.left,
+            Side::Right => &self.right,
+        }
+    }
+
+    /// The subtree-height cell on the given side.
+    #[inline]
+    pub fn child_height(&self, side: Side) -> &TCell<i32> {
+        match side {
+            Side::Left => &self.left_h,
+            Side::Right => &self.right_h,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rem_state_roundtrip() {
+        for s in [
+            RemState::Present,
+            RemState::Removed,
+            RemState::RemovedByLeftRotation,
+        ] {
+            assert_eq!(RemState::decode(s.encode()), s);
+        }
+        assert!(!RemState::Present.is_removed());
+        assert!(RemState::Removed.is_removed());
+        assert!(RemState::RemovedByLeftRotation.is_removed());
+    }
+
+    #[test]
+    fn side_helpers() {
+        assert_eq!(Side::Left.other(), Side::Right);
+        assert_eq!(Side::Right.other(), Side::Left);
+        assert_eq!(Side::for_key(3, 10), Side::Left);
+        assert_eq!(Side::for_key(30, 10), Side::Right);
+        assert_eq!(Side::for_key(10, 10), Side::Right);
+    }
+
+    #[test]
+    fn init_fresh_resets_every_field() {
+        let n = Node::default();
+        n.del.unsync_store(true);
+        n.rem.unsync_store(RemState::Removed);
+        n.left.unsync_store(NodeId(7));
+        n.local_h.unsync_store(9);
+        n.init_fresh(42, 43);
+        assert_eq!(n.key(), 42);
+        assert_eq!(n.value.unsync_load(), 43);
+        assert_eq!(n.left.unsync_load(), NodeId::NIL);
+        assert_eq!(n.right.unsync_load(), NodeId::NIL);
+        assert!(!n.del.unsync_load());
+        assert_eq!(n.rem.unsync_load(), RemState::Present);
+        assert_eq!(n.local_h.unsync_load(), 1);
+    }
+
+    #[test]
+    fn child_accessors_match_sides() {
+        let n = Node::default();
+        n.left.unsync_store(NodeId(1));
+        n.right.unsync_store(NodeId(2));
+        assert_eq!(n.child(Side::Left).unsync_load(), NodeId(1));
+        assert_eq!(n.child(Side::Right).unsync_load(), NodeId(2));
+        n.left_h.unsync_store(3);
+        n.right_h.unsync_store(4);
+        assert_eq!(n.child_height(Side::Left).unsync_load(), 3);
+        assert_eq!(n.child_height(Side::Right).unsync_load(), 4);
+    }
+}

@@ -1,0 +1,374 @@
+//! The optimized speculation-friendly tree (the paper's Algorithm 2, §3.3).
+//!
+//! Differences from the portable variant:
+//!
+//! * the traversal uses **unit reads** (`uread`) for intermediate hops and
+//!   only protects the final node with transactional reads, keeping the
+//!   read/write set size `O(1)` per nested operation instead of
+//!   `O(log n)`;
+//! * each node carries a **removed flag** (`rem`) so that a traversal
+//!   preempted on a node that a rotation or removal just unlinked can keep
+//!   descending instead of aborting;
+//! * the maintenance thread uses the **clone-based rotation** of Figure 2(c):
+//!   the rotated node is left untouched (apart from its removed flag), a
+//!   fresh clone takes its place, and the stale node keeps a path back into
+//!   the tree.
+
+use std::sync::Arc;
+
+use sf_stm::{ThreadCtx, Transaction, TxResult};
+
+use crate::arena::{NodeId, TxArena};
+use crate::inspect::TreeInspect;
+use crate::maintenance::{MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker};
+use crate::map::{TxMap, TxMapInTx};
+use crate::node::{Key, Node, RemState, Side, Value};
+use crate::shared::{
+    tx_delete_common, tx_get_common, tx_insert_common, FindSpec, SfHandle, TreeCore, TreeStats,
+};
+
+/// Traversal of Algorithm 2: unit reads on the way down, transactional reads
+/// only to pin the final node (its removed flag, the relevant ⊥ child for the
+/// leaf case, and the parent link for the final validation).
+pub(crate) struct OptimizedFind;
+
+impl OptimizedFind {
+    /// Maximum number of failed parent-link validations before the search
+    /// gives up on local backtracking and restarts from the root. Purely a
+    /// robustness bound; in practice one backtrack suffices.
+    const MAX_BACKTRACKS: u32 = 64;
+}
+
+impl FindSpec for OptimizedFind {
+    fn find<'env>(core: &'env TreeCore, tx: &mut Transaction<'env>, key: Key) -> TxResult<NodeId> {
+        let mut curr = core.root;
+        let mut next = core.root;
+        let mut backtracks = 0u32;
+        loop {
+            let mut parent;
+            // Inner descent loop (paper lines 32-49).
+            loop {
+                parent = curr;
+                curr = next;
+                let node = core.node(curr);
+                let val = node.key();
+                let mut removed = RemState::Present;
+                if val == key {
+                    removed = tx.read(&node.rem)?;
+                    if !removed.is_removed() {
+                        break; // candidate with a matching key, pinned in the tree
+                    }
+                }
+                // Pick the descent direction. A node with the searched key
+                // that was removed by a *left* rotation hides its live clone
+                // in its right subtree; every other removed node keeps the
+                // clone (or the parent) reachable through the standard
+                // direction (§3.3 and Lemma 16).
+                let side = if val == key {
+                    if removed == RemState::RemovedByLeftRotation {
+                        Side::Right
+                    } else {
+                        Side::Left
+                    }
+                } else {
+                    Side::for_key(key, val)
+                };
+                next = tx.uread(node.child(side));
+                if next.is_nil() {
+                    let rem_now = tx.read(&node.rem)?;
+                    if !rem_now.is_removed() {
+                        // The node is pinned in the tree; re-read the child
+                        // pointer transactionally so a concurrent insert of
+                        // `key` under this leaf conflicts with us.
+                        let confirmed = tx.read(node.child(side))?;
+                        if confirmed.is_nil() {
+                            break; // insertion point found
+                        }
+                        next = confirmed;
+                    } else {
+                        // Removed node whose preferred child is ⊥: the other
+                        // child keeps a path back into the tree (Lemma 16).
+                        next = tx.uread(node.child(side.other()));
+                        if next.is_nil() {
+                            // Defensive: restart from the root.
+                            curr = core.root;
+                            next = core.root;
+                        }
+                    }
+                }
+            }
+            // Final validation (paper lines 50-56): the parent must still
+            // point at the candidate, otherwise resume from the parent.
+            if curr == core.root {
+                return Ok(curr);
+            }
+            let parent_node = core.node(parent);
+            let side = Side::for_key(core.node(curr).key(), parent_node.key());
+            let link = tx.read(parent_node.child(side))?;
+            if link == curr {
+                return Ok(curr);
+            }
+            backtracks += 1;
+            if backtracks > Self::MAX_BACKTRACKS || parent == core.root {
+                curr = core.root;
+                next = core.root;
+            } else {
+                next = curr;
+                curr = parent;
+            }
+        }
+    }
+}
+
+/// The optimized speculation-friendly binary search tree (Algorithm 2).
+#[derive(Debug)]
+pub struct OptSpecFriendlyTree {
+    core: TreeCore,
+}
+
+impl OptSpecFriendlyTree {
+    /// Create an empty tree with its own node arena.
+    pub fn new() -> Self {
+        Self::with_arena(Arc::new(TxArena::new()))
+    }
+
+    /// Create an empty tree backed by an existing arena.
+    pub fn with_arena(arena: Arc<TxArena<Node>>) -> Self {
+        OptSpecFriendlyTree {
+            core: TreeCore::new(arena),
+        }
+    }
+
+    /// Register a worker thread.
+    pub fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        SfHandle {
+            ctx,
+            activity: self.core.arena.register_activity(),
+        }
+    }
+
+    /// Work counters (rotations, removals, propagations, ...).
+    pub fn stats(&self) -> &TreeStats {
+        &self.core.stats
+    }
+
+    /// The node arena backing this tree.
+    pub fn arena(&self) -> &Arc<TxArena<Node>> {
+        &self.core.arena
+    }
+
+    /// Build (but do not start) a maintenance worker using clone-based
+    /// rotations.
+    pub fn maintenance_worker(&self, ctx: ThreadCtx) -> MaintenanceWorker {
+        MaintenanceWorker::new(
+            self.core.clone(),
+            MaintenanceStyle::CloneBased,
+            ctx,
+            MaintenanceConfig::default(),
+        )
+    }
+
+    /// Spawn the background maintenance (rotator) thread.
+    pub fn start_maintenance(&self, ctx: ThreadCtx) -> MaintenanceHandle {
+        self.maintenance_worker(ctx).spawn()
+    }
+
+    /// Spawn the background maintenance thread with a custom configuration.
+    pub fn start_maintenance_with(
+        &self,
+        ctx: ThreadCtx,
+        config: MaintenanceConfig,
+    ) -> MaintenanceHandle {
+        MaintenanceWorker::new(self.core.clone(), MaintenanceStyle::CloneBased, ctx, config).spawn()
+    }
+
+    /// Quiescent inspection helpers (test oracles, invariant checks).
+    pub fn inspect(&self) -> TreeInspect<'_> {
+        TreeInspect::new(&self.core)
+    }
+}
+
+impl Default for OptSpecFriendlyTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxMapInTx for OptSpecFriendlyTree {
+    fn tx_get<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<Option<Value>> {
+        tx_get_common::<OptimizedFind>(&self.core, tx, key)
+    }
+
+    fn tx_insert<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+        value: Value,
+    ) -> TxResult<bool> {
+        tx_insert_common::<OptimizedFind>(&self.core, tx, key, value)
+    }
+
+    fn tx_delete<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
+        tx_delete_common::<OptimizedFind>(&self.core, tx, key)
+    }
+}
+
+impl TxMap for OptSpecFriendlyTree {
+    type Handle = SfHandle;
+
+    fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        OptSpecFriendlyTree::register(self, ctx)
+    }
+
+    fn contains(&self, handle: &mut SfHandle, key: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_contains(tx, key))
+    }
+
+    fn get(&self, handle: &mut SfHandle, key: Key) -> Option<Value> {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_get(tx, key))
+    }
+
+    fn insert(&self, handle: &mut SfHandle, key: Key, value: Value) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_insert(tx, key, value))
+    }
+
+    fn delete(&self, handle: &mut SfHandle, key: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_delete(tx, key))
+    }
+
+    fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn len_quiescent(&self) -> usize {
+        self.inspect().live_entries().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "OptSFtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_stm::Stm;
+
+    fn setup() -> (Arc<sf_stm::Stm>, OptSpecFriendlyTree) {
+        (Stm::default_config(), OptSpecFriendlyTree::new())
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        assert!(tree.insert(&mut h, 4, 40));
+        assert!(tree.insert(&mut h, 2, 20));
+        assert!(tree.insert(&mut h, 6, 60));
+        assert!(!tree.insert(&mut h, 4, 41));
+        assert_eq!(tree.get(&mut h, 2), Some(20));
+        assert!(tree.delete(&mut h, 2));
+        assert!(!tree.contains(&mut h, 2));
+        assert_eq!(tree.len_quiescent(), 2);
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn traversal_reads_stay_constant_sized() {
+        // The headline property of Algorithm 2: the committed read set of an
+        // operation does not grow with the depth of the tree.
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        for k in 0..512u64 {
+            tree.insert(&mut h, k, k);
+        }
+        stm.reset_stats();
+        let mut h2 = tree.register(stm.register());
+        assert!(tree.contains(&mut h2, 500));
+        assert!(!tree.contains(&mut h2, 5000));
+        let stats = stm.stats();
+        // The tree degenerated to a 512-deep list (no maintenance ran), yet
+        // the tracked read set stays tiny.
+        assert!(
+            stats.max_read_set <= 8,
+            "read set should be O(1), got {}",
+            stats.max_read_set
+        );
+        assert!(stats.tx_ureads > 500, "traversal should use unit reads");
+    }
+
+    #[test]
+    fn find_traverses_nodes_removed_by_rotation() {
+        use crate::maintenance::MaintenanceStyle;
+        // Build a small right-heavy tree, run one maintenance pass (which
+        // performs a clone-based left rotation), and check that lookups keyed
+        // on the rotated node still succeed.
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        for k in [10u64, 20, 30, 40, 50] {
+            tree.insert(&mut h, k, k * 10);
+        }
+        let mut worker = tree.maintenance_worker(stm.register());
+        assert_eq!(worker.style(), MaintenanceStyle::CloneBased);
+        worker.run_pass();
+        worker.run_pass();
+        assert!(tree.stats().rotations() > 0, "rotations should have run");
+        for k in [10u64, 20, 30, 40, 50] {
+            assert_eq!(tree.get(&mut h, k), Some(k * 10));
+        }
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_matches_oracle_membership() {
+        let (stm, tree) = setup();
+        let tree = Arc::new(tree);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                let mut h = tree.register(stm.register());
+                std::thread::spawn(move || {
+                    // Each thread owns a disjoint key range so the final
+                    // state is deterministic.
+                    let base = t * 10_000;
+                    for i in 0..200u64 {
+                        let k = base + i;
+                        assert!(tree.insert(&mut h, k, k));
+                    }
+                    for i in (0..200u64).step_by(2) {
+                        assert!(tree.delete(&mut h, base + i));
+                    }
+                    for i in 0..200u64 {
+                        let expected = i % 2 == 1;
+                        assert_eq!(tree.contains(&mut h, base + i), expected);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(tree.len_quiescent(), 4 * 100);
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn move_composition_is_atomic() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        tree.insert(&mut h, 100, 1);
+        assert!(tree.move_entry(&mut h, 100, 200));
+        assert_eq!(tree.get(&mut h, 200), Some(1));
+        assert!(!tree.contains(&mut h, 100));
+    }
+}

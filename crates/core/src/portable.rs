@@ -1,0 +1,319 @@
+//! The portable speculation-friendly tree (the paper's Algorithm 1).
+//!
+//! Every shared access of the traversal is a *transactional* read, so the
+//! tree runs on any TM that implements the standard interface — no unit
+//! loads, no elastic transactions. Update operations are decoupled exactly as
+//! in the paper:
+//!
+//! * `insert` touches the structure only when it links a fresh leaf,
+//! * `delete` only flips the logical-deletion flag,
+//! * rotations and physical removals are performed by the background
+//!   [`crate::maintenance::MaintenanceWorker`] in small node-local
+//!   transactions (classic in-place rotations for this variant).
+
+use std::sync::Arc;
+
+use sf_stm::{ThreadCtx, Transaction, TxResult};
+
+use crate::arena::{NodeId, TxArena};
+use crate::inspect::TreeInspect;
+use crate::maintenance::{MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker};
+use crate::map::{TxMap, TxMapInTx};
+use crate::node::{Key, Node, Side, Value};
+use crate::shared::{
+    tx_delete_common, tx_get_common, tx_insert_common, FindSpec, SfHandle, TreeCore, TreeStats,
+};
+
+/// Traversal of Algorithm 1: transactional reads all the way down; stops on a
+/// key match or on a ⊥ child pointer (which stays in the read set so a
+/// concurrent insert of the same key is detected).
+pub(crate) struct PortableFind;
+
+impl FindSpec for PortableFind {
+    fn find<'env>(core: &'env TreeCore, tx: &mut Transaction<'env>, key: Key) -> TxResult<NodeId> {
+        let mut curr = core.root;
+        loop {
+            let node = core.node(curr);
+            let k = node.key();
+            if k == key {
+                return Ok(curr);
+            }
+            let side = Side::for_key(key, k);
+            let next = tx.read(node.child(side))?;
+            match next.as_option() {
+                Some(child) => curr = child,
+                None => return Ok(curr),
+            }
+        }
+    }
+}
+
+/// The portable speculation-friendly binary search tree (Algorithm 1).
+#[derive(Debug)]
+pub struct SpecFriendlyTree {
+    core: TreeCore,
+}
+
+impl SpecFriendlyTree {
+    /// Create an empty tree with its own node arena.
+    pub fn new() -> Self {
+        Self::with_arena(Arc::new(TxArena::new()))
+    }
+
+    /// Create an empty tree backed by an existing arena (several trees may
+    /// share one arena, e.g. the four directories of the vacation
+    /// application).
+    pub fn with_arena(arena: Arc<TxArena<Node>>) -> Self {
+        SpecFriendlyTree {
+            core: TreeCore::new(arena),
+        }
+    }
+
+    /// Register a worker thread: pairs the STM context with an activity slot
+    /// for the reclamation protocol.
+    pub fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        SfHandle {
+            ctx,
+            activity: self.core.arena.register_activity(),
+        }
+    }
+
+    /// Work counters (rotations, removals, propagations, ...).
+    pub fn stats(&self) -> &TreeStats {
+        &self.core.stats
+    }
+
+    /// The node arena backing this tree.
+    pub fn arena(&self) -> &Arc<TxArena<Node>> {
+        &self.core.arena
+    }
+
+    /// Build (but do not start) a maintenance worker using classic in-place
+    /// rotations; useful in tests that want to drive passes manually.
+    pub fn maintenance_worker(&self, ctx: ThreadCtx) -> MaintenanceWorker {
+        MaintenanceWorker::new(
+            self.core.clone(),
+            MaintenanceStyle::Classic,
+            ctx,
+            MaintenanceConfig::default(),
+        )
+    }
+
+    /// Spawn the background maintenance (rotator) thread.
+    pub fn start_maintenance(&self, ctx: ThreadCtx) -> MaintenanceHandle {
+        self.maintenance_worker(ctx).spawn()
+    }
+
+    /// Spawn the background maintenance thread with a custom configuration.
+    pub fn start_maintenance_with(
+        &self,
+        ctx: ThreadCtx,
+        config: MaintenanceConfig,
+    ) -> MaintenanceHandle {
+        MaintenanceWorker::new(self.core.clone(), MaintenanceStyle::Classic, ctx, config).spawn()
+    }
+
+    /// Quiescent inspection helpers (test oracles, invariant checks).
+    pub fn inspect(&self) -> TreeInspect<'_> {
+        TreeInspect::new(&self.core)
+    }
+}
+
+impl Default for SpecFriendlyTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxMapInTx for SpecFriendlyTree {
+    fn tx_get<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<Option<Value>> {
+        tx_get_common::<PortableFind>(&self.core, tx, key)
+    }
+
+    fn tx_insert<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+        value: Value,
+    ) -> TxResult<bool> {
+        tx_insert_common::<PortableFind>(&self.core, tx, key, value)
+    }
+
+    fn tx_delete<'env>(&'env self, tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
+        tx_delete_common::<PortableFind>(&self.core, tx, key)
+    }
+}
+
+impl TxMap for SpecFriendlyTree {
+    type Handle = SfHandle;
+
+    fn register(&self, ctx: ThreadCtx) -> SfHandle {
+        SpecFriendlyTree::register(self, ctx)
+    }
+
+    fn contains(&self, handle: &mut SfHandle, key: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_contains(tx, key))
+    }
+
+    fn get(&self, handle: &mut SfHandle, key: Key) -> Option<Value> {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_get(tx, key))
+    }
+
+    fn insert(&self, handle: &mut SfHandle, key: Key, value: Value) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_insert(tx, key, value))
+    }
+
+    fn delete(&self, handle: &mut SfHandle, key: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_delete(tx, key))
+    }
+
+    fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn len_quiescent(&self) -> usize {
+        self.inspect().live_entries().len()
+    }
+
+    fn name(&self) -> &'static str {
+        "SFtree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_stm::Stm;
+
+    fn setup() -> (Arc<sf_stm::Stm>, SpecFriendlyTree) {
+        (Stm::default_config(), SpecFriendlyTree::new())
+    }
+
+    #[test]
+    fn insert_contains_delete_roundtrip() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        assert!(!tree.contains(&mut h, 10));
+        assert!(tree.insert(&mut h, 10, 100));
+        assert!(tree.contains(&mut h, 10));
+        assert_eq!(tree.get(&mut h, 10), Some(100));
+        assert!(!tree.insert(&mut h, 10, 101), "duplicate insert fails");
+        assert!(tree.delete(&mut h, 10));
+        assert!(!tree.contains(&mut h, 10));
+        assert!(!tree.delete(&mut h, 10), "double delete fails");
+    }
+
+    #[test]
+    fn reinsert_after_logical_delete_revives_node() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        assert!(tree.insert(&mut h, 7, 70));
+        assert!(tree.delete(&mut h, 7));
+        // The node is still physically present (no maintenance ran), so the
+        // insert revives it rather than allocating.
+        let allocated_before = tree.arena().allocated();
+        assert!(tree.insert(&mut h, 7, 71));
+        assert_eq!(tree.arena().allocated(), allocated_before);
+        assert_eq!(tree.get(&mut h, 7), Some(71));
+    }
+
+    #[test]
+    fn many_keys_and_order_is_preserved() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        let keys: Vec<u64> = (0..200).map(|i| (i * 37) % 199).collect();
+        for &k in &keys {
+            tree.insert(&mut h, k, k * 10);
+        }
+        tree.inspect().check_consistency().unwrap();
+        let live = tree.inspect().live_entries();
+        let mut sorted: Vec<u64> = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(live.iter().map(|(k, _)| *k).collect::<Vec<_>>(), sorted);
+        assert_eq!(tree.len_quiescent(), sorted.len());
+    }
+
+    #[test]
+    fn move_entry_is_atomic_and_correct() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        tree.insert(&mut h, 1, 11);
+        tree.insert(&mut h, 2, 22);
+        assert!(tree.move_entry(&mut h, 1, 5));
+        assert_eq!(tree.get(&mut h, 5), Some(11));
+        assert!(!tree.contains(&mut h, 1));
+        // Destination occupied -> no change.
+        assert!(!tree.move_entry(&mut h, 2, 5));
+        assert_eq!(tree.get(&mut h, 2), Some(22));
+        // Missing source -> no change.
+        assert!(!tree.move_entry(&mut h, 9, 10));
+    }
+
+    #[test]
+    fn delete_does_not_modify_structure() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        for k in [50, 25, 75, 10, 30] {
+            tree.insert(&mut h, k, k);
+        }
+        let nodes_before = tree.inspect().reachable_nodes();
+        tree.delete(&mut h, 25);
+        assert_eq!(tree.inspect().reachable_nodes(), nodes_before);
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let (stm, tree) = setup();
+        let tree = Arc::new(tree);
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                let mut h = tree.register(stm.register());
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        let key = t * 1000 + i;
+                        assert!(tree.insert(&mut h, key, key));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(tree.len_quiescent(), 1000);
+        tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn concurrent_same_key_insert_exactly_one_wins() {
+        let (stm, tree) = setup();
+        let tree = Arc::new(tree);
+        let workers: Vec<_> = (0..4u64)
+            .map(|_| {
+                let tree = Arc::clone(&tree);
+                let mut h = tree.register(stm.register());
+                std::thread::spawn(move || {
+                    (0..100u64)
+                        .map(|k| u64::from(tree.insert(&mut h, k, k)))
+                        .sum::<u64>()
+                })
+            })
+            .collect();
+        let successes: u64 = workers.into_iter().map(|t| t.join().unwrap()).sum();
+        // Exactly one success per key across all threads.
+        assert_eq!(successes, 100);
+        assert_eq!(tree.len_quiescent(), 100);
+    }
+}

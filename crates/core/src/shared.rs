@@ -1,0 +1,215 @@
+//! State and helpers shared by the portable (Algorithm 1) and optimized
+//! (Algorithm 2) speculation-friendly trees.
+//!
+//! Both variants store the same [`Node`] layout in the same arena, create the
+//! tree with a sentinel root of key ∞ (every real key lives in the root's
+//! left subtree, so the root is never rotated or removed — see the paper's
+//! correctness proof §4), and share the post-find logic of the abstract
+//! operations (contains / insert / logical delete). Only the `find` routine
+//! differs, so it is abstracted behind [`FindSpec`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sf_stm::{ThreadCtx, Transaction, TxResult};
+
+use crate::arena::{ActivityHandle, NodeId, TxArena};
+use crate::node::{Key, Node, Side, Value, SENTINEL_KEY};
+
+/// Counters describing the work performed on a tree, both by abstract
+/// operations and by the background maintenance thread. §5.5 of the paper
+/// compares rotation counts between trees; these counters regenerate that
+/// observation.
+#[derive(Debug, Default)]
+pub struct TreeStats {
+    /// Successful right rotations.
+    pub right_rotations: AtomicU64,
+    /// Successful left rotations.
+    pub left_rotations: AtomicU64,
+    /// Successful physical removals of logically deleted nodes.
+    pub removals: AtomicU64,
+    /// Height propagations that changed at least one stored height.
+    pub propagations: AtomicU64,
+    /// Completed maintenance traversals.
+    pub maintenance_passes: AtomicU64,
+    /// Nodes recycled after quiescence.
+    pub recycled: AtomicU64,
+}
+
+impl TreeStats {
+    /// Total number of successful rotations (left + right).
+    pub fn rotations(&self) -> u64 {
+        self.right_rotations.load(Ordering::Relaxed) + self.left_rotations.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared interior of a speculation-friendly tree.
+#[derive(Debug, Clone)]
+pub(crate) struct TreeCore {
+    pub arena: Arc<TxArena<Node>>,
+    pub root: NodeId,
+    pub stats: Arc<TreeStats>,
+}
+
+impl TreeCore {
+    /// Create a tree interior with its sentinel root (key ∞).
+    pub fn new(arena: Arc<TxArena<Node>>) -> Self {
+        let root = arena.alloc();
+        arena.get(root).init_fresh(SENTINEL_KEY, 0);
+        // The sentinel is "logically deleted" so it never shows up as a
+        // member of the abstraction.
+        arena.get(root).del.unsync_store(true);
+        TreeCore {
+            arena,
+            root,
+            stats: Arc::new(TreeStats::default()),
+        }
+    }
+
+    /// Allocate and initialize a node that is not yet linked into the tree.
+    pub fn alloc_fresh(&self, key: Key, value: Value) -> NodeId {
+        let id = self.arena.alloc();
+        self.arena.get(id).init_fresh(key, value);
+        id
+    }
+
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.arena.get(id)
+    }
+}
+
+/// The traversal strategy distinguishing Algorithm 1 from Algorithm 2.
+///
+/// `find` returns a node that is either (a) the node carrying `key`, with its
+/// membership-relevant fields protected by transactional reads, or (b) the
+/// node under which `key` would have to be inserted, with the corresponding
+/// (⊥) child pointer protected by a transactional read. Everything else
+/// (contains/insert/delete logic) is common code.
+pub(crate) trait FindSpec {
+    /// Descend from the root towards `key`.
+    fn find<'env>(core: &'env TreeCore, tx: &mut Transaction<'env>, key: Key) -> TxResult<NodeId>;
+}
+
+/// Common lookup: `Some(value)` when the key is present (not logically
+/// deleted).
+pub(crate) fn tx_get_common<'env, F: FindSpec>(
+    core: &'env TreeCore,
+    tx: &mut Transaction<'env>,
+    key: Key,
+) -> TxResult<Option<Value>> {
+    let found = F::find(core, tx, key)?;
+    let node = core.node(found);
+    if node.key() == key && !tx.read(&node.del)? {
+        Ok(Some(tx.read(&node.value)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Common insert (paper Algorithm 1, `insert(k, v)`): revive a logically
+/// deleted node or link a fresh node below the returned parent.
+pub(crate) fn tx_insert_common<'env, F: FindSpec>(
+    core: &'env TreeCore,
+    tx: &mut Transaction<'env>,
+    key: Key,
+    value: Value,
+) -> TxResult<bool> {
+    assert!(key != SENTINEL_KEY, "the sentinel key is reserved");
+    let found = F::find(core, tx, key)?;
+    let node = core.node(found);
+    if node.key() == key {
+        if tx.read(&node.del)? {
+            // The key was logically deleted: revive it. This is the only
+            // insert path that does not touch the tree structure.
+            tx.write(&node.del, false)?;
+            tx.write(&node.value, value)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    } else {
+        // The find ended on a leaf-side ⊥ pointer that it read
+        // transactionally, so linking the new node is conflict-checked.
+        let new_id = core.alloc_fresh(key, value);
+        let arena = Arc::clone(&core.arena);
+        tx.on_abort(move || arena.recycle(new_id));
+        let side = Side::for_key(key, node.key());
+        tx.write(node.child(side), new_id)?;
+        Ok(true)
+    }
+}
+
+/// Common logical delete (paper Algorithm 1, `delete(k)`): flip the deleted
+/// flag; the physical unlink is left to the maintenance thread.
+pub(crate) fn tx_delete_common<'env, F: FindSpec>(
+    core: &'env TreeCore,
+    tx: &mut Transaction<'env>,
+    key: Key,
+) -> TxResult<bool> {
+    let found = F::find(core, tx, key)?;
+    let node = core.node(found);
+    if node.key() != key {
+        return Ok(false);
+    }
+    if tx.read(&node.del)? {
+        Ok(false)
+    } else {
+        tx.write(&node.del, true)?;
+        Ok(true)
+    }
+}
+
+/// Per-thread handle of a speculation-friendly tree: the STM context plus the
+/// activity slot used by the quiescence-based reclamation protocol (§3.4).
+#[derive(Debug)]
+pub struct SfHandle {
+    pub(crate) ctx: ThreadCtx,
+    pub(crate) activity: ActivityHandle,
+}
+
+impl SfHandle {
+    /// Access the underlying STM thread context (e.g. to compose tree
+    /// operations with other transactional state in one transaction).
+    pub fn ctx_mut(&mut self) -> &mut ThreadCtx {
+        &mut self.ctx
+    }
+
+    /// Borrow the context and the activity handle at the same time.
+    pub(crate) fn parts(&mut self) -> (&mut ThreadCtx, &ActivityHandle) {
+        (&mut self.ctx, &self.activity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_core_creates_sentinel_root() {
+        let core = TreeCore::new(Arc::new(TxArena::with_capacity(1024)));
+        let root = core.node(core.root);
+        assert_eq!(root.key(), SENTINEL_KEY);
+        assert!(root.del.unsync_load());
+        assert!(root.left.unsync_load().is_nil());
+        assert!(root.right.unsync_load().is_nil());
+    }
+
+    #[test]
+    fn alloc_fresh_initializes_node() {
+        let core = TreeCore::new(Arc::new(TxArena::with_capacity(1024)));
+        let id = core.alloc_fresh(5, 50);
+        let n = core.node(id);
+        assert_eq!(n.key(), 5);
+        assert_eq!(n.value.unsync_load(), 50);
+        assert!(!n.del.unsync_load());
+    }
+
+    #[test]
+    fn stats_rotation_total() {
+        let stats = TreeStats::default();
+        stats.left_rotations.store(3, Ordering::Relaxed);
+        stats.right_rotations.store(4, Ordering::Relaxed);
+        assert_eq!(stats.rotations(), 7);
+    }
+}

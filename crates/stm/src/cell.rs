@@ -1,0 +1,271 @@
+//! Transactional memory locations.
+//!
+//! A [`TCell`] is the unit of conflict detection: one 64-bit payload word and
+//! one versioned-lock word, the same granularity as the per-stripe ownership
+//! records of word-based STMs such as TinySTM and TL2, but owned by the cell
+//! itself so that no two logically unrelated locations ever alias the same
+//! lock (no false conflicts from hash collisions).
+//!
+//! The lock word encodes either
+//!
+//! * `version << 1` (even) — the commit timestamp of the last transaction that
+//!   wrote the cell, or
+//! * `(owner << 1) | 1` (odd) — the cell is currently locked by the
+//!   transaction whose thread lock-word is `owner << 1 | 1`.
+//!
+//! Readers use a seqlock-style protocol (load lock, load value, re-load lock)
+//! so that a torn or in-flight write is never observed.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::value::TxValue;
+
+/// Result of a consistent (lock, value) read of a raw cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RawRead {
+    /// The cell was unlocked; `version` is its commit timestamp and `value`
+    /// the payload written by that commit.
+    Ok { value: u64, version: u64 },
+    /// The cell is currently locked by the transaction identified by the
+    /// given lock word.
+    Locked { owner_word: u64 },
+}
+
+/// The untyped (type-erased) interior of a [`TCell`]: a versioned lock and a
+/// 64-bit payload. Transactions track raw cells so that read and write sets
+/// can hold locations of heterogeneous value types.
+#[derive(Debug)]
+pub struct RawCell {
+    lock: AtomicU64,
+    value: AtomicU64,
+}
+
+impl RawCell {
+    /// Create a raw cell with version 0 and the given payload.
+    pub(crate) const fn new(value: u64) -> Self {
+        RawCell {
+            lock: AtomicU64::new(0),
+            value: AtomicU64::new(value),
+        }
+    }
+
+    /// Perform one attempt at a consistent read. Loops internally only while
+    /// the lock word changes under us while remaining unlocked (a committing
+    /// writer finished between our two lock loads).
+    #[inline]
+    pub(crate) fn read_consistent(&self) -> RawRead {
+        loop {
+            let l1 = self.lock.load(Ordering::Acquire);
+            if l1 & 1 == 1 {
+                return RawRead::Locked { owner_word: l1 };
+            }
+            let value = self.value.load(Ordering::Acquire);
+            let l2 = self.lock.load(Ordering::Acquire);
+            if l1 == l2 {
+                return RawRead::Ok {
+                    value,
+                    version: l1 >> 1,
+                };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Current lock word (used by validation).
+    #[inline]
+    pub(crate) fn lock_word(&self) -> u64 {
+        self.lock.load(Ordering::Acquire)
+    }
+
+    /// Try to acquire the cell lock for the transaction identified by
+    /// `owner_word`. On success returns the previous (unlocked) lock word so
+    /// it can be restored on abort.
+    #[inline]
+    pub(crate) fn try_lock(&self, owner_word: u64) -> Result<u64, u64> {
+        let cur = self.lock.load(Ordering::Acquire);
+        if cur & 1 == 1 {
+            return Err(cur);
+        }
+        match self
+            .lock
+            .compare_exchange(cur, owner_word, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => Ok(cur),
+            Err(now) => Err(now),
+        }
+    }
+
+    /// Release a lock held by this transaction, restoring the pre-lock
+    /// version (abort path).
+    #[inline]
+    pub(crate) fn unlock_restore(&self, prev_lock_word: u64) {
+        debug_assert_eq!(prev_lock_word & 1, 0);
+        self.lock.store(prev_lock_word, Ordering::Release);
+    }
+
+    /// Store a new payload and release the lock with the given new commit
+    /// version (commit path). The payload store happens before the version
+    /// publish so the seqlock read protocol never observes a torn pair.
+    #[inline]
+    pub(crate) fn write_and_unlock(&self, value: u64, new_version: u64) {
+        self.value.store(value, Ordering::Release);
+        self.lock.store(new_version << 1, Ordering::Release);
+    }
+
+    /// Raw payload load without any transactional bookkeeping. Only meaningful
+    /// when the caller can rule out concurrent commits (initialization,
+    /// single-threaded verification, statistics).
+    #[inline]
+    pub(crate) fn load_raw(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    /// Raw payload store without any transactional bookkeeping. Only
+    /// meaningful when the caller can rule out concurrent transactions on the
+    /// same cell (e.g. a freshly allocated node not yet published).
+    #[inline]
+    pub(crate) fn store_raw(&self, value: u64) {
+        self.value.store(value, Ordering::Release);
+    }
+
+    /// Address used as the identity of the cell inside read/write sets.
+    #[inline]
+    pub(crate) fn addr(&self) -> usize {
+        self as *const RawCell as usize
+    }
+}
+
+/// A typed transactional memory location holding a `T`.
+///
+/// All concurrent accesses must go through a [`crate::Transaction`] (or
+/// [`crate::Transaction::uread`] for unit loads). The `unsync_*` accessors are
+/// provided for initialization and quiescent inspection.
+#[derive(Debug)]
+pub struct TCell<T: TxValue> {
+    raw: RawCell,
+    _marker: PhantomData<T>,
+}
+
+impl<T: TxValue> TCell<T> {
+    /// Create a new cell with the given initial value and version 0.
+    pub fn new(value: T) -> Self {
+        TCell {
+            raw: RawCell::new(value.encode()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Access the type-erased interior.
+    #[inline]
+    pub(crate) fn raw(&self) -> &RawCell {
+        &self.raw
+    }
+
+    /// Read the value without transactional protection.
+    ///
+    /// This is an atomic load, so it never observes a torn word, but it takes
+    /// part in no conflict detection: use it only during initialization,
+    /// while the structure is quiescent, or for monitoring output where an
+    /// instantaneous value is acceptable.
+    #[inline]
+    pub fn unsync_load(&self) -> T {
+        T::decode(self.raw.load_raw())
+    }
+
+    /// Write the value without transactional protection.
+    ///
+    /// Use only when no concurrent transaction can access the cell (e.g. a
+    /// node that has not been published yet, or test setup).
+    #[inline]
+    pub fn unsync_store(&self, value: T) {
+        self.raw.store_raw(value.encode());
+    }
+
+    /// The commit version of the last transaction that wrote this cell, or
+    /// `None` if it is currently locked by an in-flight commit.
+    pub fn version(&self) -> Option<u64> {
+        let l = self.raw.lock_word();
+        if l & 1 == 1 {
+            None
+        } else {
+            Some(l >> 1)
+        }
+    }
+}
+
+impl<T: TxValue + Default> Default for TCell<T> {
+    fn default() -> Self {
+        TCell::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_cell_reads_initial_value() {
+        let c = TCell::new(42u64);
+        assert_eq!(c.unsync_load(), 42);
+        assert_eq!(c.version(), Some(0));
+    }
+
+    #[test]
+    fn unsync_store_updates_value_not_version() {
+        let c = TCell::new(1u32);
+        c.unsync_store(9);
+        assert_eq!(c.unsync_load(), 9);
+        assert_eq!(c.version(), Some(0));
+    }
+
+    #[test]
+    fn raw_lock_unlock_cycle() {
+        let c = TCell::new(5u64);
+        let owner = (7 << 1) | 1;
+        let prev = c.raw().try_lock(owner).expect("lock should succeed");
+        assert_eq!(prev, 0);
+        // A second acquisition by anyone must fail while locked.
+        assert!(c.raw().try_lock((9 << 1) | 1).is_err());
+        match c.raw().read_consistent() {
+            RawRead::Locked { owner_word } => assert_eq!(owner_word, owner),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        c.raw().write_and_unlock(11u64, 3);
+        assert_eq!(c.unsync_load(), 11);
+        assert_eq!(c.version(), Some(3));
+        match c.raw().read_consistent() {
+            RawRead::Ok { value, version } => {
+                assert_eq!(value, 11);
+                assert_eq!(version, 3);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_restores_previous_version() {
+        let c = TCell::new(5u64);
+        c.raw().write_and_unlock(5, 4);
+        let owner = (1 << 1) | 1;
+        let prev = c.raw().try_lock(owner).unwrap();
+        assert_eq!(prev >> 1, 4);
+        c.raw().unlock_restore(prev);
+        assert_eq!(c.version(), Some(4));
+        assert_eq!(c.unsync_load(), 5);
+    }
+
+    #[test]
+    fn default_cell() {
+        let c: TCell<bool> = TCell::default();
+        assert!(!c.unsync_load());
+    }
+
+    #[test]
+    fn option_cell() {
+        let c: TCell<Option<u32>> = TCell::new(None);
+        assert_eq!(c.unsync_load(), None);
+        c.unsync_store(Some(0));
+        assert_eq!(c.unsync_load(), Some(0));
+    }
+}

@@ -1,0 +1,61 @@
+//! # sf-stm — word-based software transactional memory
+//!
+//! The STM substrate used by the reproduction of *A Speculation-Friendly
+//! Binary Search Tree* (Crain, Gramoli, Raynal — PPoPP 2012). The paper
+//! evaluates its tree on TinySTM (with lazy and eager lock acquirement) and on
+//! E-STM (elastic transactions); this crate implements the same family of
+//! algorithms from scratch:
+//!
+//! * **Versioned-lock, write-back STM** in the TL2/TinySTM style: a global
+//!   version clock ([`GlobalClock`]), per-location versioned locks
+//!   ([`TCell`]), invisible reads with timestamp extension, and write-back at
+//!   commit ([`Transaction`]).
+//! * **Commit-time (CTL) and encounter-time (ETL) lock acquisition**, selected
+//!   through [`StmConfig`].
+//! * **Unit reads** ([`Transaction::uread`]) — TinySTM's unit loads, used by
+//!   the optimized tree traversal of the paper's Algorithm 2.
+//! * **Elastic transactions** ([`TxKind::Elastic`]) — E-STM-style read-set
+//!   cutting for search-structure traversals.
+//! * **Statistics** ([`StatsSnapshot`]) — commits, aborts, transactional
+//!   reads (including aborted attempts) and read/write-set high-water marks,
+//!   the raw data behind the paper's Table 1.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sf_stm::{Stm, TCell};
+//!
+//! let stm = Stm::default_config();
+//! let mut ctx = stm.register();
+//! let account = TCell::new(100u64);
+//!
+//! let before = ctx.atomically(|tx| {
+//!     let v = tx.read(&account)?;
+//!     tx.write(&account, v + 1)?;
+//!     Ok(v)
+//! });
+//! assert_eq!(before, 100);
+//! assert_eq!(account.unsync_load(), 101);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cell;
+mod clock;
+mod config;
+mod error;
+mod stats;
+mod txn;
+mod value;
+
+pub mod runtime;
+
+pub use cell::TCell;
+pub use clock::GlobalClock;
+pub use config::{LockAcquisition, StmConfig, TxKind};
+pub use error::{Abort, AbortReason, TxResult};
+pub use runtime::{Stm, ThreadCtx};
+pub use stats::{StatsSnapshot, ThreadStats};
+pub use txn::Transaction;
+pub use value::TxValue;

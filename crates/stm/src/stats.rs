@@ -1,0 +1,192 @@
+//! Transaction statistics.
+//!
+//! The paper's Table 1 reports the *maximum number of transactional reads per
+//! operation*, counting the reads performed by every aborted attempt in
+//! addition to the read set of the committing attempt. Figures 3-6 report
+//! throughput, and §5.5 reports rotation counts. The counters here provide
+//! all the raw material: per-thread atomic counters aggregated into a
+//! [`StatsSnapshot`] by the harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Per-thread transaction counters. All counters are cumulative since the
+/// last reset.
+#[derive(Debug, Default)]
+pub struct ThreadStats {
+    /// Committed transactions.
+    pub commits: AtomicU64,
+    /// Aborted attempts (all causes).
+    pub aborts: AtomicU64,
+    /// Aborts requested explicitly by user code.
+    pub explicit_aborts: AtomicU64,
+    /// Transactional reads (read-set tracked).
+    pub tx_reads: AtomicU64,
+    /// Unit reads (not tracked in the read set).
+    pub tx_ureads: AtomicU64,
+    /// Transactional writes.
+    pub tx_writes: AtomicU64,
+    /// Elastic cuts performed (E-STM style read-set truncation).
+    pub elastic_cuts: AtomicU64,
+    /// Maximum transactional reads accumulated by one operation across all of
+    /// its attempts (the quantity of Table 1).
+    pub max_reads_per_op: AtomicU64,
+    /// Maximum read-set size observed at commit.
+    pub max_read_set: AtomicU64,
+    /// Maximum write-set size observed at commit.
+    pub max_write_set: AtomicU64,
+}
+
+impl ThreadStats {
+    fn reset(&self) {
+        self.commits.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
+        self.explicit_aborts.store(0, Ordering::Relaxed);
+        self.tx_reads.store(0, Ordering::Relaxed);
+        self.tx_ureads.store(0, Ordering::Relaxed);
+        self.tx_writes.store(0, Ordering::Relaxed);
+        self.elastic_cuts.store(0, Ordering::Relaxed);
+        self.max_reads_per_op.store(0, Ordering::Relaxed);
+        self.max_read_set.store(0, Ordering::Relaxed);
+        self.max_write_set.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_max_reads_per_op(&self, reads: u64) {
+        self.max_reads_per_op.fetch_max(reads, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_commit(&self, read_set: usize, write_set: usize) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.max_read_set
+            .fetch_max(read_set as u64, Ordering::Relaxed);
+        self.max_write_set
+            .fetch_max(write_set as u64, Ordering::Relaxed);
+    }
+}
+
+/// Aggregated, immutable view of the counters of every registered thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Committed transactions across all threads.
+    pub commits: u64,
+    /// Aborted attempts across all threads.
+    pub aborts: u64,
+    /// Explicit aborts across all threads.
+    pub explicit_aborts: u64,
+    /// Transactional reads across all threads.
+    pub tx_reads: u64,
+    /// Unit reads across all threads.
+    pub tx_ureads: u64,
+    /// Transactional writes across all threads.
+    pub tx_writes: u64,
+    /// Elastic cuts across all threads.
+    pub elastic_cuts: u64,
+    /// Maximum reads-per-operation over all threads (Table 1 metric).
+    pub max_reads_per_op: u64,
+    /// Maximum committed read-set size over all threads.
+    pub max_read_set: u64,
+    /// Maximum committed write-set size over all threads.
+    pub max_write_set: u64,
+}
+
+impl StatsSnapshot {
+    /// Ratio of aborted attempts to total attempts, in `[0, 1]`.
+    pub fn abort_ratio(&self) -> f64 {
+        let attempts = self.commits + self.aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / attempts as f64
+        }
+    }
+}
+
+/// Registry of the per-thread counters created by [`crate::Stm::register`].
+#[derive(Debug, Default)]
+pub(crate) struct StatsRegistry {
+    threads: Mutex<Vec<Arc<ThreadStats>>>,
+}
+
+impl StatsRegistry {
+    pub(crate) fn register(&self) -> Arc<ThreadStats> {
+        let stats = Arc::new(ThreadStats::default());
+        self.threads.lock().push(Arc::clone(&stats));
+        stats
+    }
+
+    pub(crate) fn snapshot(&self) -> StatsSnapshot {
+        let threads = self.threads.lock();
+        let mut s = StatsSnapshot::default();
+        for t in threads.iter() {
+            s.commits += t.commits.load(Ordering::Relaxed);
+            s.aborts += t.aborts.load(Ordering::Relaxed);
+            s.explicit_aborts += t.explicit_aborts.load(Ordering::Relaxed);
+            s.tx_reads += t.tx_reads.load(Ordering::Relaxed);
+            s.tx_ureads += t.tx_ureads.load(Ordering::Relaxed);
+            s.tx_writes += t.tx_writes.load(Ordering::Relaxed);
+            s.elastic_cuts += t.elastic_cuts.load(Ordering::Relaxed);
+            s.max_reads_per_op = s
+                .max_reads_per_op
+                .max(t.max_reads_per_op.load(Ordering::Relaxed));
+            s.max_read_set = s.max_read_set.max(t.max_read_set.load(Ordering::Relaxed));
+            s.max_write_set = s
+                .max_write_set
+                .max(t.max_write_set.load(Ordering::Relaxed));
+        }
+        s
+    }
+
+    pub(crate) fn reset(&self) {
+        for t in self.threads.lock().iter() {
+            t.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_sums_and_maxes() {
+        let reg = StatsRegistry::default();
+        let a = reg.register();
+        let b = reg.register();
+        a.commits.store(3, Ordering::Relaxed);
+        b.commits.store(4, Ordering::Relaxed);
+        a.aborts.store(1, Ordering::Relaxed);
+        a.max_reads_per_op.store(10, Ordering::Relaxed);
+        b.max_reads_per_op.store(25, Ordering::Relaxed);
+        let s = reg.snapshot();
+        assert_eq!(s.commits, 7);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.max_reads_per_op, 25);
+        assert!((s.abort_ratio() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let reg = StatsRegistry::default();
+        let a = reg.register();
+        a.commits.store(3, Ordering::Relaxed);
+        reg.reset();
+        assert_eq!(reg.snapshot().commits, 0);
+    }
+
+    #[test]
+    fn empty_snapshot_has_zero_abort_ratio() {
+        assert_eq!(StatsSnapshot::default().abort_ratio(), 0.0);
+    }
+
+    #[test]
+    fn record_commit_tracks_max_sets() {
+        let t = ThreadStats::default();
+        t.record_commit(5, 2);
+        t.record_commit(3, 7);
+        assert_eq!(t.max_read_set.load(Ordering::Relaxed), 5);
+        assert_eq!(t.max_write_set.load(Ordering::Relaxed), 7);
+        assert_eq!(t.commits.load(Ordering::Relaxed), 2);
+    }
+}

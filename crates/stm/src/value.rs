@@ -1,0 +1,234 @@
+//! Encoding of transactional values into 64-bit words.
+//!
+//! The STM stores every transactional location as a single `u64` (see
+//! [`crate::cell::TCell`]). Any type that can be losslessly packed into 64
+//! bits can be stored transactionally by implementing [`TxValue`]. The
+//! word-based layout mirrors TinySTM, where every transactional access is a
+//! machine-word load or store guarded by a versioned lock.
+
+/// A value that can be stored in a [`crate::TCell`].
+///
+/// Implementations must round-trip exactly: `decode(encode(v)) == v` for every
+/// value `v`. The encoding does not need to be ordered or hash-friendly, it is
+/// only used as an opaque 64-bit payload.
+pub trait TxValue: Copy {
+    /// Pack the value into a 64-bit word.
+    fn encode(self) -> u64;
+    /// Unpack a value previously produced by [`TxValue::encode`].
+    fn decode(raw: u64) -> Self;
+}
+
+impl TxValue for u64 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl TxValue for i64 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw as i64
+    }
+}
+
+impl TxValue for u32 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw as u32
+    }
+}
+
+impl TxValue for i32 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u32 as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw as u32 as i32
+    }
+}
+
+impl TxValue for u16 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw as u16
+    }
+}
+
+impl TxValue for u8 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw as u8
+    }
+}
+
+impl TxValue for bool {
+    #[inline]
+    fn encode(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        raw != 0
+    }
+}
+
+impl TxValue for () {
+    #[inline]
+    fn encode(self) -> u64 {
+        0
+    }
+    #[inline]
+    fn decode(_raw: u64) -> Self {}
+}
+
+impl TxValue for f64 {
+    #[inline]
+    fn encode(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        f64::from_bits(raw)
+    }
+}
+
+/// `Option<u32>` is encoded with the tag in bit 32 so that `None` and
+/// `Some(0)` are distinguishable. This is the natural encoding for optional
+/// arena indices (child pointers in the trees built on top of this STM).
+impl TxValue for Option<u32> {
+    #[inline]
+    fn encode(self) -> u64 {
+        match self {
+            None => 0,
+            Some(v) => (1 << 32) | v as u64,
+        }
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        if raw & (1 << 32) == 0 {
+            None
+        } else {
+            Some(raw as u32)
+        }
+    }
+}
+
+impl TxValue for Option<u64> {
+    /// Encoded in 64 bits by reserving `u64::MAX` as the `None` sentinel.
+    /// Storing `Some(u64::MAX)` is therefore not representable and panics.
+    #[inline]
+    fn encode(self) -> u64 {
+        match self {
+            None => u64::MAX,
+            Some(v) => {
+                assert!(v != u64::MAX, "Some(u64::MAX) is not encodable");
+                v
+            }
+        }
+    }
+    #[inline]
+    fn decode(raw: u64) -> Self {
+        if raw == u64::MAX {
+            None
+        } else {
+            Some(raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: TxValue + PartialEq + core::fmt::Debug>(v: T) {
+        assert_eq!(T::decode(v.encode()), v);
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            roundtrip(v);
+        }
+        for v in [0u32, 7, u32::MAX] {
+            roundtrip(v);
+        }
+        for v in [0u16, 7, u16::MAX] {
+            roundtrip(v);
+        }
+        for v in [0u8, 7, u8::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        for v in [0i64, -1, i64::MIN, i64::MAX, 123456789] {
+            roundtrip(v);
+        }
+        for v in [0i32, -1, i32::MIN, i32::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn bool_and_unit_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(());
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        for v in [0.0f64, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            roundtrip(v);
+        }
+        // NaN does not compare equal, check bit pattern instead.
+        assert!(f64::decode(f64::NAN.encode()).is_nan());
+    }
+
+    #[test]
+    fn option_u32_roundtrip() {
+        roundtrip(None::<u32>);
+        roundtrip(Some(0u32));
+        roundtrip(Some(u32::MAX));
+        roundtrip(Some(17u32));
+        // None and Some(0) must encode differently.
+        assert_ne!(None::<u32>.encode(), Some(0u32).encode());
+    }
+
+    #[test]
+    fn option_u64_roundtrip() {
+        roundtrip(None::<u64>);
+        roundtrip(Some(0u64));
+        roundtrip(Some(u64::MAX - 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn option_u64_sentinel_panics() {
+        let _ = Some(u64::MAX).encode();
+    }
+}

@@ -1,0 +1,41 @@
+//! # sf-vacation — the STAMP vacation travel-reservation application
+//!
+//! The paper's application-scale experiment (§5.5, Figure 6) runs STAMP's
+//! *vacation* benchmark — an in-memory travel-reservation database whose four
+//! tables (cars, rooms, flights, customers) are tree directories — on top of
+//! the Oracle red-black tree, the optimized speculation-friendly tree and the
+//! no-restructuring tree. This crate rebuilds that application on the
+//! transactional trees of this repository:
+//!
+//! * [`Manager`] — the reservation system: resource records, customer
+//!   records, and the composed in-transaction operations (`reserve`,
+//!   `delete_customer`, `add_resource`, ...).
+//! * [`DirectoryMap`] — the capability a tree needs to serve as a table
+//!   (implemented for every tree in `sf-tree` / `sf-baselines`).
+//! * [`VacationParams`] / [`run_vacation`] — the client driver with STAMP's
+//!   low- and high-contention presets and the 1×/8×/16× transaction scaling.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sf_stm::Stm;
+//! use sf_tree::OptSpecFriendlyTree;
+//! use sf_vacation::{Manager, VacationParams, run_vacation};
+//!
+//! let stm = Stm::default_config();
+//! let manager = Arc::new(Manager::<OptSpecFriendlyTree>::new());
+//! let params = VacationParams::smoke_test().with_clients(1);
+//! let result = run_vacation(&stm, &manager, &params);
+//! assert!(result.transactions > 0);
+//! manager.check_consistency().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod client;
+mod directory;
+mod manager;
+
+pub use client::{initialize, run_clients, run_vacation, VacationParams, VacationResult};
+pub use directory::DirectoryMap;
+pub use manager::{Customer, Manager, Reservation, ReservationKind, CUSTOMER_RESERVATION_CAPACITY};

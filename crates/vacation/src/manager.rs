@@ -1,0 +1,615 @@
+//! The reservation-system manager: four tree directories (cars, rooms,
+//! flights, customers) plus the reservation and customer records they index.
+//!
+//! This mirrors STAMP vacation's `manager.c`: every public operation is an
+//! *in-transaction* operation (it takes the caller's [`Transaction`]), so a
+//! client action composes several of them — queries over the three resource
+//! tables, customer updates, reservations — into one atomic transaction, the
+//! exact workload the paper uses to evaluate the trees at application scale
+//! (Figure 6).
+
+use std::sync::Arc;
+
+use sf_stm::{TCell, Transaction, TxResult};
+
+use sf_tree::{NodeId, TxArena};
+
+use crate::directory::DirectoryMap;
+
+/// Maximum number of simultaneous reservations one customer can hold.
+///
+/// STAMP stores them in an unbounded linked list; a bounded, count-prefixed
+/// slot array preserves the access pattern (the list is short in every STAMP
+/// configuration) while keeping the record a flat transactional object.
+pub const CUSTOMER_RESERVATION_CAPACITY: usize = 64;
+
+/// The three resource kinds plus the customer table selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReservationKind {
+    /// Rental cars.
+    Car,
+    /// Hotel rooms.
+    Room,
+    /// Flight seats.
+    Flight,
+}
+
+impl ReservationKind {
+    /// All resource kinds, in a fixed order.
+    pub const ALL: [ReservationKind; 3] =
+        [ReservationKind::Car, ReservationKind::Room, ReservationKind::Flight];
+
+    fn index(self) -> u64 {
+        match self {
+            ReservationKind::Car => 0,
+            ReservationKind::Room => 1,
+            ReservationKind::Flight => 2,
+        }
+    }
+
+    fn from_index(i: u64) -> Self {
+        match i {
+            0 => ReservationKind::Car,
+            1 => ReservationKind::Room,
+            _ => ReservationKind::Flight,
+        }
+    }
+}
+
+/// A resource reservation record (cars/rooms/flights table entry).
+#[derive(Debug)]
+pub struct Reservation {
+    num_used: TCell<u64>,
+    num_free: TCell<u64>,
+    num_total: TCell<u64>,
+    price: TCell<u64>,
+}
+
+impl Default for Reservation {
+    fn default() -> Self {
+        Reservation {
+            num_used: TCell::new(0),
+            num_free: TCell::new(0),
+            num_total: TCell::new(0),
+            price: TCell::new(0),
+        }
+    }
+}
+
+/// A customer record: a count-prefixed array of packed reservation
+/// descriptors `(kind, resource id, price)`.
+#[derive(Debug)]
+pub struct Customer {
+    count: TCell<u64>,
+    slots: Vec<TCell<u64>>,
+}
+
+impl Default for Customer {
+    fn default() -> Self {
+        Customer {
+            count: TCell::new(0),
+            slots: (0..CUSTOMER_RESERVATION_CAPACITY)
+                .map(|_| TCell::new(0))
+                .collect(),
+        }
+    }
+}
+
+fn pack_info(kind: ReservationKind, id: u64, price: u64) -> u64 {
+    debug_assert!(id < (1 << 30));
+    debug_assert!(price < (1 << 32));
+    (price << 32) | (kind.index() << 30) | id
+}
+
+fn unpack_info(packed: u64) -> (ReservationKind, u64, u64) {
+    let id = packed & ((1 << 30) - 1);
+    let kind = ReservationKind::from_index((packed >> 30) & 0b11);
+    let price = packed >> 32;
+    (kind, id, price)
+}
+
+/// The travel-reservation database.
+#[derive(Debug)]
+pub struct Manager<D: DirectoryMap> {
+    cars: D,
+    rooms: D,
+    flights: D,
+    customers: D,
+    reservations: Arc<TxArena<Reservation>>,
+    customer_records: Arc<TxArena<Customer>>,
+}
+
+impl<D: DirectoryMap + Default> Manager<D> {
+    /// Create an empty manager with default-constructed directories.
+    pub fn new() -> Self {
+        Self::with_directories(D::default(), D::default(), D::default(), D::default())
+    }
+}
+
+impl<D: DirectoryMap + Default> Default for Manager<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<D: DirectoryMap> Manager<D> {
+    /// Create a manager from explicitly constructed directories.
+    pub fn with_directories(cars: D, rooms: D, flights: D, customers: D) -> Self {
+        Manager {
+            cars,
+            rooms,
+            flights,
+            customers,
+            reservations: Arc::new(TxArena::new()),
+            customer_records: Arc::new(TxArena::new()),
+        }
+    }
+
+    /// The directory holding the given resource kind.
+    pub fn table(&self, kind: ReservationKind) -> &D {
+        match kind {
+            ReservationKind::Car => &self.cars,
+            ReservationKind::Room => &self.rooms,
+            ReservationKind::Flight => &self.flights,
+        }
+    }
+
+    /// The customer directory.
+    pub fn customer_table(&self) -> &D {
+        &self.customers
+    }
+
+    /// Activity handles for every directory that participates in a
+    /// reclamation protocol; clients take one operation guard per handle
+    /// around each transaction.
+    pub fn register_activity(&self) -> Vec<sf_tree::ActivityHandle> {
+        [&self.cars, &self.rooms, &self.flights, &self.customers]
+            .into_iter()
+            .filter_map(|d| d.register_activity())
+            .collect()
+    }
+
+    /// Total rotations performed across the four directories (§5.5).
+    pub fn total_rotations(&self) -> u64 {
+        self.cars.rotations_performed()
+            + self.rooms.rotations_performed()
+            + self.flights.rotations_performed()
+            + self.customers.rotations_performed()
+    }
+
+    fn reservation(&self, slot: u64) -> &Reservation {
+        self.reservations.get(NodeId(slot as u32))
+    }
+
+    fn customer(&self, slot: u64) -> &Customer {
+        self.customer_records.get(NodeId(slot as u32))
+    }
+
+    /// Add `num` units of resource `id` at the given price (creating the
+    /// reservation record if needed). Mirrors `manager_add{Car,Room,Flight}`.
+    pub fn add_resource<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        id: u64,
+        num: u64,
+        price: u64,
+    ) -> TxResult<bool> {
+        let table = self.table(kind);
+        if let Some(slot) = table.tx_get(tx, id)? {
+            let res = self.reservation(slot);
+            let total = tx.read(&res.num_total)?;
+            let free = tx.read(&res.num_free)?;
+            tx.write(&res.num_total, total + num)?;
+            tx.write(&res.num_free, free + num)?;
+            tx.write(&res.price, price)?;
+            return Ok(true);
+        }
+        let slot = self.reservations.alloc();
+        let res = self.reservations.get(slot);
+        res.num_used.unsync_store(0);
+        res.num_free.unsync_store(num);
+        res.num_total.unsync_store(num);
+        res.price.unsync_store(price);
+        let arena = Arc::clone(&self.reservations);
+        tx.on_abort(move || arena.recycle(slot));
+        table.tx_insert(tx, id, slot.0 as u64)?;
+        Ok(true)
+    }
+
+    /// Remove `num` units of resource `id`; fails when fewer than `num` units
+    /// are free. Mirrors `manager_delete{Car,Room,Flight}`.
+    pub fn delete_resource<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        id: u64,
+        num: u64,
+    ) -> TxResult<bool> {
+        let table = self.table(kind);
+        let slot = match table.tx_get(tx, id)? {
+            Some(slot) => slot,
+            None => return Ok(false),
+        };
+        let res = self.reservation(slot);
+        let free = tx.read(&res.num_free)?;
+        let total = tx.read(&res.num_total)?;
+        if free < num || total < num {
+            return Ok(false);
+        }
+        tx.write(&res.num_free, free - num)?;
+        tx.write(&res.num_total, total - num)?;
+        if total - num == 0 {
+            table.tx_delete(tx, id)?;
+        }
+        Ok(true)
+    }
+
+    /// Price of resource `id`, or `None` when it does not exist.
+    pub fn query_price<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        id: u64,
+    ) -> TxResult<Option<u64>> {
+        match self.table(kind).tx_get(tx, id)? {
+            Some(slot) => Ok(Some(tx.read(&self.reservation(slot).price)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Free units of resource `id`, or `None` when it does not exist.
+    pub fn query_free<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        id: u64,
+    ) -> TxResult<Option<u64>> {
+        match self.table(kind).tx_get(tx, id)? {
+            Some(slot) => Ok(Some(tx.read(&self.reservation(slot).num_free)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Add a customer; `false` when the id is already taken.
+    pub fn add_customer<'env>(&'env self, tx: &mut Transaction<'env>, id: u64) -> TxResult<bool> {
+        if self.customers.tx_get(tx, id)?.is_some() {
+            return Ok(false);
+        }
+        let slot = self.customer_records.alloc();
+        let record = self.customer_records.get(slot);
+        record.count.unsync_store(0);
+        for cell in &record.slots {
+            cell.unsync_store(0);
+        }
+        let arena = Arc::clone(&self.customer_records);
+        tx.on_abort(move || arena.recycle(slot));
+        self.customers.tx_insert(tx, id, slot.0 as u64)?;
+        Ok(true)
+    }
+
+    /// Sum of the prices of the customer's reservations, or `None` when the
+    /// customer does not exist. Mirrors `manager_queryCustomerBill`.
+    pub fn query_customer_bill<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        id: u64,
+    ) -> TxResult<Option<u64>> {
+        let slot = match self.customers.tx_get(tx, id)? {
+            Some(slot) => slot,
+            None => return Ok(None),
+        };
+        let record = self.customer(slot);
+        let count = tx.read(&record.count)? as usize;
+        let mut bill = 0u64;
+        for cell in record.slots.iter().take(count.min(CUSTOMER_RESERVATION_CAPACITY)) {
+            let (_, _, price) = unpack_info(tx.read(cell)?);
+            bill += price;
+        }
+        Ok(Some(bill))
+    }
+
+    /// Delete a customer and release every resource it had reserved; returns
+    /// the customer's bill, or `None` when the customer does not exist.
+    /// Mirrors `manager_deleteCustomer`.
+    pub fn delete_customer<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        id: u64,
+    ) -> TxResult<Option<u64>> {
+        let slot = match self.customers.tx_get(tx, id)? {
+            Some(slot) => slot,
+            None => return Ok(None),
+        };
+        let record = self.customer(slot);
+        let count = tx.read(&record.count)? as usize;
+        let mut bill = 0u64;
+        for cell in record.slots.iter().take(count.min(CUSTOMER_RESERVATION_CAPACITY)) {
+            let (kind, res_id, price) = unpack_info(tx.read(cell)?);
+            bill += price;
+            // Release the unit back to the resource pool.
+            if let Some(res_slot) = self.table(kind).tx_get(tx, res_id)? {
+                let res = self.reservation(res_slot);
+                let used = tx.read(&res.num_used)?;
+                let free = tx.read(&res.num_free)?;
+                tx.write(&res.num_used, used.saturating_sub(1))?;
+                tx.write(&res.num_free, free + 1)?;
+            }
+        }
+        self.customers.tx_delete(tx, id)?;
+        Ok(Some(bill))
+    }
+
+    /// Reserve one unit of resource `id` for `customer_id`. Mirrors
+    /// `manager_reserve{Car,Room,Flight}`.
+    pub fn reserve<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        customer_id: u64,
+        id: u64,
+    ) -> TxResult<bool> {
+        let customer_slot = match self.customers.tx_get(tx, customer_id)? {
+            Some(slot) => slot,
+            None => return Ok(false),
+        };
+        let res_slot = match self.table(kind).tx_get(tx, id)? {
+            Some(slot) => slot,
+            None => return Ok(false),
+        };
+        let record = self.customer(customer_slot);
+        let count = tx.read(&record.count)? as usize;
+        if count >= CUSTOMER_RESERVATION_CAPACITY {
+            return Ok(false);
+        }
+        let res = self.reservation(res_slot);
+        let free = tx.read(&res.num_free)?;
+        if free == 0 {
+            return Ok(false);
+        }
+        let used = tx.read(&res.num_used)?;
+        let price = tx.read(&res.price)?;
+        tx.write(&res.num_free, free - 1)?;
+        tx.write(&res.num_used, used + 1)?;
+        tx.write(&record.slots[count], pack_info(kind, id, price))?;
+        tx.write(&record.count, (count + 1) as u64)?;
+        Ok(true)
+    }
+
+    /// Cancel a previous reservation of resource `id` by `customer_id`.
+    pub fn cancel<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        kind: ReservationKind,
+        customer_id: u64,
+        id: u64,
+    ) -> TxResult<bool> {
+        let customer_slot = match self.customers.tx_get(tx, customer_id)? {
+            Some(slot) => slot,
+            None => return Ok(false),
+        };
+        let record = self.customer(customer_slot);
+        let count = tx.read(&record.count)? as usize;
+        let mut found = None;
+        for (i, cell) in record
+            .slots
+            .iter()
+            .take(count.min(CUSTOMER_RESERVATION_CAPACITY))
+            .enumerate()
+        {
+            let (k, rid, _) = unpack_info(tx.read(cell)?);
+            if k == kind && rid == id {
+                found = Some(i);
+                break;
+            }
+        }
+        let index = match found {
+            Some(i) => i,
+            None => return Ok(false),
+        };
+        // Swap-remove the entry.
+        let last = tx.read(&record.slots[count - 1])?;
+        tx.write(&record.slots[index], last)?;
+        tx.write(&record.count, (count - 1) as u64)?;
+        // Give the unit back.
+        if let Some(res_slot) = self.table(kind).tx_get(tx, id)? {
+            let res = self.reservation(res_slot);
+            let used = tx.read(&res.num_used)?;
+            let free = tx.read(&res.num_free)?;
+            tx.write(&res.num_used, used.saturating_sub(1))?;
+            tx.write(&res.num_free, free + 1)?;
+        }
+        Ok(true)
+    }
+
+    /// Quiescent consistency check, the analogue of STAMP's `checkTables`:
+    /// every reservation satisfies `used + free == total`, and the number of
+    /// used units per resource matches the customers' reservation records.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut used_by_customers: HashMap<(u64, u64), u64> = HashMap::new();
+        for (customer_id, slot) in self.customers.entries_quiescent() {
+            let record = self.customer(slot);
+            let count = record.count.unsync_load() as usize;
+            if count > CUSTOMER_RESERVATION_CAPACITY {
+                return Err(format!("customer {customer_id} has corrupt count {count}"));
+            }
+            for cell in record.slots.iter().take(count) {
+                let (kind, id, _) = unpack_info(cell.unsync_load());
+                *used_by_customers.entry((kind.index(), id)).or_default() += 1;
+            }
+        }
+        for kind in ReservationKind::ALL {
+            for (id, slot) in self.table(kind).entries_quiescent() {
+                let res = self.reservation(slot);
+                let used = res.num_used.unsync_load();
+                let free = res.num_free.unsync_load();
+                let total = res.num_total.unsync_load();
+                if used + free != total {
+                    return Err(format!(
+                        "{kind:?} {id}: used {used} + free {free} != total {total}"
+                    ));
+                }
+                let by_customers = used_by_customers
+                    .get(&(kind.index(), id))
+                    .copied()
+                    .unwrap_or(0);
+                if by_customers != used {
+                    return Err(format!(
+                        "{kind:?} {id}: {used} units marked used but customers hold {by_customers}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_baselines::SeqMap;
+    use sf_stm::Stm;
+    use sf_tree::OptSpecFriendlyTree;
+
+    fn with_manager<D: DirectoryMap + Default>(f: impl FnOnce(&Manager<D>, &mut sf_stm::ThreadCtx)) {
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let manager = Manager::<D>::new();
+        f(&manager, &mut ctx);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for kind in ReservationKind::ALL {
+            let packed = pack_info(kind, 12345, 678);
+            assert_eq!(unpack_info(packed), (kind, 12345, 678));
+        }
+    }
+
+    #[test]
+    fn add_query_delete_resource() {
+        with_manager::<OptSpecFriendlyTree>(|m, ctx| {
+            ctx.atomically(|tx| m.add_resource(tx, ReservationKind::Car, 1, 100, 50));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_free(tx, ReservationKind::Car, 1)),
+                Some(100)
+            );
+            assert_eq!(
+                ctx.atomically(|tx| m.query_price(tx, ReservationKind::Car, 1)),
+                Some(50)
+            );
+            // Adding more units updates the record in place.
+            ctx.atomically(|tx| m.add_resource(tx, ReservationKind::Car, 1, 10, 75));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_free(tx, ReservationKind::Car, 1)),
+                Some(110)
+            );
+            assert_eq!(
+                ctx.atomically(|tx| m.query_price(tx, ReservationKind::Car, 1)),
+                Some(75)
+            );
+            // Deleting more than available fails, exact amount empties and
+            // removes the record.
+            assert!(!ctx.atomically(|tx| m.delete_resource(tx, ReservationKind::Car, 1, 200)));
+            assert!(ctx.atomically(|tx| m.delete_resource(tx, ReservationKind::Car, 1, 110)));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_price(tx, ReservationKind::Car, 1)),
+                None
+            );
+            m.check_consistency().unwrap();
+        });
+    }
+
+    #[test]
+    fn reserve_bill_cancel_and_delete_customer() {
+        with_manager::<OptSpecFriendlyTree>(|m, ctx| {
+            ctx.atomically(|tx| {
+                m.add_resource(tx, ReservationKind::Flight, 7, 2, 300)?;
+                m.add_resource(tx, ReservationKind::Room, 9, 1, 120)?;
+                m.add_customer(tx, 42)
+            });
+            assert!(ctx.atomically(|tx| m.reserve(tx, ReservationKind::Flight, 42, 7)));
+            assert!(ctx.atomically(|tx| m.reserve(tx, ReservationKind::Room, 42, 9)));
+            // The room is now fully booked.
+            assert!(!ctx.atomically(|tx| m.reserve(tx, ReservationKind::Room, 42, 9)));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_customer_bill(tx, 42)),
+                Some(420)
+            );
+            m.check_consistency().unwrap();
+            // Cancel the flight, bill drops.
+            assert!(ctx.atomically(|tx| m.cancel(tx, ReservationKind::Flight, 42, 7)));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_customer_bill(tx, 42)),
+                Some(120)
+            );
+            // Deleting the customer releases the room.
+            assert_eq!(ctx.atomically(|tx| m.delete_customer(tx, 42)), Some(120));
+            assert_eq!(
+                ctx.atomically(|tx| m.query_free(tx, ReservationKind::Room, 9)),
+                Some(1)
+            );
+            assert_eq!(ctx.atomically(|tx| m.query_customer_bill(tx, 42)), None);
+            m.check_consistency().unwrap();
+        });
+    }
+
+    #[test]
+    fn reserve_fails_for_missing_customer_or_resource() {
+        with_manager::<SeqMap>(|m, ctx| {
+            ctx.atomically(|tx| m.add_resource(tx, ReservationKind::Car, 1, 5, 10));
+            assert!(!ctx.atomically(|tx| m.reserve(tx, ReservationKind::Car, 99, 1)));
+            ctx.atomically(|tx| m.add_customer(tx, 99));
+            assert!(!ctx.atomically(|tx| m.reserve(tx, ReservationKind::Car, 99, 77)));
+            assert!(ctx.atomically(|tx| m.reserve(tx, ReservationKind::Car, 99, 1)));
+            m.check_consistency().unwrap();
+        });
+    }
+
+    #[test]
+    fn composed_client_transaction_is_atomic() {
+        // A reservation action touching several tables either applies
+        // completely or not at all, even under concurrent clients.
+        let stm = Stm::default_config();
+        let manager = Arc::new(Manager::<OptSpecFriendlyTree>::new());
+        {
+            let mut ctx = stm.register();
+            ctx.atomically(|tx| {
+                for id in 1..=8u64 {
+                    manager.add_resource(tx, ReservationKind::Car, id, 4, 100)?;
+                    manager.add_resource(tx, ReservationKind::Room, id, 4, 100)?;
+                    manager.add_resource(tx, ReservationKind::Flight, id, 4, 100)?;
+                    manager.add_customer(tx, id)?;
+                }
+                Ok(())
+            });
+        }
+        let threads: Vec<_> = (0..3u64)
+            .map(|t| {
+                let manager = Arc::clone(&manager);
+                let mut ctx = stm.register();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let customer = (t * 37 + i) % 8 + 1;
+                        let resource = (i * 13 + t) % 8 + 1;
+                        ctx.atomically(|tx| {
+                            if manager.reserve(tx, ReservationKind::Car, customer, resource)? {
+                                manager.reserve(tx, ReservationKind::Flight, customer, resource)?;
+                            }
+                            Ok(())
+                        });
+                        if i % 5 == 0 {
+                            ctx.atomically(|tx| manager.delete_customer(tx, customer));
+                            ctx.atomically(|tx| manager.add_customer(tx, customer));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        manager.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload configuration: the knobs of the synchrobench-style integer-set
+//! micro-benchmark used throughout the paper's §5.
+
+use std::time::Duration;
+
+/// How long one benchmark run lasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunLength {
+    /// Wall-clock duration (the paper uses 10-second runs).
+    Timed(Duration),
+    /// A fixed number of operations per thread (deterministic, used by tests
+    /// and quick sanity runs).
+    Ops(u64),
+}
+
+/// Key-distribution bias of §5.2: inserted keys are skewed towards high
+/// values and deleted keys towards low values by adding/subtracting an offset
+/// drawn uniformly from `[0, skew)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bias {
+    /// Exclusive upper bound of the skew offset (the paper uses 10).
+    pub skew: u64,
+}
+
+impl Default for Bias {
+    fn default() -> Self {
+        Bias { skew: 10 }
+    }
+}
+
+/// Full configuration of one micro-benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of application threads.
+    pub threads: usize,
+    /// Run length (time- or operation-bounded).
+    pub run: RunLength,
+    /// Number of keys inserted before the measured phase; the update mix
+    /// keeps the expected size at this value.
+    pub initial_size: usize,
+    /// Keys are drawn from `[0, key_range)`. The paper uses twice the
+    /// initial size so roughly half of the membership tests succeed.
+    pub key_range: u64,
+    /// Fraction of operations that are *effective* updates
+    /// (insert/delete/move that modify the structure), e.g. `0.10` for the
+    /// 10%-update workloads of Figure 3.
+    pub update_ratio: f64,
+    /// Fraction of update operations that are `move` compositions
+    /// (Figure 5(b)); the rest split evenly between inserts and deletes.
+    pub move_ratio: f64,
+    /// Optional key-distribution bias (Figure 3, right column).
+    pub bias: Option<Bias>,
+    /// Seed for the workload's pseudo-random generators; each thread derives
+    /// its own stream from this seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's default micro-benchmark shape: 2^12 initial keys drawn
+    /// from a 2^13 range, 10% effective updates, uniform keys, one second.
+    pub fn paper_default() -> Self {
+        WorkloadConfig {
+            threads: 1,
+            run: RunLength::Timed(Duration::from_secs(1)),
+            initial_size: 1 << 12,
+            key_range: 1 << 13,
+            update_ratio: 0.10,
+            move_ratio: 0.0,
+            bias: None,
+            seed: 0x5eed_5eed,
+        }
+    }
+
+    /// A fast, deterministic configuration for unit/integration tests.
+    pub fn smoke_test() -> Self {
+        WorkloadConfig {
+            threads: 2,
+            run: RunLength::Ops(300),
+            initial_size: 256,
+            key_range: 512,
+            update_ratio: 0.2,
+            move_ratio: 0.0,
+            bias: None,
+            seed: 42,
+        }
+    }
+
+    /// Builder-style helper: set the thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Builder-style helper: set the effective update ratio.
+    pub fn with_update_ratio(mut self, ratio: f64) -> Self {
+        self.update_ratio = ratio;
+        self
+    }
+
+    /// Builder-style helper: set the run length.
+    pub fn with_run(mut self, run: RunLength) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Builder-style helper: enable the biased key distribution.
+    pub fn with_bias(mut self, bias: Bias) -> Self {
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Builder-style helper: set the move-operation share of updates.
+    pub fn with_move_ratio(mut self, ratio: f64) -> Self {
+        self.move_ratio = ratio;
+        self
+    }
+
+    /// Builder-style helper: set initial size and key range together
+    /// (range = 2 × size, as in the paper).
+    pub fn with_size(mut self, initial_size: usize) -> Self {
+        self.initial_size = initial_size;
+        self.key_range = (initial_size as u64) * 2;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let c = WorkloadConfig::paper_default()
+            .with_threads(8)
+            .with_update_ratio(0.15)
+            .with_size(1 << 10)
+            .with_bias(Bias::default())
+            .with_move_ratio(0.05)
+            .with_run(RunLength::Ops(100));
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.update_ratio, 0.15);
+        assert_eq!(c.initial_size, 1024);
+        assert_eq!(c.key_range, 2048);
+        assert_eq!(c.bias, Some(Bias { skew: 10 }));
+        assert_eq!(c.move_ratio, 0.05);
+        assert_eq!(c.run, RunLength::Ops(100));
+    }
+}

@@ -1,0 +1,280 @@
+//! The micro-benchmark driver: populate a map, run a timed (or
+//! operation-bounded) mixed workload over it from N threads, and report
+//! throughput together with the STM-level statistics (aborts, transactional
+//! reads, read-set high-water marks) that the paper's Table 1 and Figures 3-5
+//! are built from.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use sf_stm::{StatsSnapshot, Stm};
+use sf_tree::TxMap;
+
+use crate::config::{RunLength, WorkloadConfig};
+use crate::keygen::{KeyGen, OpKind};
+
+/// Per-thread operation counts.
+#[derive(Debug, Default, Clone, Copy)]
+struct ThreadReport {
+    ops: u64,
+    effective_updates: u64,
+    attempted_updates: u64,
+    effective_moves: u64,
+    successful_lookups: u64,
+}
+
+/// Aggregated result of one micro-benchmark run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Structure label (e.g. `SFtree`).
+    pub structure: &'static str,
+    /// Number of application threads.
+    pub threads: usize,
+    /// Total completed operations across all threads.
+    pub total_ops: u64,
+    /// Updates that modified the structure (the paper's *effective* updates).
+    pub effective_updates: u64,
+    /// Update attempts including the ones that failed (e.g. deleting an
+    /// absent key).
+    pub attempted_updates: u64,
+    /// Effective move operations (Figure 5(b)).
+    pub effective_moves: u64,
+    /// Membership tests that found their key.
+    pub successful_lookups: u64,
+    /// Wall-clock duration of the measured phase.
+    pub elapsed: Duration,
+    /// STM statistics accumulated during the measured phase (the populate
+    /// phase is excluded by resetting the counters).
+    pub stm: StatsSnapshot,
+}
+
+impl WorkloadResult {
+    /// Throughput in operations per microsecond (the unit of Figures 3-5).
+    pub fn ops_per_microsecond(&self) -> f64 {
+        self.total_ops as f64 / self.elapsed.as_micros().max(1) as f64
+    }
+
+    /// Observed effective update ratio.
+    pub fn effective_update_ratio(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.effective_updates as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Abort ratio observed during the measured phase.
+    pub fn abort_ratio(&self) -> f64 {
+        self.stm.abort_ratio()
+    }
+}
+
+/// Insert `config.initial_size` distinct keys drawn uniformly from the key
+/// range (single-threaded, before the measured phase).
+pub fn populate<M: TxMap>(stm: &Arc<Stm>, map: &M, config: &WorkloadConfig) {
+    let mut handle = map.register(stm.register());
+    let mut gen = KeyGen::new(
+        config.seed ^ 0xb0b0_b0b0,
+        0xffff,
+        config.key_range,
+        0.0,
+        0.0,
+        None,
+    );
+    let mut inserted = 0usize;
+    while inserted < config.initial_size.min(config.key_range as usize) {
+        let key = gen.uniform_key();
+        if map.insert(&mut handle, key, key) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Run the measured phase of the workload over an already-populated map.
+///
+/// STM statistics are reset at the start of the measured phase so the
+/// returned snapshot covers only the measured operations.
+pub fn run_workload<M>(stm: &Arc<Stm>, map: &Arc<M>, config: &WorkloadConfig) -> WorkloadResult
+where
+    M: TxMap + Send + Sync + 'static,
+    M::Handle: Send + 'static,
+{
+    assert!(config.threads >= 1, "at least one worker thread is required");
+    stm.reset_stats();
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let mut workers = Vec::with_capacity(config.threads);
+    for thread_index in 0..config.threads {
+        let map = Arc::clone(map);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        let mut handle = map.register(stm.register());
+        let mut gen = KeyGen::new(
+            config.seed,
+            thread_index,
+            config.key_range,
+            config.update_ratio,
+            config.move_ratio,
+            config.bias,
+        );
+        let run = config.run;
+        workers.push(std::thread::spawn(move || {
+            let mut report = ThreadReport::default();
+            barrier.wait();
+            let op_budget = match run {
+                RunLength::Ops(n) => n,
+                RunLength::Timed(_) => u64::MAX,
+            };
+            while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
+                match gen.next_op() {
+                    OpKind::Contains => {
+                        let key = gen.uniform_key();
+                        if map.contains(&mut handle, key) {
+                            report.successful_lookups += 1;
+                        }
+                    }
+                    OpKind::Insert => {
+                        let key = gen.insert_key();
+                        report.attempted_updates += 1;
+                        if map.insert(&mut handle, key, key) {
+                            report.effective_updates += 1;
+                        }
+                    }
+                    OpKind::Delete => {
+                        let key = gen.delete_key();
+                        report.attempted_updates += 1;
+                        if map.delete(&mut handle, key) {
+                            report.effective_updates += 1;
+                        }
+                    }
+                    OpKind::Move => {
+                        let from = gen.delete_key();
+                        let to = gen.insert_key();
+                        report.attempted_updates += 1;
+                        if map.move_entry(&mut handle, from, to) {
+                            report.effective_updates += 1;
+                            report.effective_moves += 1;
+                        }
+                    }
+                }
+                report.ops += 1;
+            }
+            report
+        }));
+    }
+    barrier.wait();
+    let started = Instant::now();
+    if let RunLength::Timed(duration) = config.run {
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    }
+    let reports: Vec<ThreadReport> = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker thread panicked"))
+        .collect();
+    let elapsed = started.elapsed();
+    let mut result = WorkloadResult {
+        structure: map.name(),
+        threads: config.threads,
+        total_ops: 0,
+        effective_updates: 0,
+        attempted_updates: 0,
+        effective_moves: 0,
+        successful_lookups: 0,
+        elapsed,
+        stm: stm.stats(),
+    };
+    for r in reports {
+        result.total_ops += r.ops;
+        result.effective_updates += r.effective_updates;
+        result.attempted_updates += r.attempted_updates;
+        result.effective_moves += r.effective_moves;
+        result.successful_lookups += r.successful_lookups;
+    }
+    result
+}
+
+/// Populate and run in one call.
+pub fn populate_and_run<M>(
+    stm: &Arc<Stm>,
+    map: &Arc<M>,
+    config: &WorkloadConfig,
+) -> WorkloadResult
+where
+    M: TxMap + Send + Sync + 'static,
+    M::Handle: Send + 'static,
+{
+    populate(stm, map.as_ref(), config);
+    run_workload(stm, map, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree};
+    use sf_tree::{OptSpecFriendlyTree, SpecFriendlyTree};
+
+    fn smoke<M>(map: M)
+    where
+        M: TxMap + Send + Sync + 'static,
+        M::Handle: Send + 'static,
+    {
+        let stm = Stm::default_config();
+        let map = Arc::new(map);
+        let config = WorkloadConfig::smoke_test();
+        let result = populate_and_run(&stm, &map, &config);
+        assert_eq!(result.threads, 2);
+        assert_eq!(result.total_ops, 600, "two threads x 300 ops each");
+        assert!(result.effective_updates <= result.attempted_updates);
+        assert!(result.stm.commits >= result.total_ops);
+        assert!(result.ops_per_microsecond() > 0.0);
+        // Size stays near the initial size (updates alternate insert/delete).
+        let len = map.len_quiescent();
+        assert!(
+            (len as i64 - config.initial_size as i64).abs() < 64,
+            "size drifted too far: {len}"
+        );
+    }
+
+    #[test]
+    fn all_structures_run_the_smoke_workload() {
+        smoke(SpecFriendlyTree::new());
+        smoke(OptSpecFriendlyTree::new());
+        smoke(NoRestructureTree::new());
+        smoke(RedBlackTree::new());
+        smoke(AvlTree::new());
+    }
+
+    #[test]
+    fn move_workload_reports_moves() {
+        let stm = Stm::default_config();
+        let map = Arc::new(OptSpecFriendlyTree::new());
+        let config = WorkloadConfig::smoke_test()
+            .with_update_ratio(0.5)
+            .with_move_ratio(0.5);
+        let result = populate_and_run(&stm, &map, &config);
+        assert!(result.effective_moves > 0, "expected some moves to succeed");
+    }
+
+    #[test]
+    fn timed_run_stops() {
+        let stm = Stm::default_config();
+        let map = Arc::new(OptSpecFriendlyTree::new());
+        let config = WorkloadConfig::smoke_test()
+            .with_run(RunLength::Timed(Duration::from_millis(50)))
+            .with_threads(2);
+        let result = populate_and_run(&stm, &map, &config);
+        assert!(result.elapsed >= Duration::from_millis(50));
+        assert!(result.total_ops > 0);
+    }
+
+    #[test]
+    fn biased_workload_runs() {
+        let stm = Stm::default_config();
+        let map = Arc::new(SpecFriendlyTree::new());
+        let config = WorkloadConfig::smoke_test().with_bias(crate::config::Bias::default());
+        let result = populate_and_run(&stm, &map, &config);
+        assert!(result.total_ops > 0);
+    }
+}

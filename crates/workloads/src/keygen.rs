@@ -1,0 +1,160 @@
+//! Key generation for the integer-set micro-benchmark, including the biased
+//! distribution of §5.2.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::Bias;
+
+/// The kind of abstract operation an update slot will perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Membership test.
+    Contains,
+    /// Effective insert.
+    Insert,
+    /// Effective (logical) delete.
+    Delete,
+    /// Composed move (delete + insert in one transaction).
+    Move,
+}
+
+/// Per-thread pseudo-random key/operation generator.
+#[derive(Debug)]
+pub struct KeyGen {
+    rng: StdRng,
+    key_range: u64,
+    update_ratio: f64,
+    move_ratio: f64,
+    bias: Option<Bias>,
+    /// Alternates inserts and deletes so the expected set size stays constant
+    /// (the paper performs "an insert and a remove with the same
+    /// probability").
+    next_update_is_insert: bool,
+}
+
+impl KeyGen {
+    /// Create a generator for one worker thread.
+    pub fn new(
+        seed: u64,
+        thread_index: usize,
+        key_range: u64,
+        update_ratio: f64,
+        move_ratio: f64,
+        bias: Option<Bias>,
+    ) -> Self {
+        // Derive a distinct, deterministic stream per thread.
+        let rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_index as u64 + 1)));
+        KeyGen {
+            rng,
+            key_range: key_range.max(2),
+            update_ratio,
+            move_ratio,
+            bias,
+            next_update_is_insert: thread_index % 2 == 0,
+        }
+    }
+
+    /// Uniform key in `[0, key_range)`.
+    pub fn uniform_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.key_range)
+    }
+
+    /// Key used for an insert: skewed towards the top of the range when the
+    /// workload is biased.
+    pub fn insert_key(&mut self) -> u64 {
+        let base = self.uniform_key();
+        match self.bias {
+            None => base,
+            Some(Bias { skew }) => (base + self.rng.gen_range(0..skew)).min(self.key_range - 1),
+        }
+    }
+
+    /// Key used for a delete: skewed towards the bottom of the range when the
+    /// workload is biased.
+    pub fn delete_key(&mut self) -> u64 {
+        let base = self.uniform_key();
+        match self.bias {
+            None => base,
+            Some(Bias { skew }) => base.saturating_sub(self.rng.gen_range(0..skew)),
+        }
+    }
+
+    /// Decide the next operation according to the configured mix.
+    pub fn next_op(&mut self) -> OpKind {
+        if self.rng.gen::<f64>() >= self.update_ratio {
+            return OpKind::Contains;
+        }
+        if self.move_ratio > 0.0 && self.rng.gen::<f64>() < self.move_ratio {
+            return OpKind::Move;
+        }
+        let op = if self.next_update_is_insert {
+            OpKind::Insert
+        } else {
+            OpKind::Delete
+        };
+        self.next_update_is_insert = !self.next_update_is_insert;
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut g = KeyGen::new(1, 0, 1024, 0.5, 0.0, Some(Bias { skew: 10 }));
+        for _ in 0..10_000 {
+            assert!(g.uniform_key() < 1024);
+            assert!(g.insert_key() < 1024);
+            assert!(g.delete_key() < 1024);
+        }
+    }
+
+    #[test]
+    fn update_ratio_is_respected_approximately() {
+        let mut g = KeyGen::new(7, 1, 1024, 0.2, 0.0, None);
+        let updates = (0..20_000)
+            .filter(|_| g.next_op() != OpKind::Contains)
+            .count();
+        let ratio = updates as f64 / 20_000.0;
+        assert!((ratio - 0.2).abs() < 0.02, "observed update ratio {ratio}");
+    }
+
+    #[test]
+    fn inserts_and_deletes_alternate() {
+        let mut g = KeyGen::new(3, 0, 64, 1.0, 0.0, None);
+        let ops: Vec<OpKind> = (0..10).map(|_| g.next_op()).collect();
+        assert_eq!(ops.iter().filter(|o| **o == OpKind::Insert).count(), 5);
+        assert_eq!(ops.iter().filter(|o| **o == OpKind::Delete).count(), 5);
+    }
+
+    #[test]
+    fn move_ratio_produces_moves() {
+        let mut g = KeyGen::new(3, 0, 64, 1.0, 0.5, None);
+        let moves = (0..10_000).filter(|_| g.next_op() == OpKind::Move).count();
+        assert!(moves > 3_000, "expected roughly half of updates to be moves, got {moves}");
+    }
+
+    #[test]
+    fn biased_insert_keys_are_higher_on_average_than_delete_keys() {
+        let mut g = KeyGen::new(11, 0, 1 << 14, 1.0, 0.0, Some(Bias { skew: 10 }));
+        let n = 50_000;
+        let insert_avg: f64 = (0..n).map(|_| g.insert_key() as f64).sum::<f64>() / n as f64;
+        let delete_avg: f64 = (0..n).map(|_| g.delete_key() as f64).sum::<f64>() / n as f64;
+        assert!(
+            insert_avg > delete_avg + 5.0,
+            "bias should push inserts up and deletes down: {insert_avg} vs {delete_avg}"
+        );
+    }
+
+    #[test]
+    fn different_threads_get_different_streams() {
+        let mut a = KeyGen::new(5, 0, 1 << 20, 0.5, 0.0, None);
+        let mut b = KeyGen::new(5, 1, 1 << 20, 0.5, 0.0, None);
+        let ka: Vec<u64> = (0..32).map(|_| a.uniform_key()).collect();
+        let kb: Vec<u64> = (0..32).map(|_| b.uniform_key()).collect();
+        assert_ne!(ka, kb);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sf-workloads — the synchrobench-style integer-set micro-benchmark
+//!
+//! The paper evaluates its trees on the synchrobench integer-set
+//! micro-benchmark: N threads perform a mix of `contains` and *effective*
+//! `insert`/`delete` (and, for §5.4, composed `move`) operations over a
+//! pre-populated set, under uniform or biased key distributions, and the
+//! harness reports throughput in operations per microsecond together with the
+//! STM statistics behind Table 1.
+//!
+//! This crate provides the workload definitions ([`WorkloadConfig`]), the key
+//! and operation generators ([`KeyGen`]), and the multi-threaded driver
+//! ([`run_workload`]) used by the `sf-bench` figure harnesses, the examples,
+//! and the integration tests.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sf_stm::Stm;
+//! use sf_tree::OptSpecFriendlyTree;
+//! use sf_workloads::{populate_and_run, RunLength, WorkloadConfig};
+//!
+//! let stm = Stm::default_config();
+//! let tree = Arc::new(OptSpecFriendlyTree::new());
+//! let config = WorkloadConfig::paper_default()
+//!     .with_threads(2)
+//!     .with_run(RunLength::Ops(100));
+//! let result = populate_and_run(&stm, &tree, &config);
+//! assert_eq!(result.total_ops, 200);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod config;
+mod driver;
+mod keygen;
+
+pub use config::{Bias, RunLength, WorkloadConfig};
+pub use driver::{populate, populate_and_run, run_workload, WorkloadResult};
+pub use keygen::{KeyGen, OpKind};

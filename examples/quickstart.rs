@@ -1,0 +1,57 @@
+//! Quickstart: create a speculation-friendly tree, start its maintenance
+//! thread, and use it as a concurrent ordered map from several threads.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use std::sync::Arc;
+
+use speculation_friendly_tree::prelude::*;
+
+fn main() {
+    // One STM instance coordinates every transactional structure.
+    let stm = Stm::default_config();
+
+    // The optimized speculation-friendly tree (the paper's Algorithm 2) plus
+    // its background maintenance (rotator) thread.
+    let tree = Arc::new(OptSpecFriendlyTree::new());
+    let maintenance = tree.start_maintenance(stm.register());
+
+    // A few worker threads hammer the map with inserts, lookups and deletes.
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let mut handle = tree.register(stm.register());
+            std::thread::spawn(move || {
+                let base = t * 10_000;
+                for i in 0..2_000u64 {
+                    let key = base + i;
+                    assert!(tree.insert(&mut handle, key, key * 10));
+                    if i % 3 == 0 {
+                        assert!(tree.delete(&mut handle, key));
+                    }
+                }
+                // Verify this thread's slice of the key space.
+                for i in 0..2_000u64 {
+                    let key = base + i;
+                    let expected = if i % 3 == 0 { None } else { Some(key * 10) };
+                    assert_eq!(tree.get(&mut handle, key), expected);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    maintenance.stop();
+
+    let stats = stm.stats();
+    println!("keys in the map     : {}", tree.len_quiescent());
+    println!("tree depth          : {}", tree.inspect().depth());
+    println!("background rotations: {}", tree.stats().rotations());
+    println!("physical removals   : {}", tree.stats().removals.load(std::sync::atomic::Ordering::Relaxed));
+    println!("commits / aborts    : {} / {}", stats.commits, stats.aborts);
+    tree.inspect()
+        .check_consistency()
+        .expect("the tree must remain a valid BST");
+    println!("consistency check   : ok");
+}

@@ -1,0 +1,48 @@
+//! # speculation-friendly-tree
+//!
+//! Umbrella crate of the reproduction of *A Speculation-Friendly Binary
+//! Search Tree* (Tyler Crain, Vincent Gramoli, Michel Raynal — PPoPP 2012).
+//! It re-exports the individual crates of the workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`stm`] — the word-based STM substrate (TinySTM/E-STM style),
+//! * [`tree`] — the speculation-friendly binary search tree (portable and
+//!   optimized variants) with its background maintenance thread,
+//! * [`baselines`] — the transaction-encapsulated red-black tree, AVL tree,
+//!   no-restructuring tree and a sequential reference map,
+//! * [`workloads`] — the synchrobench-style integer-set micro-benchmark,
+//! * [`vacation`] — the STAMP vacation travel-reservation application.
+//!
+//! See `examples/` for runnable end-to-end programs and `EXPERIMENTS.md` for
+//! the benchmark harnesses that regenerate the paper's tables and figures.
+//!
+//! ```
+//! use speculation_friendly_tree::prelude::*;
+//!
+//! let stm = Stm::default_config();
+//! let tree = OptSpecFriendlyTree::new();
+//! let _maintenance = tree.start_maintenance(stm.register());
+//! let mut handle = tree.register(stm.register());
+//! assert!(tree.insert(&mut handle, 1, 100));
+//! assert_eq!(tree.get(&mut handle, 1), Some(100));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use sf_baselines as baselines;
+pub use sf_stm as stm;
+pub use sf_tree as tree;
+pub use sf_vacation as vacation;
+pub use sf_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+    pub use sf_stm::{Stm, StmConfig, TCell, ThreadCtx, Transaction, TxKind, TxResult};
+    pub use sf_tree::{
+        MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree, TxMap, TxMapInTx,
+    };
+    pub use sf_vacation::{Manager, ReservationKind, VacationParams};
+    pub use sf_workloads::{RunLength, WorkloadConfig};
+}

@@ -1,0 +1,145 @@
+//! Property-based tests over the core data structures: arbitrary operation
+//! sequences must keep every tree equivalent to a model `BTreeMap`, and the
+//! background maintenance must preserve the abstraction while restoring
+//! balance.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use speculation_friendly_tree::baselines::{AvlTree, RedBlackTree};
+use speculation_friendly_tree::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u8),
+    Delete(u8),
+    Contains(u8),
+    Move(u8, u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        any::<u8>().prop_map(Op::Contains),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Move(a, b)),
+    ]
+}
+
+fn run_model(ops: &[Op]) -> (Vec<bool>, BTreeMap<u64, u64>) {
+    let mut model = BTreeMap::new();
+    let answers = ops
+        .iter()
+        .map(|op| match *op {
+            Op::Insert(k, v) => {
+                let (k, v) = (k as u64, v as u64);
+                if model.contains_key(&k) {
+                    false
+                } else {
+                    model.insert(k, v);
+                    true
+                }
+            }
+            Op::Delete(k) => model.remove(&(k as u64)).is_some(),
+            Op::Contains(k) => model.contains_key(&(k as u64)),
+            Op::Move(from, to) => {
+                let (from, to) = (from as u64, to as u64);
+                if from == to {
+                    model.contains_key(&from)
+                } else if model.contains_key(&from) && !model.contains_key(&to) {
+                    let v = model.remove(&from).unwrap();
+                    model.insert(to, v);
+                    true
+                } else {
+                    false
+                }
+            }
+        })
+        .collect();
+    (answers, model)
+}
+
+fn run_tree<M: TxMap>(tree: &M, ops: &[Op]) -> Vec<bool> {
+    let stm = Stm::default_config();
+    let mut handle = tree.register(stm.register());
+    ops.iter()
+        .map(|op| match *op {
+            Op::Insert(k, v) => tree.insert(&mut handle, k as u64, v as u64),
+            Op::Delete(k) => tree.delete(&mut handle, k as u64),
+            Op::Contains(k) => tree.contains(&mut handle, k as u64),
+            Op::Move(from, to) => tree.move_entry(&mut handle, from as u64, to as u64),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn optimized_sf_tree_is_sequentially_equivalent_to_a_map(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (expected, model) = run_model(&ops);
+        let tree = OptSpecFriendlyTree::new();
+        let answers = run_tree(&tree, &ops);
+        prop_assert_eq!(answers, expected);
+        let live: BTreeMap<u64, u64> = tree.inspect().live_entries().into_iter().collect();
+        prop_assert_eq!(live, model);
+        prop_assert!(tree.inspect().check_consistency().is_ok());
+    }
+
+    #[test]
+    fn portable_sf_tree_is_sequentially_equivalent_to_a_map(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (expected, model) = run_model(&ops);
+        let tree = SpecFriendlyTree::new();
+        let answers = run_tree(&tree, &ops);
+        prop_assert_eq!(answers, expected);
+        let live: BTreeMap<u64, u64> = tree.inspect().live_entries().into_iter().collect();
+        prop_assert_eq!(live, model);
+    }
+
+    #[test]
+    fn red_black_tree_keeps_its_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (expected, _) = run_model(&ops);
+        let tree = RedBlackTree::new();
+        let answers = run_tree(&tree, &ops);
+        prop_assert_eq!(answers, expected);
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+    }
+
+    #[test]
+    fn avl_tree_keeps_its_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let (expected, _) = run_model(&ops);
+        let tree = AvlTree::new();
+        let answers = run_tree(&tree, &ops);
+        prop_assert_eq!(answers, expected);
+        prop_assert!(tree.check_invariants().is_ok(), "{:?}", tree.check_invariants());
+    }
+
+    #[test]
+    fn maintenance_preserves_the_abstraction_and_restores_balance(
+        keys in proptest::collection::btree_set(0u16..4096, 16..200),
+        deleted_stride in 2usize..5,
+    ) {
+        let stm = Stm::default_config();
+        let tree = OptSpecFriendlyTree::new();
+        let mut handle = tree.register(stm.register());
+        let keys: Vec<u64> = keys.into_iter().map(u64::from).collect();
+        for &k in &keys {
+            tree.insert(&mut handle, k, k + 7);
+        }
+        let mut expected: BTreeMap<u64, u64> = keys.iter().map(|&k| (k, k + 7)).collect();
+        for &k in keys.iter().step_by(deleted_stride) {
+            tree.delete(&mut handle, k);
+            expected.remove(&k);
+        }
+        let mut worker = tree.maintenance_worker(stm.register());
+        worker.run_until_stable(4096);
+        let live: BTreeMap<u64, u64> = tree.inspect().live_entries().into_iter().collect();
+        prop_assert_eq!(&live, &expected);
+        prop_assert!(tree.inspect().check_consistency().is_ok());
+        // The balanced depth must be within a small factor of log2(n).
+        let n = tree.inspect().reachable_nodes().max(2);
+        let depth = tree.inspect().depth();
+        let bound = 2 * (usize::BITS - (n - 1).leading_zeros()) as usize + 2;
+        prop_assert!(depth <= bound, "depth {} exceeds bound {} for {} nodes", depth, bound, n);
+    }
+}

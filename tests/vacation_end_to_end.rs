@@ -1,0 +1,90 @@
+//! End-to-end integration of the vacation application over different
+//! directory trees: the reservation invariants must hold after concurrent
+//! client runs, whichever tree backs the tables.
+
+use std::sync::Arc;
+
+use speculation_friendly_tree::baselines::{NoRestructureTree, RedBlackTree, SeqMap};
+use speculation_friendly_tree::prelude::*;
+use speculation_friendly_tree::vacation::{run_vacation, DirectoryMap, VacationResult};
+
+fn small_params(clients: usize) -> VacationParams {
+    VacationParams {
+        clients,
+        queries_per_transaction: 4,
+        query_range_percent: 70,
+        percent_user: 85,
+        num_relations: 96,
+        num_transactions: 1_200,
+        seed: 2024,
+    }
+}
+
+fn run_on<D: DirectoryMap + Default>(clients: usize) -> (Arc<Manager<D>>, VacationResult) {
+    let stm = Stm::default_config();
+    let manager = Arc::new(Manager::<D>::new());
+    let result = run_vacation(&stm, &manager, &small_params(clients));
+    (manager, result)
+}
+
+#[test]
+fn vacation_on_sequential_directories_is_consistent() {
+    let (manager, result) = run_on::<SeqMap>(1);
+    assert_eq!(result.transactions, 1_200);
+    manager.check_consistency().unwrap();
+}
+
+#[test]
+fn vacation_on_red_black_directories_is_consistent_under_concurrency() {
+    let (manager, result) = run_on::<RedBlackTree>(3);
+    assert_eq!(result.transactions, 1_200);
+    assert!(result.stm.commits >= result.transactions);
+    manager.check_consistency().unwrap();
+}
+
+#[test]
+fn vacation_on_nr_directories_is_consistent_under_concurrency() {
+    let (manager, _) = run_on::<NoRestructureTree>(3);
+    manager.check_consistency().unwrap();
+}
+
+#[test]
+fn vacation_on_speculation_friendly_directories_with_maintenance() {
+    let stm = Stm::default_config();
+    let manager = Arc::new(Manager::<OptSpecFriendlyTree>::new());
+    let maintenance: Vec<_> = ReservationKind::ALL
+        .iter()
+        .map(|kind| manager.table(*kind).start_maintenance(stm.register()))
+        .collect();
+    let result = run_vacation(&stm, &manager, &small_params(3));
+    drop(maintenance);
+    assert_eq!(result.transactions, 1_200);
+    manager.check_consistency().unwrap();
+    // Every directory is still a valid BST after background restructuring.
+    for kind in ReservationKind::ALL {
+        manager.table(kind).inspect().check_consistency().unwrap();
+    }
+}
+
+#[test]
+fn identical_seeds_give_identical_sequential_outcomes_across_directory_types() {
+    // With a single client the transaction stream is deterministic, so two
+    // different tree types must end with exactly the same table contents.
+    let (seq, _) = run_on::<SeqMap>(1);
+    let (rb, _) = run_on::<RedBlackTree>(1);
+    for kind in ReservationKind::ALL {
+        let a: Vec<u64> = seq
+            .table(kind)
+            .entries_quiescent()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        let b: Vec<u64> = rb
+            .table(kind)
+            .entries_quiescent()
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(a, b, "{kind:?} directories diverged between tree types");
+    }
+}
