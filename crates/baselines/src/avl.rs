@@ -296,7 +296,12 @@ impl AvlTree {
     /// Verify the AVL invariants while quiescent: BST ordering and
     /// per-node balance factor in `{-1, 0, 1}` with consistent heights.
     pub fn check_invariants(&self) -> Result<(), String> {
-        fn rec(tree: &AvlTree, id: NodeId, low: Option<Key>, high: Option<Key>) -> Result<i32, String> {
+        fn rec(
+            tree: &AvlTree,
+            id: NodeId,
+            low: Option<Key>,
+            high: Option<Key>,
+        ) -> Result<i32, String> {
             if id.is_nil() {
                 return Ok(0);
             }
@@ -310,7 +315,9 @@ impl AvlTree {
             let stored = n.height.unsync_load();
             let actual = 1 + lh.max(rh);
             if stored != actual {
-                return Err(format!("height mismatch at key {k}: stored {stored}, actual {actual}"));
+                return Err(format!(
+                    "height mismatch at key {k}: stored {stored}, actual {actual}"
+                ));
             }
             if (lh - rh).abs() > 1 {
                 return Err(format!("AVL imbalance at key {k}: {lh} vs {rh}"));
@@ -404,6 +411,10 @@ impl TxMap for AvlTree {
         ctx.atomically(|tx| self.tx_delete(tx, key))
     }
 
+    fn delete_if(&self, ctx: &mut ThreadCtx, key: Key, expected: Value) -> bool {
+        ctx.atomically(|tx| self.tx_delete_if(tx, key, expected))
+    }
+
     fn move_entry(&self, ctx: &mut ThreadCtx, from: Key, to: Key) -> bool {
         ctx.atomically(|tx| self.tx_move(tx, from, to))
     }
@@ -448,7 +459,10 @@ mod tests {
         }
         tree.check_invariants().unwrap();
         let depth = tree.depth_quiescent();
-        assert!(depth <= 10, "AVL depth for 512 keys should be <= 10, got {depth}");
+        assert!(
+            depth <= 10,
+            "AVL depth for 512 keys should be <= 10, got {depth}"
+        );
         assert_eq!(tree.len_quiescent(), 512);
     }
 

@@ -78,6 +78,10 @@ impl TxMap for NoRestructureTree {
         TxMap::delete(&self.inner, handle, key)
     }
 
+    fn delete_if(&self, handle: &mut SfHandle, key: Key, expected: Value) -> bool {
+        TxMap::delete_if(&self.inner, handle, key, expected)
+    }
+
     fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {
         TxMap::move_entry(&self.inner, handle, from, to)
     }

@@ -537,6 +537,10 @@ impl TxMap for RedBlackTree {
         ctx.atomically(|tx| self.tx_delete(tx, key))
     }
 
+    fn delete_if(&self, ctx: &mut ThreadCtx, key: Key, expected: Value) -> bool {
+        ctx.atomically(|tx| self.tx_delete_if(tx, key, expected))
+    }
+
     fn move_entry(&self, ctx: &mut ThreadCtx, from: Key, to: Key) -> bool {
         ctx.atomically(|tx| self.tx_move(tx, from, to))
     }
@@ -606,12 +610,13 @@ mod tests {
                 0 => {
                     // The trees do not overwrite on duplicate insert, so the
                     // oracle must not either.
-                    let expected = if oracle.contains_key(&key) {
-                        false
-                    } else {
-                        oracle.insert(key, step);
-                        true
-                    };
+                    let expected =
+                        if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key) {
+                            e.insert(step);
+                            true
+                        } else {
+                            false
+                        };
                     assert_eq!(
                         tree.insert(&mut ctx, key, step),
                         expected,

@@ -48,6 +48,17 @@ impl SeqMap {
         self.inner.lock().remove(&key).is_some()
     }
 
+    /// Compare-and-delete under one lock acquisition.
+    pub fn delete_if_direct(&self, key: Key, expected: Value) -> bool {
+        let mut map = self.inner.lock();
+        if map.get(&key) == Some(&expected) {
+            map.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Snapshot of the contents.
     pub fn entries(&self) -> Vec<(Key, Value)> {
         self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect()
@@ -70,6 +81,17 @@ impl TxMapInTx for SeqMap {
 
     fn tx_delete<'env>(&'env self, _tx: &mut Transaction<'env>, key: Key) -> TxResult<bool> {
         Ok(self.delete_direct(key))
+    }
+
+    fn tx_delete_if<'env>(
+        &'env self,
+        _tx: &mut Transaction<'env>,
+        key: Key,
+        expected: Value,
+    ) -> TxResult<bool> {
+        // The default (get then delete) would take the lock twice and lose
+        // atomicity; do the compare-and-delete under one acquisition.
+        Ok(self.delete_if_direct(key, expected))
     }
 }
 
@@ -94,6 +116,10 @@ impl TxMap for SeqMap {
 
     fn delete(&self, _ctx: &mut ThreadCtx, key: Key) -> bool {
         self.delete_direct(key)
+    }
+
+    fn delete_if(&self, _ctx: &mut ThreadCtx, key: Key, expected: Value) -> bool {
+        self.delete_if_direct(key, expected)
     }
 
     fn move_entry(&self, _ctx: &mut ThreadCtx, from: Key, to: Key) -> bool {

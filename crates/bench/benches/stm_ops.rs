@@ -93,5 +93,10 @@ fn bench_uread_vs_read(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_read_only, bench_read_write, bench_uread_vs_read);
+criterion_group!(
+    benches,
+    bench_read_only,
+    bench_read_write,
+    bench_uread_vs_read
+);
 criterion_main!(benches);

@@ -1,21 +1,17 @@
-//! Figure 3: throughput (operations per microsecond) of the four trees as a
+//! Figure 3: throughput (operations per microsecond) of the trees as a
 //! function of the number of threads, for 5/10/15/20% effective updates,
 //! under the uniform ("normal") and biased key distributions.
 //!
 //! Run with `cargo run -p sf-bench --release --bin fig3`. Scale with
-//! `SF_THREADS`, `SF_DURATION_MS`, `SF_SIZE`.
+//! `SF_THREADS`, `SF_DURATION_MS`, `SF_SIZE`; select structures (any
+//! registry name, e.g. `sftree-opt-sharded8`) with `SF_STRUCTURES`.
 
-use sf_bench::{base_config, print_row, run_micro, thread_counts, TreeKind};
+use sf_bench::{base_config, print_row, run_structure, structures, thread_counts};
 use sf_stm::StmConfig;
 use sf_workloads::Bias;
 
 fn main() {
-    let trees = [
-        TreeKind::RedBlack,
-        TreeKind::SpecFriendly,
-        TreeKind::NoRestructure,
-        TreeKind::Avl,
-    ];
+    let names = structures(&["rbtree", "sftree", "nrtree", "avl"]);
     for &biased in &[false, true] {
         for &update_pct in &[5u32, 10, 15, 20] {
             println!(
@@ -24,18 +20,21 @@ fn main() {
                 update_pct
             );
             for threads in thread_counts() {
-                for kind in trees {
+                for name in &names {
                     let mut config = base_config(threads, update_pct as f64 / 100.0);
                     if biased {
                         config = config.with_bias(Bias::default());
                     }
-                    let result = run_micro(kind, StmConfig::ctl(), &config);
-                    print_row(kind.label(), threads, &result);
+                    let result = run_structure(name, StmConfig::ctl(), &config);
+                    let label = result.structure.clone();
+                    print_row(&label, threads, &result);
                 }
             }
             println!();
         }
     }
     println!("Expected shape: SFtree at or above RBtree/AVLtree at every update ratio (paper: up to 1.5-1.6x);");
-    println!("NRtree comparable to SFtree on the normal workload but degrading under the biased one.");
+    println!(
+        "NRtree comparable to SFtree on the normal workload but degrading under the biased one."
+    );
 }

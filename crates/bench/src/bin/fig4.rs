@@ -2,14 +2,15 @@
 //! configurations — an elastic-transaction TM (E-STM-style) and eager lock
 //! acquirement (TinySTM-ETL-style).
 //!
-//! Run with `cargo run -p sf-bench --release --bin fig4`.
+//! Run with `cargo run -p sf-bench --release --bin fig4`. Select structures
+//! with `SF_STRUCTURES` (any registry name).
 
-use sf_bench::{base_config, print_row, run_micro, thread_counts, TreeKind};
+use sf_bench::{base_config, print_row, run_structure, structures, thread_counts};
 use sf_stm::StmConfig;
 
 fn main() {
-    let trees = [TreeKind::RedBlack, TreeKind::SpecFriendly, TreeKind::Avl];
-    for (name, config_fn) in [
+    let names = structures(&["rbtree", "sftree", "avl"]);
+    for (tm_name, config_fn) in [
         (
             "E-STM (elastic transactions)",
             StmConfig::elastic as fn() -> StmConfig,
@@ -19,12 +20,13 @@ fn main() {
             StmConfig::etl as fn() -> StmConfig,
         ),
     ] {
-        println!("# Figure 4 — {name}, 10% updates");
+        println!("# Figure 4 — {tm_name}, 10% updates");
         for threads in thread_counts() {
-            for kind in trees {
+            for name in &names {
                 let config = base_config(threads, 0.10);
-                let result = run_micro(kind, config_fn(), &config);
-                print_row(kind.label(), threads, &result);
+                let result = run_structure(name, config_fn(), &config);
+                let label = result.structure.clone();
+                print_row(&label, threads, &result);
             }
         }
         println!();

@@ -1,40 +1,46 @@
 //! Figure 5(a): speedup over the plain red-black tree obtained by (i) keeping
 //! the red-black tree but running it on elastic transactions, versus (ii)
-//! replacing it with the (optionally optimized) speculation-friendly tree, as
-//! the update ratio grows from 10% to 40%.
+//! replacing it with another structure from the registry, as the update
+//! ratio grows from 10% to 40%.
 //!
-//! Run with `cargo run -p sf-bench --release --bin fig5a`.
+//! Run with `cargo run -p sf-bench --release --bin fig5a`. The structures
+//! compared against the red-black baseline come from `SF_STRUCTURES`
+//! (default: `sftree sftree-opt`).
 
-use sf_bench::{base_config, run_micro, thread_counts, TreeKind};
+use sf_bench::{base_config, emit_json, run_structure, structures, thread_counts};
 use sf_stm::StmConfig;
 
 fn main() {
     let threads = *thread_counts().iter().max().unwrap_or(&4);
+    let names = structures(&["sftree", "sftree-opt"]);
     println!("# Figure 5(a) — speedup over the red-black tree on a regular TM ({threads} threads)");
-    println!(
-        "{:<10} {:>18} {:>18} {:>18}",
-        "Update", "Elastic speedup", "SFtree speedup", "OptSFtree speedup"
-    );
     for update_pct in [10u32, 20, 30, 40] {
         let ratio = update_pct as f64 / 100.0;
         let config = base_config(threads, ratio);
-        let rb_normal =
-            run_micro(TreeKind::RedBlack, StmConfig::ctl(), &config).ops_per_microsecond();
-        let rb_elastic =
-            run_micro(TreeKind::RedBlack, StmConfig::elastic(), &config).ops_per_microsecond();
-        let sf = run_micro(TreeKind::SpecFriendly, StmConfig::ctl(), &config).ops_per_microsecond();
-        let opt =
-            run_micro(TreeKind::OptSpecFriendly, StmConfig::ctl(), &config).ops_per_microsecond();
-        let pct = |x: f64| (x / rb_normal - 1.0) * 100.0;
+        let rb_normal = run_structure("rbtree", StmConfig::ctl(), &config);
+        let rb_elastic = run_structure("rbtree", StmConfig::elastic(), &config);
+        let base_throughput = rb_normal.ops_per_microsecond();
+        let pct = |x: f64| (x / base_throughput - 1.0) * 100.0;
+        emit_json("rbtree-baseline", &rb_normal, "\"figure\":\"fig5a\"");
+        emit_json("rbtree-elastic", &rb_elastic, "\"figure\":\"fig5a\"");
         println!(
-            "{:<10} {:>17.1}% {:>17.1}% {:>17.1}%",
+            "{:<10} {:<22} {:>9.1}%",
             format!("{update_pct}%"),
-            pct(rb_elastic),
-            pct(sf),
-            pct(opt)
+            "RBtree+elastic",
+            pct(rb_elastic.ops_per_microsecond())
         );
+        for name in &names {
+            let result = run_structure(name, StmConfig::ctl(), &config);
+            emit_json(name, &result, "\"figure\":\"fig5a\"");
+            println!(
+                "{:<10} {:<22} {:>9.1}%",
+                format!("{update_pct}%"),
+                result.structure,
+                pct(result.ops_per_microsecond())
+            );
+        }
+        println!();
     }
-    println!();
     println!("Expected shape: refactoring the data structure (SFtree/OptSFtree, paper average 22%) buys more than");
     println!("relaxing the transaction model under the same structure (elastic RBtree, paper average 15%).");
 }

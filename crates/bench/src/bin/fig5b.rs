@@ -1,22 +1,31 @@
-//! Figure 5(b): reusability — throughput of the speculation-friendly tree on
-//! a workload with 90% read-only operations and 10% updates of which 1%, 5%
-//! or 10% (of all operations) are composed `move` operations.
+//! Figure 5(b): reusability — throughput on a workload with 90% read-only
+//! operations and 10% updates of which 1%, 5% or 10% (of all operations) are
+//! composed `move` operations.
 //!
-//! Run with `cargo run -p sf-bench --release --bin fig5b`.
+//! Run with `cargo run -p sf-bench --release --bin fig5b`. Select structures
+//! with `SF_STRUCTURES` (default: `sftree-opt`); the sharded backends run
+//! their cross-shard move protocol here.
 
-use sf_bench::{base_config, print_row, run_micro, thread_counts, TreeKind};
+use sf_bench::{base_config, print_row, run_structure, structures, thread_counts};
 use sf_stm::StmConfig;
 
 fn main() {
-    println!("# Figure 5(b) — move-operation workloads on the speculation-friendly tree (10% updates total)");
+    let names = structures(&["sftree-opt"]);
+    println!("# Figure 5(b) — move-operation workloads (10% updates total)");
     for move_pct_of_ops in [1u32, 5, 10] {
         // `move_ratio` is expressed as a fraction of update operations.
         let move_ratio = move_pct_of_ops as f64 / 10.0;
         println!("## {move_pct_of_ops}% of all operations are moves");
         for threads in thread_counts() {
-            let config = base_config(threads, 0.10).with_move_ratio(move_ratio);
-            let result = run_micro(TreeKind::OptSpecFriendly, StmConfig::ctl(), &config);
-            print_row(&format!("{}%-move", move_pct_of_ops), threads, &result);
+            for name in &names {
+                let config = base_config(threads, 0.10).with_move_ratio(move_ratio);
+                let result = run_structure(name, StmConfig::ctl(), &config);
+                print_row(
+                    &format!("{}%-move {}", move_pct_of_ops, result.structure),
+                    threads,
+                    &result,
+                );
+            }
         }
         println!();
     }

@@ -1,19 +1,24 @@
 //! Figure 6: the STAMP vacation travel-reservation application built on the
-//! red-black tree, the optimized speculation-friendly tree and the
-//! no-restructuring tree — speedup over sequential execution and duration,
+//! directory-capable trees — speedup over sequential execution and duration,
 //! for the low- and high-contention presets and 1×/8×/16× transaction
 //! counts. Also prints the §5.5 rotation-count comparison.
 //!
 //! Run with `cargo run -p sf-bench --release --bin fig6`. The 8× and 16×
 //! scales are only run when `SF_VACATION_FULL=1` (they multiply the runtime
 //! accordingly). `SF_VACATION_TX` sets the 1× transaction count.
+//!
+//! `SF_STRUCTURES` selects the directories compared against the sequential
+//! baseline (default: `rbtree sftree-opt nrtree`). Vacation composes several
+//! map operations into one transaction, so it needs single-STM
+//! [`DirectoryMap`] backends; sharded names are reported and skipped.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use sf_baselines::{NoRestructureTree, RedBlackTree, SeqMap};
+use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use sf_bench::structures;
 use sf_stm::Stm;
-use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree};
+use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree};
 use sf_vacation::{
     run_vacation, DirectoryMap, Manager, ReservationKind, VacationParams, VacationResult,
 };
@@ -39,29 +44,73 @@ fn run_plain<D: DirectoryMap + Default>(p: &VacationParams) -> VacationResult {
     run_vacation(&stm, &manager, p)
 }
 
-/// Run vacation on the optimized speculation-friendly tree with one
-/// maintenance thread per directory, as in the paper.
-fn run_opt_sf(p: &VacationParams) -> VacationResult {
+/// Run vacation on a speculation-friendly directory with one maintenance
+/// thread per table, as in the paper.
+fn run_with_maintenance<D>(
+    p: &VacationParams,
+    start: impl Fn(&D, &Arc<Stm>) -> sf_tree::MaintenanceHandle,
+) -> VacationResult
+where
+    D: DirectoryMap + Default,
+{
     let stm = Stm::default_config();
-    let manager = Arc::new(Manager::<OptSpecFriendlyTree>::new());
+    let manager = Arc::new(Manager::<D>::new());
     let maintenance: Vec<_> = ReservationKind::ALL
         .iter()
-        .map(|k| {
-            manager.table(*k).start_maintenance_with(
-                stm.register(),
-                MaintenanceConfig {
-                    pass_delay: Duration::from_micros(500),
-                    ..MaintenanceConfig::default()
-                },
-            )
-        })
+        .map(|k| start(manager.table(*k), &stm))
         .collect();
     let result = run_vacation(&stm, &manager, p);
     drop(maintenance);
     result
 }
 
+fn maintenance_config() -> MaintenanceConfig {
+    MaintenanceConfig {
+        pass_delay: Duration::from_micros(500),
+        ..MaintenanceConfig::default()
+    }
+}
+
+/// A boxed vacation run over one directory backend.
+type VacationRunner = Box<dyn Fn(&VacationParams) -> VacationResult>;
+
+/// Resolve a registry name to a vacation runner, if the backend can serve as
+/// a transactional directory.
+fn vacation_runner(name: &str) -> Option<VacationRunner> {
+    match name {
+        "rbtree" => Some(Box::new(run_plain::<RedBlackTree>)),
+        "avl" => Some(Box::new(run_plain::<AvlTree>)),
+        "nrtree" => Some(Box::new(run_plain::<NoRestructureTree>)),
+        "seq" => Some(Box::new(run_plain::<SeqMap>)),
+        "sftree" => Some(Box::new(|p| {
+            run_with_maintenance::<SpecFriendlyTree>(p, |tree, stm| {
+                tree.start_maintenance_with(stm.register(), maintenance_config())
+            })
+        })),
+        "sftree-opt" => Some(Box::new(|p| {
+            run_with_maintenance::<OptSpecFriendlyTree>(p, |tree, stm| {
+                tree.start_maintenance_with(stm.register(), maintenance_config())
+            })
+        })),
+        _ => None,
+    }
+}
+
 fn main() {
+    let names = structures(&["rbtree", "sftree-opt", "nrtree"]);
+    let runners: Vec<(String, VacationRunner)> = names
+        .iter()
+        .filter_map(|name| match vacation_runner(name) {
+            Some(runner) => Some((name.clone(), runner)),
+            None => {
+                eprintln!(
+                    "fig6: skipping '{name}': vacation needs a single-STM DirectoryMap backend \
+                     (one of: rbtree, avl, nrtree, seq, sftree, sftree-opt)"
+                );
+                None
+            }
+        })
+        .collect();
     let multipliers: Vec<u64> = if std::env::var("SF_VACATION_FULL").is_ok() {
         vec![1, 8, 16]
     } else {
@@ -81,10 +130,8 @@ fn main() {
             );
             for clients in sf_bench::thread_counts() {
                 let p = params(high, mult, clients);
-                let rb = run_plain::<RedBlackTree>(&p);
-                let sf = run_opt_sf(&p);
-                let nr = run_plain::<NoRestructureTree>(&p);
-                for r in [&rb, &sf, &nr] {
+                for (_, runner) in &runners {
+                    let r = runner(&p);
                     println!(
                         "{:<12} clients={:<3} duration={:>10.2?} speedup={:>6.2} aborts/commit={:>6.3} rotations={}",
                         r.structure,

@@ -3,14 +3,17 @@
 //!
 //! Run with `cargo run -p sf-bench --release --bin table1`. Scale with
 //! `SF_THREADS` (the paper uses 48 concurrent threads), `SF_DURATION_MS` and
-//! `SF_SIZE`.
+//! `SF_SIZE`; select structures with `SF_STRUCTURES`.
 
-use sf_bench::{base_config, cell_duration, initial_size, run_micro, thread_counts, TreeKind};
+use sf_bench::{
+    base_config, cell_duration, emit_json, initial_size, run_structure, structures, thread_counts,
+};
 use sf_stm::StmConfig;
 
 fn main() {
     let threads = *thread_counts().iter().max().unwrap_or(&4);
     let ratios = [0.0, 0.10, 0.20, 0.30, 0.40, 0.50];
+    let names = structures(&["avl", "rbtree", "sftree", "sftree-opt"]);
     println!(
         "# Table 1 — maximum transactional reads per operation ({} keys, {} threads, {:?} per cell, TinySTM-CTL-style STM)",
         initial_size(),
@@ -22,17 +25,19 @@ fn main() {
         print!("{:>8.0}%", r * 100.0);
     }
     println!();
-    for kind in [
-        TreeKind::Avl,
-        TreeKind::RedBlack,
-        TreeKind::SpecFriendly,
-        TreeKind::OptSpecFriendly,
-    ] {
-        print!("{:<24}", kind.label());
+    for name in &names {
+        let mut label = name.clone();
+        let mut cells = Vec::with_capacity(ratios.len());
         for ratio in ratios {
             let config = base_config(threads, ratio);
-            let result = run_micro(kind, StmConfig::ctl(), &config);
-            print!("{:>9}", result.stm.max_reads_per_op);
+            let result = run_structure(name, StmConfig::ctl(), &config);
+            emit_json(name, &result, "\"figure\":\"table1\"");
+            label = result.structure.clone();
+            cells.push(result.stm.max_reads_per_op);
+        }
+        print!("{label:<24}");
+        for cell in cells {
+            print!("{cell:>9}");
         }
         println!();
     }

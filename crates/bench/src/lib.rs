@@ -6,6 +6,10 @@
 //! `EXPERIMENTS.md` at the repository root for the mapping and for the
 //! paper-vs-measured discussion.
 //!
+//! The harnesses resolve structures by name through the
+//! [`sf_workloads::backend`] registry, so every harness can drive every
+//! backend — including the sharded trees (`sftree-opt-sharded<N>`).
+//!
 //! All harnesses are parameterized through environment variables so they can
 //! be scaled from a quick laptop run to a long, paper-sized run:
 //!
@@ -15,44 +19,15 @@
 //! | `SF_DURATION_MS` | measured phase per cell (ms) | `300` |
 //! | `SF_SIZE` | initial tree size | `4096` (2^12) |
 //! | `SF_VACATION_TX` | vacation transactions (1× scale) | `32768` |
+//! | `SF_STRUCTURES` | comma/space-separated structure names | per-harness |
+//! | `SF_JSON` | `1` → one JSON line per workload result | off |
 
 #![warn(missing_docs)]
 
-use std::sync::Arc;
 use std::time::Duration;
 
-use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree};
-use sf_stm::{Stm, StmConfig};
-use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree};
-use sf_workloads::{populate, run_workload, RunLength, WorkloadConfig, WorkloadResult};
-
-/// The tree variants compared throughout the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TreeKind {
-    /// Transaction-encapsulated red-black tree (Oracle-style baseline).
-    RedBlack,
-    /// Transaction-encapsulated AVL tree (STAMP baseline).
-    Avl,
-    /// Speculation-friendly tree, portable variant (Algorithm 1).
-    SpecFriendly,
-    /// Speculation-friendly tree, optimized variant (Algorithm 2).
-    OptSpecFriendly,
-    /// No-restructuring tree.
-    NoRestructure,
-}
-
-impl TreeKind {
-    /// Display label matching the paper's legends.
-    pub fn label(self) -> &'static str {
-        match self {
-            TreeKind::RedBlack => "RBtree",
-            TreeKind::Avl => "AVLtree",
-            TreeKind::SpecFriendly => "SFtree",
-            TreeKind::OptSpecFriendly => "OptSFtree",
-            TreeKind::NoRestructure => "NRtree",
-        }
-    }
-}
+use sf_stm::StmConfig;
+use sf_workloads::{populate_and_run_backend, Backend, RunLength, WorkloadConfig, WorkloadResult};
 
 /// Read a space-separated list of thread counts from `SF_THREADS`.
 pub fn thread_counts() -> Vec<usize> {
@@ -93,47 +68,32 @@ pub fn vacation_transactions() -> u64 {
         .unwrap_or(1 << 15)
 }
 
-/// Run one micro-benchmark cell: build the tree, start its maintenance thread
-/// when it has one, populate, run the measured phase, and tear down.
-pub fn run_micro(kind: TreeKind, stm_config: StmConfig, config: &WorkloadConfig) -> WorkloadResult {
-    let stm = Stm::new(stm_config);
-    let maintenance_config = MaintenanceConfig {
-        pass_delay: Duration::from_micros(200),
-        ..MaintenanceConfig::default()
-    };
-    match kind {
-        TreeKind::RedBlack => {
-            let tree = Arc::new(RedBlackTree::new());
-            populate(&stm, tree.as_ref(), config);
-            run_workload(&stm, &tree, config)
-        }
-        TreeKind::Avl => {
-            let tree = Arc::new(AvlTree::new());
-            populate(&stm, tree.as_ref(), config);
-            run_workload(&stm, &tree, config)
-        }
-        TreeKind::NoRestructure => {
-            let tree = Arc::new(NoRestructureTree::new());
-            populate(&stm, tree.as_ref(), config);
-            run_workload(&stm, &tree, config)
-        }
-        TreeKind::SpecFriendly => {
-            let tree = Arc::new(SpecFriendlyTree::new());
-            populate(&stm, tree.as_ref(), config);
-            let maintenance = tree.start_maintenance_with(stm.register(), maintenance_config);
-            let result = run_workload(&stm, &tree, config);
-            maintenance.stop();
-            result
-        }
-        TreeKind::OptSpecFriendly => {
-            let tree = Arc::new(OptSpecFriendlyTree::new());
-            populate(&stm, tree.as_ref(), config);
-            let maintenance = tree.start_maintenance_with(stm.register(), maintenance_config);
-            let result = run_workload(&stm, &tree, config);
-            maintenance.stop();
-            result
-        }
-    }
+/// The structures a harness should drive: `SF_STRUCTURES` (comma- or
+/// whitespace-separated registry names), falling back to the harness's
+/// `defaults`.
+pub fn structures(defaults: &[&str]) -> Vec<String> {
+    std::env::var("SF_STRUCTURES")
+        .ok()
+        .map(|s| sf_workloads::parse_structure_list(&s))
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| defaults.iter().map(|s| s.to_string()).collect())
+}
+
+/// True when `SF_JSON=1` asks for machine-readable output.
+pub fn json_enabled() -> bool {
+    std::env::var("SF_JSON").is_ok_and(|v| v == "1")
+}
+
+/// Run one micro-benchmark cell: resolve `name` through the backend
+/// registry, populate, run the measured phase, and tear down (backends with
+/// maintenance threads stop them when the backend drops here).
+///
+/// # Panics
+/// Panics with the registry's name listing when `name` is unknown — harness
+/// binaries surface that directly to the terminal.
+pub fn run_structure(name: &str, stm_config: StmConfig, config: &WorkloadConfig) -> WorkloadResult {
+    let backend = Backend::build(name, stm_config).unwrap_or_else(|error| panic!("{error}"));
+    populate_and_run_backend(&backend, config)
 }
 
 /// Workload configuration shared by the figure harnesses.
@@ -145,15 +105,79 @@ pub fn base_config(threads: usize, update_ratio: f64) -> WorkloadConfig {
         .with_run(RunLength::Timed(cell_duration()))
 }
 
-/// Pretty-print a throughput row.
+/// Minimal JSON string escaping (quotes, backslashes, control characters).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One machine-readable line for a [`WorkloadResult`] (the `BENCH_*.json`
+/// trajectory format). `label` is the harness's row label; `extra` carries
+/// harness-specific fields (e.g. `"figure":"fig3"`), already JSON-encoded.
+pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String {
+    let mut line = format!(
+        concat!(
+            "{{\"label\":\"{}\",\"structure\":\"{}\",\"threads\":{},",
+            "\"total_ops\":{},\"elapsed_us\":{},\"throughput_ops_per_us\":{:.6},",
+            "\"effective_updates\":{},\"attempted_updates\":{},\"effective_moves\":{},",
+            "\"successful_lookups\":{},\"commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
+            "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
+            "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{}"
+        ),
+        json_escape(label),
+        json_escape(&result.structure),
+        result.threads,
+        result.total_ops,
+        result.elapsed.as_micros(),
+        result.ops_per_microsecond(),
+        result.effective_updates,
+        result.attempted_updates,
+        result.effective_moves,
+        result.successful_lookups,
+        result.stm.commits,
+        result.stm.aborts,
+        result.abort_ratio(),
+        result.stm.tx_reads,
+        result.stm.tx_ureads,
+        result.stm.tx_writes,
+        result.stm.elastic_cuts,
+        result.stm.max_reads_per_op,
+        result.stm.max_read_set,
+        result.stm.max_write_set,
+    );
+    if !extra.is_empty() {
+        line.push(',');
+        line.push_str(extra);
+    }
+    line.push('}');
+    line
+}
+
+/// Print the JSON line for a result when `SF_JSON=1`.
+pub fn emit_json(label: &str, result: &WorkloadResult, extra: &str) {
+    if json_enabled() {
+        println!("{}", result_json(label, result, extra));
+    }
+}
+
+/// Pretty-print a throughput row (and its JSON line when `SF_JSON=1`).
 pub fn print_row(label: &str, threads: usize, result: &WorkloadResult) {
     println!(
-        "{label:<12} threads={threads:<3} throughput={:>8.3} ops/us  effective-updates={:<8} aborts/commit={:>6.3} max-reads/op={}",
+        "{label:<22} threads={threads:<3} throughput={:>8.3} ops/us  effective-updates={:<8} aborts/commit={:>6.3} max-reads/op={}",
         result.ops_per_microsecond(),
         result.effective_updates,
         result.stm.aborts as f64 / result.stm.commits.max(1) as f64,
         result.stm.max_reads_per_op,
     );
+    emit_json(label, result, "");
 }
 
 #[cfg(test)]
@@ -166,20 +190,46 @@ mod tests {
         assert!(cell_duration() >= Duration::from_millis(1));
         assert!(initial_size() >= 2);
         assert!(vacation_transactions() >= 1);
+        assert_eq!(structures(&["rbtree", "sftree"]), vec!["rbtree", "sftree"]);
     }
 
     #[test]
-    fn run_micro_executes_each_tree_kind() {
+    fn run_structure_executes_every_default_backend() {
         let config = WorkloadConfig::smoke_test().with_threads(1);
-        for kind in [
-            TreeKind::RedBlack,
-            TreeKind::Avl,
-            TreeKind::SpecFriendly,
-            TreeKind::OptSpecFriendly,
-            TreeKind::NoRestructure,
+        for name in [
+            "rbtree",
+            "avl",
+            "nrtree",
+            "sftree",
+            "sftree-opt",
+            "sftree-opt-sharded2",
         ] {
-            let result = run_micro(kind, StmConfig::ctl(), &config);
-            assert!(result.total_ops > 0, "{} produced no ops", kind.label());
+            let result = run_structure(name, StmConfig::ctl(), &config);
+            assert!(result.total_ops > 0, "{name} produced no ops");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown structure")]
+    fn run_structure_rejects_unknown_names() {
+        let config = WorkloadConfig::smoke_test().with_threads(1);
+        let _ = run_structure("definitely-not-a-tree", StmConfig::ctl(), &config);
+    }
+
+    #[test]
+    fn result_json_is_well_formed_and_complete() {
+        let config = WorkloadConfig::smoke_test().with_threads(1);
+        let result = run_structure("sftree-opt", StmConfig::ctl(), &config);
+        let line = result_json("row-\"1\"", &result, "\"figure\":\"test\"");
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"label\":\"row-\\\"1\\\"\""));
+        assert!(line.contains("\"structure\":\"OptSFtree\""));
+        assert!(
+            line.contains("\"total_ops\":300"),
+            "one thread x 300 ops: {line}"
+        );
+        assert!(line.contains("\"figure\":\"test\""));
+        // Balanced quotes => even count; cheap smoke check of JSON shape.
+        assert_eq!(line.matches('"').count() % 2, 0);
     }
 }

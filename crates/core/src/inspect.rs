@@ -105,7 +105,13 @@ impl<'a> TreeInspect<'a> {
             return Err(format!("duplicate reachable key {k}"));
         }
         self.check_rec(n.left.unsync_load(), low, k, seen_ids, seen_keys)?;
-        self.check_rec(n.right.unsync_load(), k.saturating_add(1), high, seen_ids, seen_keys)
+        self.check_rec(
+            n.right.unsync_load(),
+            k.saturating_add(1),
+            high,
+            seen_ids,
+            seen_keys,
+        )
     }
 
     fn walk_in_order(&self, root: NodeId, visit: &mut impl FnMut(NodeId)) {

@@ -53,15 +53,18 @@ pub mod map;
 pub mod node;
 mod optimized;
 mod portable;
+pub mod sharded;
 mod shared;
 
 pub use arena::{ActivityHandle, NodeId, OpGuard, TxArena};
 pub use inspect::TreeInspect;
 pub use maintenance::{
-    MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker, PassReport,
+    MaintenanceConfig, MaintenanceHandle, MaintenancePause, MaintenanceStyle, MaintenanceWorker,
+    PassReport,
 };
 pub use map::{TxMap, TxMapInTx};
 pub use node::{Key, Node, RemState, Side, Value, SENTINEL_KEY};
 pub use optimized::OptSpecFriendlyTree;
 pub use portable::SpecFriendlyTree;
+pub use sharded::{ShardParts, ShardedHandle, ShardedMap};
 pub use shared::{SfHandle, TreeStats};

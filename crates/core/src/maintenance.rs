@@ -17,7 +17,7 @@
 //! recycled only once the quiescence condition of §3.4 holds (every abstract
 //! operation that was in flight when the pass started has finished).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -139,9 +139,7 @@ impl MaintenanceWorker {
         }
         let stats = &self.core.stats;
         stats.maintenance_passes.fetch_add(1, Ordering::Relaxed);
-        stats
-            .recycled
-            .fetch_add(report.recycled, Ordering::Relaxed);
+        stats.recycled.fetch_add(report.recycled, Ordering::Relaxed);
         report
     }
 
@@ -163,6 +161,8 @@ impl MaintenanceWorker {
     pub fn spawn(self) -> MaintenanceHandle {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_clone = Arc::clone(&stop);
+        let pause = Arc::new(PauseState::default());
+        let pause_clone = Arc::clone(&pause);
         let pass_delay = self.config.pass_delay;
         let mut worker = self;
         let join = std::thread::Builder::new()
@@ -170,6 +170,16 @@ impl MaintenanceWorker {
             .stack_size(16 << 20)
             .spawn(move || {
                 while !stop_clone.load(Ordering::Relaxed) {
+                    if pause_clone.requested.load(Ordering::SeqCst) > 0 {
+                        pause_clone.idle.store(true, Ordering::SeqCst);
+                        while pause_clone.requested.load(Ordering::SeqCst) > 0
+                            && !stop_clone.load(Ordering::Relaxed)
+                        {
+                            std::thread::yield_now();
+                        }
+                        pause_clone.idle.store(false, Ordering::SeqCst);
+                        continue;
+                    }
                     worker.run_pass();
                     if !pass_delay.is_zero() {
                         std::thread::sleep(pass_delay);
@@ -177,10 +187,13 @@ impl MaintenanceWorker {
                         std::thread::yield_now();
                     }
                 }
+                // Once the thread exits, pausers must never wait on it again.
+                pause_clone.idle.store(true, Ordering::SeqCst);
             })
             .expect("failed to spawn maintenance thread");
         MaintenanceHandle {
             stop,
+            pause,
             join: Some(join),
         }
     }
@@ -436,9 +449,7 @@ impl MaintenanceWorker {
             let transfer_h = Self::height_of(core, tx, transfer)?;
             let outer_h = Self::height_of(core, tx, outer)?;
             clone.child_height(heavy_side).unsync_store(transfer_h);
-            clone
-                .child_height(heavy_side.other())
-                .unsync_store(outer_h);
+            clone.child_height(heavy_side.other()).unsync_store(outer_h);
             let clone_h = 1 + transfer_h.max(outer_h);
             clone.local_h.unsync_store(clone_h);
             let arena = Arc::clone(&core.arena);
@@ -460,11 +471,36 @@ impl MaintenanceWorker {
     }
 }
 
+/// Pause coordination between a [`MaintenanceHandle`] and its thread.
+#[derive(Debug, Default)]
+struct PauseState {
+    /// Number of outstanding [`MaintenancePause`] guards.
+    requested: AtomicUsize,
+    /// Set by the thread while it is parked between passes (and permanently
+    /// once it exits).
+    idle: AtomicBool,
+}
+
+/// Guard returned by [`MaintenanceHandle::pause`]. While it is alive the
+/// maintenance thread is parked between passes (no restructuring runs);
+/// dropping it resumes maintenance.
+#[derive(Debug)]
+pub struct MaintenancePause<'a> {
+    state: &'a PauseState,
+}
+
+impl Drop for MaintenancePause<'_> {
+    fn drop(&mut self) {
+        self.state.requested.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Handle of a running background maintenance thread. Stopping (or dropping)
 /// the handle terminates the thread.
 #[derive(Debug)]
 pub struct MaintenanceHandle {
     stop: Arc<AtomicBool>,
+    pause: Arc<PauseState>,
     join: Option<JoinHandle<()>>,
 }
 
@@ -473,6 +509,19 @@ impl MaintenanceHandle {
     /// current pass.
     pub fn stop(mut self) {
         self.stop_inner();
+    }
+
+    /// Park the maintenance thread between passes and wait until it is
+    /// parked. While the returned guard lives, no restructuring runs, so
+    /// quiescent inspections (`len_quiescent`, consistency checks) see a
+    /// stable tree. Pauses nest: maintenance resumes when the last guard
+    /// drops.
+    pub fn pause(&self) -> MaintenancePause<'_> {
+        self.pause.requested.fetch_add(1, Ordering::SeqCst);
+        while !self.pause.idle.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        MaintenancePause { state: &self.pause }
     }
 
     fn stop_inner(&mut self) {
@@ -509,7 +558,10 @@ mod tests {
         let mut worker = tree.maintenance_worker(stm.register());
         worker.run_until_stable(256);
         let depth = tree.inspect().depth();
-        assert!(depth <= 10, "balanced depth should be ~log2(64), got {depth}");
+        assert!(
+            depth <= 10,
+            "balanced depth should be ~log2(64), got {depth}"
+        );
         tree.inspect().check_consistency().unwrap();
         assert_eq!(tree.len_quiescent(), 64);
         assert!(tree.stats().rotations() > 0);
@@ -526,7 +578,10 @@ mod tests {
         let mut worker = tree.maintenance_worker(stm.register());
         worker.run_until_stable(256);
         let depth = tree.inspect().depth();
-        assert!(depth <= 10, "balanced depth should be ~log2(64), got {depth}");
+        assert!(
+            depth <= 10,
+            "balanced depth should be ~log2(64), got {depth}"
+        );
         tree.inspect().check_consistency().unwrap();
         assert_eq!(tree.len_quiescent(), 64);
         // Clone-based rotations retire the replaced nodes; with no concurrent
@@ -637,7 +692,12 @@ mod tests {
                 }
                 let mut worker = tree.maintenance_worker(stm.register());
                 worker.run_until_stable(512);
-                let live: Vec<u64> = tree.inspect().live_entries().iter().map(|(k, _)| *k).collect();
+                let live: Vec<u64> = tree
+                    .inspect()
+                    .live_entries()
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect();
                 assert_eq!(live, expected.iter().copied().collect::<Vec<_>>());
             } else {
                 let tree = SpecFriendlyTree::new();
@@ -647,7 +707,12 @@ mod tests {
                 }
                 let mut worker = tree.maintenance_worker(stm.register());
                 worker.run_until_stable(512);
-                let live: Vec<u64> = tree.inspect().live_entries().iter().map(|(k, _)| *k).collect();
+                let live: Vec<u64> = tree
+                    .inspect()
+                    .live_entries()
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect();
                 assert_eq!(live, expected.iter().copied().collect::<Vec<_>>());
             }
         }

@@ -38,6 +38,22 @@ pub trait TxMapInTx: Send + Sync {
         Ok(self.tx_get(tx, key)?.is_some())
     }
 
+    /// Delete `key` only when it currently maps to `expected` (a
+    /// compare-and-delete). Atomic within the surrounding transaction; used
+    /// by the sharded map's cross-shard move protocol so a concurrent
+    /// rewrite of the key is never destroyed blindly.
+    fn tx_delete_if<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+        expected: Value,
+    ) -> TxResult<bool> {
+        match self.tx_get(tx, key)? {
+            Some(value) if value == expected => self.tx_delete(tx, key),
+            _ => Ok(false),
+        }
+    }
+
     /// Atomically move the value stored at `from` to `to` (§5.4). Succeeds
     /// only when `from` is present and `to` is absent.
     fn tx_move<'env>(&'env self, tx: &mut Transaction<'env>, from: Key, to: Key) -> TxResult<bool> {
@@ -80,6 +96,10 @@ pub trait TxMap: Send + Sync {
 
     /// Delete `key`; `true` when the map changed.
     fn delete(&self, handle: &mut Self::Handle, key: Key) -> bool;
+
+    /// Atomically delete `key` only when it currently maps to `expected`
+    /// (compare-and-delete); `true` when the map changed.
+    fn delete_if(&self, handle: &mut Self::Handle, key: Key, expected: Value) -> bool;
 
     /// Atomically move `from` to `to`; `true` when the map changed.
     fn move_entry(&self, handle: &mut Self::Handle, from: Key, to: Key) -> bool;

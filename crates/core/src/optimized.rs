@@ -20,7 +20,9 @@ use sf_stm::{ThreadCtx, Transaction, TxResult};
 
 use crate::arena::{NodeId, TxArena};
 use crate::inspect::TreeInspect;
-use crate::maintenance::{MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker};
+use crate::maintenance::{
+    MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker,
+};
 use crate::map::{TxMap, TxMapInTx};
 use crate::node::{Key, Node, RemState, Side, Value};
 use crate::shared::{
@@ -242,6 +244,12 @@ impl TxMap for OptSpecFriendlyTree {
         let (ctx, activity) = handle.parts();
         let _op = activity.begin();
         ctx.atomically(|tx| self.tx_delete(tx, key))
+    }
+
+    fn delete_if(&self, handle: &mut SfHandle, key: Key, expected: Value) -> bool {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically(|tx| self.tx_delete_if(tx, key, expected))
     }
 
     fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {

@@ -1,0 +1,301 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! slice of criterion's API its benches use: [`Criterion::benchmark_group`],
+//! `bench_function` / `bench_with_input` with [`Bencher::iter`],
+//! [`BenchmarkId`], the group tuning knobs (`measurement_time`,
+//! `warm_up_time`, `sample_size`) and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery, each benchmark runs a warm-up
+//! phase followed by `sample_size` timed samples and prints the mean, minimum
+//! and maximum time per iteration. Good enough to spot order-of-magnitude
+//! regressions from the terminal; not a replacement for real criterion runs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement back-ends (only wall-clock time is provided).
+pub mod measurement {
+    /// Wall-clock time measurement (the default and only back-end).
+    #[derive(Debug, Default, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, printed `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The benchmark runner handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement_time: Duration,
+    default_warm_up_time: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement_time: Duration::from_millis(500),
+            default_warm_up_time: Duration::from_millis(100),
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            measurement_time: self.default_measurement_time,
+            warm_up_time: self.default_warm_up_time,
+            sample_size: self.default_sample_size,
+            _criterion: PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing tuning parameters.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    _criterion: PhantomData<&'a M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Total measured time budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a benchmark with an auxiliary input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = self.bencher();
+        f(&mut bencher, input);
+        self.report(&id.id, &bencher);
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = self.bencher();
+        f(&mut bencher);
+        self.report(&id.id, &bencher);
+    }
+
+    /// Finish the group (printing is immediate, so this is a no-op hook kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{}/{id:<40} mean {:>12} min {:>12} max {:>12} ({} samples)",
+            self.name,
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            samples.len()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Runs the measured routine and records per-iteration timings.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`: warm up for the configured time, then take
+    /// `sample_size` samples whose total duration approximates the configured
+    /// measurement time, recording mean nanoseconds per iteration.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warm-up, also used to calibrate iterations per sample.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.warm_up_time || warm_up_iters == 0 {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_nanos() as f64 / warm_up_iters as f64;
+        let sample_budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget_ns / per_iter.max(1.0)) as u64).max(1);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Collect benchmark functions into one group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_sample_count() {
+        let mut b = Bencher {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            sample_size: 4,
+            samples: Vec::new(),
+        };
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.measurement_time(Duration::from_millis(2));
+        group.warm_up_time(Duration::from_millis(1));
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param"), &"param", |b, _| {
+            b.iter(|| ())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_scales_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with("s"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors the
+//! slice of `rand 0.8`'s API it uses: [`rngs::StdRng`] seeded through
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] extension methods
+//! [`Rng::gen`], [`Rng::gen_range`] (over `Range` / `RangeInclusive` of the
+//! integer types) and [`Rng::gen_bool`].
+//!
+//! The generator behind `StdRng` is xoshiro256++ seeded via SplitMix64 — not
+//! the ChaCha12 of the real crate, but deterministic, fast, and of more than
+//! sufficient quality for workload generation. Range sampling uses a simple
+//! modulo reduction; its bias is at most `span / 2^64`, irrelevant for the
+//! key ranges used here.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator producing 64-bit outputs.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be created from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Create a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw output.
+pub trait Sample: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` (uniform over its sampling domain; `[0, 1)`
+    /// for floats).
+    #[inline]
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from `range`.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                    splitmix64(&mut state),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(1..=5u64);
+            assert!((1..=5).contains(&y));
+            let z: usize = rng.gen_range(0..3usize);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        let mut seen_incl = [false; 5];
+        for _ in 0..1000 {
+            seen_incl[rng.gen_range(1..=5usize) - 1] = true;
+        }
+        assert!(seen_incl.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen();
+                assert!((0.0..1.0).contains(&x));
+                x
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn full_width_inclusive_range_does_not_panic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+}

@@ -343,7 +343,7 @@ mod tests {
     #[test]
     fn elastic_kind_records_cuts_under_contention() {
         let stm = Stm::new(StmConfig::elastic());
-        let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..64).map(|i| TCell::new(i)).collect());
+        let cells: Arc<Vec<TCell<u64>>> = Arc::new((0..64).map(TCell::new).collect());
         let threads: Vec<_> = (0..4)
             .map(|t| {
                 let mut ctx = stm.register();

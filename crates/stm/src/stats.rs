@@ -92,6 +92,22 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// Fold another snapshot into this one: counters add up, high-water marks
+    /// take the maximum. Used to aggregate statistics across several STM
+    /// instances (e.g. the per-shard instances of a sharded map).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.explicit_aborts += other.explicit_aborts;
+        self.tx_reads += other.tx_reads;
+        self.tx_ureads += other.tx_ureads;
+        self.tx_writes += other.tx_writes;
+        self.elastic_cuts += other.elastic_cuts;
+        self.max_reads_per_op = self.max_reads_per_op.max(other.max_reads_per_op);
+        self.max_read_set = self.max_read_set.max(other.max_read_set);
+        self.max_write_set = self.max_write_set.max(other.max_write_set);
+    }
+
     /// Ratio of aborted attempts to total attempts, in `[0, 1]`.
     pub fn abort_ratio(&self) -> f64 {
         let attempts = self.commits + self.aborts;
@@ -131,9 +147,7 @@ impl StatsRegistry {
                 .max_reads_per_op
                 .max(t.max_reads_per_op.load(Ordering::Relaxed));
             s.max_read_set = s.max_read_set.max(t.max_read_set.load(Ordering::Relaxed));
-            s.max_write_set = s
-                .max_write_set
-                .max(t.max_write_set.load(Ordering::Relaxed));
+            s.max_write_set = s.max_write_set.max(t.max_write_set.load(Ordering::Relaxed));
         }
         s
     }

@@ -159,7 +159,7 @@ pub fn run_clients<D: DirectoryMap>(
             let activity = manager.register_activity();
             std::thread::spawn(move || {
                 let mut rng =
-                    StdRng::seed_from_u64(params.seed ^ (client_index as u64 + 1) * 0x9e37);
+                    StdRng::seed_from_u64(params.seed ^ ((client_index as u64 + 1) * 0x9e37));
                 for _ in 0..per_client {
                     let guards: Vec<_> = activity.iter().map(|a| a.begin()).collect();
                     run_one_transaction(&mut ctx, &manager, &params, &mut rng);
@@ -200,7 +200,7 @@ fn run_one_transaction<D: DirectoryMap>(
         let queries: Vec<(ReservationKind, u64)> = (0..num_queries)
             .map(|_| {
                 (
-                    ReservationKind::ALL[rng.gen_range(0..3)],
+                    ReservationKind::ALL[rng.gen_range(0..3usize)],
                     rng.gen_range(1..=query_range),
                 )
             })
@@ -217,7 +217,7 @@ fn run_one_transaction<D: DirectoryMap>(
                     manager.query_price(tx, kind, id)?,
                     manager.query_free(tx, kind, id)?,
                 ) {
-                    if free > 0 && best[slot].map_or(true, |(p, _)| price > p) {
+                    if free > 0 && best[slot].is_none_or(|(p, _)| price > p) {
                         best[slot] = Some((price, id));
                     }
                 }
@@ -247,7 +247,7 @@ fn run_one_transaction<D: DirectoryMap>(
         let updates: Vec<(ReservationKind, u64, bool, u64)> = (0..num_updates)
             .map(|_| {
                 (
-                    ReservationKind::ALL[rng.gen_range(0..3)],
+                    ReservationKind::ALL[rng.gen_range(0..3usize)],
                     rng.gen_range(1..=query_range),
                     rng.gen_bool(0.5),
                     50 * rng.gen_range(1..=5u64) + 50,

@@ -141,7 +141,11 @@ mod tests {
 
     #[test]
     fn sf_trees_provide_activity_handles() {
-        assert!(sf_tree::OptSpecFriendlyTree::new().register_activity().is_some());
-        assert!(sf_baselines::RedBlackTree::new().register_activity().is_none());
+        assert!(sf_tree::OptSpecFriendlyTree::new()
+            .register_activity()
+            .is_some());
+        assert!(sf_baselines::RedBlackTree::new()
+            .register_activity()
+            .is_none());
     }
 }

@@ -36,8 +36,11 @@ pub enum ReservationKind {
 
 impl ReservationKind {
     /// All resource kinds, in a fixed order.
-    pub const ALL: [ReservationKind; 3] =
-        [ReservationKind::Car, ReservationKind::Room, ReservationKind::Flight];
+    pub const ALL: [ReservationKind; 3] = [
+        ReservationKind::Car,
+        ReservationKind::Room,
+        ReservationKind::Flight,
+    ];
 
     fn index(self) -> u64 {
         match self {
@@ -302,7 +305,11 @@ impl<D: DirectoryMap> Manager<D> {
         let record = self.customer(slot);
         let count = tx.read(&record.count)? as usize;
         let mut bill = 0u64;
-        for cell in record.slots.iter().take(count.min(CUSTOMER_RESERVATION_CAPACITY)) {
+        for cell in record
+            .slots
+            .iter()
+            .take(count.min(CUSTOMER_RESERVATION_CAPACITY))
+        {
             let (_, _, price) = unpack_info(tx.read(cell)?);
             bill += price;
         }
@@ -324,7 +331,11 @@ impl<D: DirectoryMap> Manager<D> {
         let record = self.customer(slot);
         let count = tx.read(&record.count)? as usize;
         let mut bill = 0u64;
-        for cell in record.slots.iter().take(count.min(CUSTOMER_RESERVATION_CAPACITY)) {
+        for cell in record
+            .slots
+            .iter()
+            .take(count.min(CUSTOMER_RESERVATION_CAPACITY))
+        {
             let (kind, res_id, price) = unpack_info(tx.read(cell)?);
             bill += price;
             // Release the unit back to the resource pool.
@@ -472,7 +483,9 @@ mod tests {
     use sf_stm::Stm;
     use sf_tree::OptSpecFriendlyTree;
 
-    fn with_manager<D: DirectoryMap + Default>(f: impl FnOnce(&Manager<D>, &mut sf_stm::ThreadCtx)) {
+    fn with_manager<D: DirectoryMap + Default>(
+        f: impl FnOnce(&Manager<D>, &mut sf_stm::ThreadCtx),
+    ) {
         let stm = Stm::default_config();
         let mut ctx = stm.register();
         let manager = Manager::<D>::new();

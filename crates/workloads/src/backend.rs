@@ -1,0 +1,437 @@
+//! The backend registry: one place that knows how to build every map
+//! implementation in this repository behind a uniform, object-safe driving
+//! interface.
+//!
+//! Historically each benchmark harness hard-coded its own dispatch over the
+//! tree types (a `TreeKind` enum in `sf-bench`), which meant new backends —
+//! like the sharded tree — had to be wired into every harness by hand. The
+//! registry inverts that: harnesses resolve **structure names** to ready-made
+//! [`Backend`] instances and drive them through [`MapSession`], so any
+//! harness can run any backend, including ones whose construction needs
+//! extra machinery (per-shard STM instances, background maintenance
+//! threads).
+//!
+//! ## Names
+//!
+//! | name | backend |
+//! |---|---|
+//! | `rbtree` | transaction-encapsulated red-black tree |
+//! | `avl` | transaction-encapsulated AVL tree |
+//! | `nrtree` | no-restructuring tree |
+//! | `seq` | sequential reference map (single global mutex) |
+//! | `sftree` | speculation-friendly tree, portable variant |
+//! | `sftree-opt` | speculation-friendly tree, optimized variant |
+//! | `sftree-sharded<N>` | `N`-shard portable speculation-friendly tree |
+//! | `sftree-opt-sharded<N>` | `N`-shard optimized speculation-friendly tree |
+//!
+//! The speculation-friendly backends come with their background maintenance
+//! thread already running (one per shard for the sharded variants); dropping
+//! the [`Backend`] stops them.
+//!
+//! ```
+//! use sf_stm::StmConfig;
+//! use sf_workloads::backend::Backend;
+//! use sf_workloads::{populate_and_run_backend, WorkloadConfig};
+//!
+//! let backend = Backend::build("sftree-opt-sharded4", StmConfig::ctl()).unwrap();
+//! let config = WorkloadConfig::smoke_test();
+//! let result = populate_and_run_backend(&backend, &config);
+//! assert_eq!(result.structure, "OptSFtree-sharded4");
+//! assert!(result.total_ops > 0);
+//! ```
+
+use std::sync::Arc;
+
+use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use sf_stm::{StatsSnapshot, Stm, StmConfig};
+use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
+use sf_tree::{OptSpecFriendlyTree, ShardedMap, SpecFriendlyTree, TxMap};
+use std::time::Duration;
+
+/// A per-thread driving session over some backend: the object-safe
+/// counterpart of [`TxMap`] with the handle folded in.
+pub trait MapSession: Send {
+    /// Membership test.
+    fn contains(&mut self, key: u64) -> bool;
+    /// Look up a key's value.
+    fn get(&mut self, key: u64) -> Option<u64>;
+    /// Insert `key -> value`; `true` when the map changed.
+    fn insert(&mut self, key: u64, value: u64) -> bool;
+    /// Delete `key`; `true` when the map changed.
+    fn delete(&mut self, key: u64) -> bool;
+    /// Atomically move `from` to `to`; `true` when the map changed.
+    fn move_entry(&mut self, from: u64, to: u64) -> bool;
+}
+
+/// The object-safe face of a runnable backend: create sessions, observe
+/// aggregate state and statistics.
+trait BackendHarness: Send + Sync {
+    fn session(&self) -> Box<dyn MapSession>;
+    fn len_quiescent(&self) -> usize;
+    fn stats(&self) -> StatsSnapshot;
+    fn reset_stats(&self);
+}
+
+struct TreeSession<M: TxMap + 'static> {
+    map: Arc<M>,
+    handle: M::Handle,
+}
+
+impl<M: TxMap> MapSession for TreeSession<M>
+where
+    M::Handle: Send,
+{
+    fn contains(&mut self, key: u64) -> bool {
+        self.map.contains(&mut self.handle, key)
+    }
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.map.get(&mut self.handle, key)
+    }
+    fn insert(&mut self, key: u64, value: u64) -> bool {
+        self.map.insert(&mut self.handle, key, value)
+    }
+    fn delete(&mut self, key: u64) -> bool {
+        self.map.delete(&mut self.handle, key)
+    }
+    fn move_entry(&mut self, from: u64, to: u64) -> bool {
+        self.map.move_entry(&mut self.handle, from, to)
+    }
+}
+
+/// Generic harness over any [`TxMap`]: the map, the STM instance(s) whose
+/// statistics describe it, and whatever guards keep its background threads
+/// alive (dropped with the harness).
+struct TreeBackend<M: TxMap + 'static> {
+    map: Arc<M>,
+    /// All STM instances involved (one, or one per shard). The first one
+    /// mints the `ThreadCtx` passed to [`TxMap::register`]; sharded maps
+    /// ignore it and register with their per-shard instances internally.
+    stms: Vec<Arc<Stm>>,
+    /// Background maintenance threads owned by the backend (empty for
+    /// baselines and for sharded maps, which manage theirs internally).
+    /// Paused during quiescent inspection; stopped when the backend drops.
+    maintenance: Vec<MaintenanceHandle>,
+}
+
+impl<M: TxMap> BackendHarness for TreeBackend<M>
+where
+    M::Handle: Send + 'static,
+{
+    fn session(&self) -> Box<dyn MapSession> {
+        Box::new(TreeSession {
+            map: Arc::clone(&self.map),
+            handle: self.map.register(self.stms[0].register()),
+        })
+    }
+
+    fn len_quiescent(&self) -> usize {
+        // Counting traversals are only accurate while no restructuring runs.
+        let _paused: Vec<_> = self.maintenance.iter().map(|m| m.pause()).collect();
+        self.map.len_quiescent()
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for stm in &self.stms {
+            total.merge(&stm.stats());
+        }
+        total
+    }
+
+    fn reset_stats(&self) {
+        for stm in &self.stms {
+            stm.reset_stats();
+        }
+    }
+}
+
+/// Harness for sharded maps. Sessions register through
+/// [`ShardedMap::register_sharded`] — going through [`TxMap::register`]
+/// would mint a throwaway `ThreadCtx` on shard 0's STM, permanently
+/// appending a dead stats slot to its registry per session. Statistics come
+/// from the map's own per-shard aggregation.
+struct ShardedBackend<M: TxMap + 'static> {
+    map: Arc<ShardedMap<M>>,
+}
+
+impl<M: TxMap + 'static> BackendHarness for ShardedBackend<M>
+where
+    M::Handle: Send + 'static,
+{
+    fn session(&self) -> Box<dyn MapSession> {
+        Box::new(TreeSession {
+            map: Arc::clone(&self.map),
+            handle: self.map.register_sharded(),
+        })
+    }
+
+    fn len_quiescent(&self) -> usize {
+        TxMap::len_quiescent(self.map.as_ref())
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        self.map.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.map.reset_stats();
+    }
+}
+
+/// Split a comma- and/or whitespace-separated structure list (the
+/// `SF_STRUCTURES` format) into names, dropping empty segments.
+pub fn parse_structure_list(spec: &str) -> Vec<String> {
+    spec.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|name| !name.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// A ready-to-drive backend built by the registry (or wrapped around caller
+/// owned parts via [`Backend::from_parts`]).
+pub struct Backend {
+    label: String,
+    harness: Box<dyn BackendHarness>,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+/// Error returned by [`Backend::build`] for unrecognized structure names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownBackend {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown structure '{}'; known: {}",
+            self.name,
+            KNOWN_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownBackend {}
+
+/// The names [`Backend::build`] understands (`<N>` is a shard count).
+pub const KNOWN_NAMES: &[&str] = &[
+    "rbtree",
+    "avl",
+    "nrtree",
+    "seq",
+    "sftree",
+    "sftree-opt",
+    "sftree-sharded<N>",
+    "sftree-opt-sharded<N>",
+];
+
+/// Maintenance tuning applied to the speculation-friendly backends built by
+/// the registry (matching the historical harness setting).
+fn registry_maintenance_config() -> MaintenanceConfig {
+    MaintenanceConfig {
+        pass_delay: Duration::from_micros(200),
+        ..MaintenanceConfig::default()
+    }
+}
+
+impl Backend {
+    /// Resolve a structure name (see the [module docs](self) for the table)
+    /// to a ready-to-drive backend. Speculation-friendly backends start
+    /// their maintenance thread(s) here; dropping the returned backend stops
+    /// them.
+    pub fn build(name: &str, stm_config: StmConfig) -> Result<Backend, UnknownBackend> {
+        let name = name.trim();
+        if let Some(shards) = parse_sharded(name, "sftree-opt-sharded") {
+            let map = ShardedMap::optimized_with(shards, stm_config, registry_maintenance_config());
+            return Ok(Backend::assemble_sharded(Arc::new(map)));
+        }
+        if let Some(shards) = parse_sharded(name, "sftree-sharded") {
+            let map = ShardedMap::portable(shards, stm_config);
+            return Ok(Backend::assemble_sharded(Arc::new(map)));
+        }
+        let stm = Stm::new(stm_config);
+        match name {
+            "rbtree" => Ok(Backend::assemble(
+                Arc::new(RedBlackTree::new()),
+                vec![stm],
+                Vec::new(),
+            )),
+            "avl" => Ok(Backend::assemble(
+                Arc::new(AvlTree::new()),
+                vec![stm],
+                Vec::new(),
+            )),
+            "nrtree" => Ok(Backend::assemble(
+                Arc::new(NoRestructureTree::new()),
+                vec![stm],
+                Vec::new(),
+            )),
+            "seq" => Ok(Backend::assemble(
+                Arc::new(SeqMap::new()),
+                vec![stm],
+                Vec::new(),
+            )),
+            "sftree" => {
+                let map = Arc::new(SpecFriendlyTree::new());
+                let maintenance =
+                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                Ok(Backend::assemble(map, vec![stm], vec![maintenance]))
+            }
+            "sftree-opt" => {
+                let map = Arc::new(OptSpecFriendlyTree::new());
+                let maintenance =
+                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                Ok(Backend::assemble(map, vec![stm], vec![maintenance]))
+            }
+            _ => Err(UnknownBackend {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Wrap caller-owned parts (an existing map and the STM instance(s) that
+    /// describe it) as a backend, without the registry constructing
+    /// anything. This is how the generic [`run_workload`] driver funnels
+    /// into the same code path as registry-built backends.
+    ///
+    /// [`run_workload`]: crate::run_workload
+    pub fn from_parts<M>(map: Arc<M>, stms: Vec<Arc<Stm>>) -> Backend
+    where
+        M: TxMap + 'static,
+        M::Handle: Send + 'static,
+    {
+        Backend::assemble(map, stms, Vec::new())
+    }
+
+    fn assemble_sharded<M>(map: Arc<ShardedMap<M>>) -> Backend
+    where
+        M: TxMap + 'static,
+        M::Handle: Send + 'static,
+    {
+        Backend {
+            label: map.name().to_string(),
+            harness: Box::new(ShardedBackend { map }),
+        }
+    }
+
+    fn assemble<M>(map: Arc<M>, stms: Vec<Arc<Stm>>, maintenance: Vec<MaintenanceHandle>) -> Backend
+    where
+        M: TxMap + 'static,
+        M::Handle: Send + 'static,
+    {
+        assert!(
+            !stms.is_empty(),
+            "a backend needs at least one STM instance"
+        );
+        Backend {
+            label: map.name().to_string(),
+            harness: Box::new(TreeBackend {
+                map,
+                stms,
+                maintenance,
+            }),
+        }
+    }
+
+    /// The backend's display label (e.g. `OptSFtree-sharded8`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Open a driving session for one worker thread.
+    pub fn session(&self) -> Box<dyn MapSession> {
+        self.harness.session()
+    }
+
+    /// Number of live keys while quiescent.
+    pub fn len_quiescent(&self) -> usize {
+        self.harness.len_quiescent()
+    }
+
+    /// STM statistics aggregated over the backend's STM instance(s).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.harness.stats()
+    }
+
+    /// Reset the statistics of the backend's STM instance(s).
+    pub fn reset_stats(&self) {
+        self.harness.reset_stats();
+    }
+}
+
+/// Parse `<prefix><N>` into `N`.
+fn parse_sharded(name: &str, prefix: &str) -> Option<usize> {
+    let rest = name.strip_prefix(prefix)?;
+    let shards: usize = rest.parse().ok()?;
+    (shards >= 1).then_some(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_fixed_name() {
+        for (name, label) in [
+            ("rbtree", "RBtree"),
+            ("avl", "AVLtree"),
+            ("nrtree", "NRtree"),
+            ("seq", "Sequential"),
+            ("sftree", "SFtree"),
+            ("sftree-opt", "OptSFtree"),
+        ] {
+            let backend = Backend::build(name, StmConfig::ctl()).unwrap();
+            assert_eq!(backend.label(), label, "label for {name}");
+            let mut session = backend.session();
+            assert!(session.insert(1, 10));
+            assert_eq!(session.get(1), Some(10));
+            assert!(session.move_entry(1, 2));
+            assert!(session.delete(2));
+            assert!(!session.contains(2));
+        }
+    }
+
+    #[test]
+    fn builds_sharded_variants_with_the_requested_shard_count() {
+        let backend = Backend::build("sftree-opt-sharded4", StmConfig::ctl()).unwrap();
+        assert_eq!(backend.label(), "OptSFtree-sharded4");
+        let mut session = backend.session();
+        for key in 0..128u64 {
+            assert!(session.insert(key, key));
+        }
+        assert_eq!(backend.len_quiescent(), 128);
+
+        let portable = Backend::build("sftree-sharded2", StmConfig::ctl()).unwrap();
+        assert_eq!(portable.label(), "SFtree-sharded2");
+    }
+
+    #[test]
+    fn rejects_unknown_names_with_a_helpful_error() {
+        let err = Backend::build("btree-of-dreams", StmConfig::ctl()).unwrap_err();
+        assert_eq!(err.name, "btree-of-dreams");
+        assert!(err.to_string().contains("sftree-opt-sharded<N>"));
+        assert!(Backend::build("sftree-opt-sharded0", StmConfig::ctl()).is_err());
+        assert!(Backend::build("sftree-opt-shardedx", StmConfig::ctl()).is_err());
+    }
+
+    #[test]
+    fn stats_reset_and_aggregate_across_sessions() {
+        let backend = Backend::build("sftree-opt-sharded2", StmConfig::ctl()).unwrap();
+        let mut session = backend.session();
+        for key in 0..32u64 {
+            session.insert(key, key);
+        }
+        assert!(backend.stats().commits >= 32);
+        backend.reset_stats();
+        assert_eq!(backend.stats().commits, 0);
+    }
+}

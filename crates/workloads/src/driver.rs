@@ -3,6 +3,13 @@
 //! throughput together with the STM-level statistics (aborts, transactional
 //! reads, read-set high-water marks) that the paper's Table 1 and Figures 3-5
 //! are built from.
+//!
+//! The driver runs over [`Backend`]s — the object-safe wrapper of the
+//! [`backend`](crate::backend) registry — so one loop serves every
+//! structure, including multi-STM ones like the sharded tree. The generic
+//! [`run_workload`] / [`populate_and_run`] entry points wrap caller-owned
+//! `(stm, map)` pairs into an ephemeral [`Backend`] and funnel into the same
+//! code path.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -11,6 +18,7 @@ use std::time::{Duration, Instant};
 use sf_stm::{StatsSnapshot, Stm};
 use sf_tree::TxMap;
 
+use crate::backend::{Backend, MapSession};
 use crate::config::{RunLength, WorkloadConfig};
 use crate::keygen::{KeyGen, OpKind};
 
@@ -27,8 +35,8 @@ struct ThreadReport {
 /// Aggregated result of one micro-benchmark run.
 #[derive(Debug, Clone)]
 pub struct WorkloadResult {
-    /// Structure label (e.g. `SFtree`).
-    pub structure: &'static str,
+    /// Structure label (e.g. `SFtree`, `OptSFtree-sharded8`).
+    pub structure: String,
     /// Number of application threads.
     pub threads: usize,
     /// Total completed operations across all threads.
@@ -45,7 +53,8 @@ pub struct WorkloadResult {
     /// Wall-clock duration of the measured phase.
     pub elapsed: Duration,
     /// STM statistics accumulated during the measured phase (the populate
-    /// phase is excluded by resetting the counters).
+    /// phase is excluded by resetting the counters), aggregated over every
+    /// STM instance of the backend.
     pub stm: StatsSnapshot,
 }
 
@@ -71,6 +80,26 @@ impl WorkloadResult {
 }
 
 /// Insert `config.initial_size` distinct keys drawn uniformly from the key
+/// range through one session (single-threaded, before the measured phase).
+fn populate_session(session: &mut dyn MapSession, config: &WorkloadConfig) {
+    let mut gen = KeyGen::new(
+        config.seed ^ 0xb0b0_b0b0,
+        0xffff,
+        config.key_range,
+        0.0,
+        0.0,
+        None,
+    );
+    let mut inserted = 0usize;
+    while inserted < config.initial_size.min(config.key_range as usize) {
+        let key = gen.uniform_key();
+        if session.insert(key, key) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Insert `config.initial_size` distinct keys drawn uniformly from the key
 /// range (single-threaded, before the measured phase).
 pub fn populate<M: TxMap>(stm: &Arc<Stm>, map: &M, config: &WorkloadConfig) {
     let mut handle = map.register(stm.register());
@@ -91,91 +120,105 @@ pub fn populate<M: TxMap>(stm: &Arc<Stm>, map: &M, config: &WorkloadConfig) {
     }
 }
 
-/// Run the measured phase of the workload over an already-populated map.
+/// Populate a registry-built backend (single-threaded).
+pub fn populate_backend(backend: &Backend, config: &WorkloadConfig) {
+    populate_session(backend.session().as_mut(), config);
+}
+
+/// One worker thread's measured loop.
+fn worker_loop(
+    session: &mut dyn MapSession,
+    gen: &mut KeyGen,
+    run: RunLength,
+    stop: &AtomicBool,
+    barrier: &Barrier,
+) -> ThreadReport {
+    let mut report = ThreadReport::default();
+    barrier.wait();
+    let op_budget = match run {
+        RunLength::Ops(n) => n,
+        RunLength::Timed(_) => u64::MAX,
+    };
+    while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
+        match gen.next_op() {
+            OpKind::Contains => {
+                let key = gen.uniform_key();
+                if session.contains(key) {
+                    report.successful_lookups += 1;
+                }
+            }
+            OpKind::Insert => {
+                let key = gen.insert_key();
+                report.attempted_updates += 1;
+                if session.insert(key, key) {
+                    report.effective_updates += 1;
+                }
+            }
+            OpKind::Delete => {
+                let key = gen.delete_key();
+                report.attempted_updates += 1;
+                if session.delete(key) {
+                    report.effective_updates += 1;
+                }
+            }
+            OpKind::Move => {
+                let from = gen.delete_key();
+                let to = gen.insert_key();
+                report.attempted_updates += 1;
+                if session.move_entry(from, to) {
+                    report.effective_updates += 1;
+                    report.effective_moves += 1;
+                }
+            }
+        }
+        report.ops += 1;
+    }
+    report
+}
+
+/// Run the measured phase of the workload over an already-populated backend.
 ///
 /// STM statistics are reset at the start of the measured phase so the
 /// returned snapshot covers only the measured operations.
-pub fn run_workload<M>(stm: &Arc<Stm>, map: &Arc<M>, config: &WorkloadConfig) -> WorkloadResult
-where
-    M: TxMap + Send + Sync + 'static,
-    M::Handle: Send + 'static,
-{
-    assert!(config.threads >= 1, "at least one worker thread is required");
-    stm.reset_stats();
-    let stop = Arc::new(AtomicBool::new(false));
-    let barrier = Arc::new(Barrier::new(config.threads + 1));
-    let mut workers = Vec::with_capacity(config.threads);
-    for thread_index in 0..config.threads {
-        let map = Arc::clone(map);
-        let stop = Arc::clone(&stop);
-        let barrier = Arc::clone(&barrier);
-        let mut handle = map.register(stm.register());
-        let mut gen = KeyGen::new(
-            config.seed,
-            thread_index,
-            config.key_range,
-            config.update_ratio,
-            config.move_ratio,
-            config.bias,
-        );
-        let run = config.run;
-        workers.push(std::thread::spawn(move || {
-            let mut report = ThreadReport::default();
-            barrier.wait();
-            let op_budget = match run {
-                RunLength::Ops(n) => n,
-                RunLength::Timed(_) => u64::MAX,
-            };
-            while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
-                match gen.next_op() {
-                    OpKind::Contains => {
-                        let key = gen.uniform_key();
-                        if map.contains(&mut handle, key) {
-                            report.successful_lookups += 1;
-                        }
-                    }
-                    OpKind::Insert => {
-                        let key = gen.insert_key();
-                        report.attempted_updates += 1;
-                        if map.insert(&mut handle, key, key) {
-                            report.effective_updates += 1;
-                        }
-                    }
-                    OpKind::Delete => {
-                        let key = gen.delete_key();
-                        report.attempted_updates += 1;
-                        if map.delete(&mut handle, key) {
-                            report.effective_updates += 1;
-                        }
-                    }
-                    OpKind::Move => {
-                        let from = gen.delete_key();
-                        let to = gen.insert_key();
-                        report.attempted_updates += 1;
-                        if map.move_entry(&mut handle, from, to) {
-                            report.effective_updates += 1;
-                            report.effective_moves += 1;
-                        }
-                    }
-                }
-                report.ops += 1;
-            }
-            report
-        }));
-    }
-    barrier.wait();
-    let started = Instant::now();
-    if let RunLength::Timed(duration) = config.run {
-        std::thread::sleep(duration);
-        stop.store(true, Ordering::Relaxed);
-    }
-    let reports: Vec<ThreadReport> = workers
-        .into_iter()
-        .map(|w| w.join().expect("worker thread panicked"))
-        .collect();
-    let elapsed = started.elapsed();
+pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> WorkloadResult {
+    assert!(
+        config.threads >= 1,
+        "at least one worker thread is required"
+    );
+    backend.reset_stats();
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(config.threads + 1);
+    let run = config.run;
+    let (reports, elapsed) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..config.threads)
+            .map(|thread_index| {
+                let mut session = backend.session();
+                let mut gen = KeyGen::new(
+                    config.seed,
+                    thread_index,
+                    config.key_range,
+                    config.update_ratio,
+                    config.move_ratio,
+                    config.bias,
+                );
+                let (stop, barrier) = (&stop, &barrier);
+                scope.spawn(move || worker_loop(session.as_mut(), &mut gen, run, stop, barrier))
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        if let RunLength::Timed(duration) = run {
+            std::thread::sleep(duration);
+            stop.store(true, Ordering::Relaxed);
+        }
+        let reports: Vec<ThreadReport> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker thread panicked"))
+            .collect();
+        (reports, started.elapsed())
+    });
     let mut result = WorkloadResult {
-        structure: map.name(),
+        structure: backend.label().to_string(),
         threads: config.threads,
         total_ops: 0,
         effective_updates: 0,
@@ -183,7 +226,7 @@ where
         effective_moves: 0,
         successful_lookups: 0,
         elapsed,
-        stm: stm.stats(),
+        stm: backend.stats(),
     };
     for r in reports {
         result.total_ops += r.ops;
@@ -195,12 +238,27 @@ where
     result
 }
 
+/// Populate and run a registry-built backend in one call.
+pub fn populate_and_run_backend(backend: &Backend, config: &WorkloadConfig) -> WorkloadResult {
+    populate_backend(backend, config);
+    run_workload_backend(backend, config)
+}
+
+/// Run the measured phase of the workload over an already-populated map.
+///
+/// Wraps the caller-owned `(stm, map)` pair into an ephemeral [`Backend`]
+/// and drives it through the same loop as registry-built backends.
+pub fn run_workload<M>(stm: &Arc<Stm>, map: &Arc<M>, config: &WorkloadConfig) -> WorkloadResult
+where
+    M: TxMap + Send + Sync + 'static,
+    M::Handle: Send + 'static,
+{
+    let backend = Backend::from_parts(Arc::clone(map), vec![Arc::clone(stm)]);
+    run_workload_backend(&backend, config)
+}
+
 /// Populate and run in one call.
-pub fn populate_and_run<M>(
-    stm: &Arc<Stm>,
-    map: &Arc<M>,
-    config: &WorkloadConfig,
-) -> WorkloadResult
+pub fn populate_and_run<M>(stm: &Arc<Stm>, map: &Arc<M>, config: &WorkloadConfig) -> WorkloadResult
 where
     M: TxMap + Send + Sync + 'static,
     M::Handle: Send + 'static,
@@ -213,6 +271,7 @@ where
 mod tests {
     use super::*;
     use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree};
+    use sf_stm::StmConfig;
     use sf_tree::{OptSpecFriendlyTree, SpecFriendlyTree};
 
     fn smoke<M>(map: M)
@@ -247,6 +306,23 @@ mod tests {
     }
 
     #[test]
+    fn registry_backends_run_the_smoke_workload() {
+        for name in ["sftree-opt", "sftree-opt-sharded4", "rbtree"] {
+            let backend = Backend::build(name, StmConfig::ctl()).unwrap();
+            let config = WorkloadConfig::smoke_test();
+            let result = populate_and_run_backend(&backend, &config);
+            assert_eq!(result.structure, backend.label());
+            assert_eq!(result.total_ops, 600, "{name}: two threads x 300 ops");
+            assert!(result.stm.commits > 0, "{name} recorded no commits");
+            let len = backend.len_quiescent();
+            assert!(
+                (len as i64 - config.initial_size as i64).abs() < 64,
+                "{name}: size drifted too far: {len}"
+            );
+        }
+    }
+
+    #[test]
     fn move_workload_reports_moves() {
         let stm = Stm::default_config();
         let map = Arc::new(OptSpecFriendlyTree::new());
@@ -254,6 +330,16 @@ mod tests {
             .with_update_ratio(0.5)
             .with_move_ratio(0.5);
         let result = populate_and_run(&stm, &map, &config);
+        assert!(result.effective_moves > 0, "expected some moves to succeed");
+    }
+
+    #[test]
+    fn sharded_move_workload_reports_moves() {
+        let backend = Backend::build("sftree-opt-sharded4", StmConfig::ctl()).unwrap();
+        let config = WorkloadConfig::smoke_test()
+            .with_update_ratio(0.5)
+            .with_move_ratio(0.5);
+        let result = populate_and_run_backend(&backend, &config);
         assert!(result.effective_moves > 0, "expected some moves to succeed");
     }
 

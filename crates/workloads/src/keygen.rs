@@ -44,14 +44,16 @@ impl KeyGen {
         bias: Option<Bias>,
     ) -> Self {
         // Derive a distinct, deterministic stream per thread.
-        let rng = StdRng::seed_from_u64(seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_index as u64 + 1)));
+        let rng = StdRng::seed_from_u64(
+            seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(thread_index as u64 + 1)),
+        );
         KeyGen {
             rng,
             key_range: key_range.max(2),
             update_ratio,
             move_ratio,
             bias,
-            next_update_is_insert: thread_index % 2 == 0,
+            next_update_is_insert: thread_index.is_multiple_of(2),
         }
     }
 
@@ -134,18 +136,28 @@ mod tests {
     fn move_ratio_produces_moves() {
         let mut g = KeyGen::new(3, 0, 64, 1.0, 0.5, None);
         let moves = (0..10_000).filter(|_| g.next_op() == OpKind::Move).count();
-        assert!(moves > 3_000, "expected roughly half of updates to be moves, got {moves}");
+        assert!(
+            moves > 3_000,
+            "expected roughly half of updates to be moves, got {moves}"
+        );
     }
 
     #[test]
     fn biased_insert_keys_are_higher_on_average_than_delete_keys() {
-        let mut g = KeyGen::new(11, 0, 1 << 14, 1.0, 0.0, Some(Bias { skew: 10 }));
+        // Paired design: two generators with identical streams draw the same
+        // base key and skew offset, so the insert-minus-delete difference
+        // isolates the bias (mean 2 * E[offset] ~ 9) instead of comparing two
+        // independent means whose sampling noise would swamp it.
+        let mut gi = KeyGen::new(11, 0, 1 << 14, 1.0, 0.0, Some(Bias { skew: 10 }));
+        let mut gd = KeyGen::new(11, 0, 1 << 14, 1.0, 0.0, Some(Bias { skew: 10 }));
         let n = 50_000;
-        let insert_avg: f64 = (0..n).map(|_| g.insert_key() as f64).sum::<f64>() / n as f64;
-        let delete_avg: f64 = (0..n).map(|_| g.delete_key() as f64).sum::<f64>() / n as f64;
+        let diff_avg: f64 = (0..n)
+            .map(|_| gi.insert_key() as f64 - gd.delete_key() as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!(
-            insert_avg > delete_avg + 5.0,
-            "bias should push inserts up and deletes down: {insert_avg} vs {delete_avg}"
+            diff_avg > 5.0,
+            "bias should push inserts up and deletes down: paired diff {diff_avg}"
         );
     }
 

@@ -30,10 +30,15 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod backend;
 mod config;
 mod driver;
 mod keygen;
 
+pub use backend::{parse_structure_list, Backend, MapSession, UnknownBackend};
 pub use config::{Bias, RunLength, WorkloadConfig};
-pub use driver::{populate, populate_and_run, run_workload, WorkloadResult};
+pub use driver::{
+    populate, populate_and_run, populate_and_run_backend, populate_backend, run_workload,
+    run_workload_backend, WorkloadResult,
+};
 pub use keygen::{KeyGen, OpKind};

@@ -1,86 +1,62 @@
-//! The synchrobench-style integer-set micro-benchmark from §5.2, run on all
-//! five tree variants with a 10%-update workload, printing a small comparison
-//! table (a miniature of Figure 3).
+//! The synchrobench-style integer-set micro-benchmark from §5.2, run on
+//! every registered backend with a 10%-update workload, printing a small
+//! comparison table (a miniature of Figure 3).
 //!
-//! Run with `cargo run --release --example concurrent_set`.
+//! Run with `cargo run --release --example concurrent_set`. Override the
+//! compared structures with `SF_STRUCTURES` (comma/space-separated registry
+//! names, e.g. `SF_STRUCTURES=sftree-opt,sftree-opt-sharded8`).
 
-use std::sync::Arc;
 use std::time::Duration;
 
-use speculation_friendly_tree::baselines::{AvlTree, NoRestructureTree, RedBlackTree};
 use speculation_friendly_tree::prelude::*;
-use speculation_friendly_tree::workloads::{populate, run_workload};
+use speculation_friendly_tree::workloads::{
+    parse_structure_list, populate_and_run_backend, Backend,
+};
 
-fn bench<M>(name: &str, tree: Arc<M>, maintenance: Option<sf_tree::MaintenanceHandle>)
-where
-    M: TxMap + Send + Sync + 'static,
-    M::Handle: Send + 'static,
-{
-    let stm = Stm::default_config();
+fn main() {
+    println!("integer-set micro-benchmark: 1024 keys, 4 threads, 10% effective updates, 250 ms\n");
+    let names: Vec<String> = std::env::var("SF_STRUCTURES")
+        .ok()
+        .map(|s| parse_structure_list(&s))
+        .filter(|names| !names.is_empty())
+        .unwrap_or_else(|| {
+            [
+                "sftree-opt",
+                "sftree",
+                "rbtree",
+                "avl",
+                "nrtree",
+                "sftree-opt-sharded4",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+        });
     let config = WorkloadConfig::paper_default()
         .with_size(1 << 10)
         .with_threads(4)
         .with_update_ratio(0.10)
         .with_run(RunLength::Timed(Duration::from_millis(250)));
-    populate(&stm, tree.as_ref(), &config);
-    let result = run_workload(&stm, &tree, &config);
-    drop(maintenance);
-    println!(
-        "{name:<12} {:>8.3} ops/us   abort-ratio {:>5.1}%   max tracked reads/op {}",
-        result.ops_per_microsecond(),
-        100.0 * result.abort_ratio(),
-        result.stm.max_reads_per_op
-    );
-}
-
-fn main() {
-    println!("integer-set micro-benchmark: 1024 keys, 4 threads, 10% effective updates, 250 ms\n");
-    // NOTE: the maintenance thread needs the *same* STM as the workers, so we
-    // build trees and maintenance in the helper where the STM lives... except
-    // the speculation-friendly trees, which are set up here explicitly.
-    {
-        let stm = Stm::default_config();
-        let tree = Arc::new(OptSpecFriendlyTree::new());
-        let config = WorkloadConfig::paper_default()
-            .with_size(1 << 10)
-            .with_threads(4)
-            .with_update_ratio(0.10)
-            .with_run(RunLength::Timed(Duration::from_millis(250)));
-        populate(&stm, tree.as_ref(), &config);
-        let maintenance = tree.start_maintenance(stm.register());
-        let result = run_workload(&stm, &tree, &config);
-        maintenance.stop();
+    for name in &names {
+        // The registry wires up each backend's STM instance(s) and
+        // maintenance thread(s); dropping the backend tears them down.
+        let backend = match Backend::build(name, StmConfig::ctl()) {
+            Ok(backend) => backend,
+            Err(error) => {
+                eprintln!("skipping: {error}");
+                continue;
+            }
+        };
+        let result = populate_and_run_backend(&backend, &config);
         println!(
-            "{:<12} {:>8.3} ops/us   abort-ratio {:>5.1}%   max tracked reads/op {}",
-            "OptSFtree",
+            "{:<22} {:>8.3} ops/us   abort-ratio {:>5.1}%   max tracked reads/op {}",
+            result.structure,
             result.ops_per_microsecond(),
             100.0 * result.abort_ratio(),
             result.stm.max_reads_per_op
         );
     }
-    {
-        let stm = Stm::default_config();
-        let tree = Arc::new(SpecFriendlyTree::new());
-        let config = WorkloadConfig::paper_default()
-            .with_size(1 << 10)
-            .with_threads(4)
-            .with_update_ratio(0.10)
-            .with_run(RunLength::Timed(Duration::from_millis(250)));
-        populate(&stm, tree.as_ref(), &config);
-        let maintenance = tree.start_maintenance(stm.register());
-        let result = run_workload(&stm, &tree, &config);
-        maintenance.stop();
-        println!(
-            "{:<12} {:>8.3} ops/us   abort-ratio {:>5.1}%   max tracked reads/op {}",
-            "SFtree",
-            result.ops_per_microsecond(),
-            100.0 * result.abort_ratio(),
-            result.stm.max_reads_per_op
-        );
-    }
-    bench("RBtree", Arc::new(RedBlackTree::new()), None);
-    bench("AVLtree", Arc::new(AvlTree::new()), None);
-    bench("NRtree", Arc::new(NoRestructureTree::new()), None);
     println!("\nExpected shape: the two speculation-friendly variants keep the max tracked reads per operation small");
-    println!("while the RB/AVL baselines' grow with contention (Table 1 / Figure 3 in the paper).");
+    println!("while the RB/AVL baselines' grow with contention (Table 1 / Figure 3 in the paper);");
+    println!("the sharded variant trades single-thread latency for per-shard clocks and rotators.");
 }

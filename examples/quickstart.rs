@@ -48,7 +48,12 @@ fn main() {
     println!("keys in the map     : {}", tree.len_quiescent());
     println!("tree depth          : {}", tree.inspect().depth());
     println!("background rotations: {}", tree.stats().rotations());
-    println!("physical removals   : {}", tree.stats().removals.load(std::sync::atomic::Ordering::Relaxed));
+    println!(
+        "physical removals   : {}",
+        tree.stats()
+            .removals
+            .load(std::sync::atomic::Ordering::Relaxed)
+    );
     println!("commits / aborts    : {} / {}", stats.commits, stats.aborts);
     tree.inspect()
         .check_consistency()

@@ -30,8 +30,14 @@ fn main() {
     println!("structure            : {}", result.structure);
     println!("client transactions  : {}", result.transactions);
     println!("duration             : {:.2?}", result.elapsed);
-    println!("transactions/second  : {:.0}", result.transactions_per_second());
-    println!("STM commits / aborts : {} / {}", result.stm.commits, result.stm.aborts);
+    println!(
+        "transactions/second  : {:.0}",
+        result.transactions_per_second()
+    );
+    println!(
+        "STM commits / aborts : {} / {}",
+        result.stm.commits, result.stm.aborts
+    );
     println!("background rotations : {}", result.rotations);
 
     manager

@@ -16,6 +16,11 @@
 //! See `examples/` for runnable end-to-end programs and `EXPERIMENTS.md` for
 //! the benchmark harnesses that regenerate the paper's tables and figures.
 //!
+//! ## Quickstart
+//!
+//! A single optimized speculation-friendly tree with its background
+//! maintenance (rotator) thread:
+//!
 //! ```
 //! use speculation_friendly_tree::prelude::*;
 //!
@@ -25,6 +30,39 @@
 //! let mut handle = tree.register(stm.register());
 //! assert!(tree.insert(&mut handle, 1, 100));
 //! assert_eq!(tree.get(&mut handle, 1), Some(100));
+//! ```
+//!
+//! ## Scaling out: the sharded backend
+//!
+//! [`ShardedMap`](tree::ShardedMap) hash-partitions the key space over `N`
+//! inner trees, each with its **own STM instance** (no shared version clock)
+//! and its **own maintenance thread**, while keeping the same [`TxMap`]
+//! interface — including atomic cross-shard `move_entry`:
+//!
+//! ```
+//! use speculation_friendly_tree::prelude::*;
+//!
+//! // 8 shards, TinySTM-CTL-style STM per shard, one rotator per shard.
+//! let map = ShardedMap::optimized(8, StmConfig::ctl());
+//! let mut handle = map.register_sharded();
+//! assert!(map.insert(&mut handle, 7, 700));
+//! assert!(map.move_entry(&mut handle, 7, 1_000_000)); // may cross shards
+//! assert_eq!(map.get(&mut handle, 1_000_000), Some(700));
+//! ```
+//!
+//! Benchmarks and applications resolve backends by name through the
+//! [`workloads::backend`] registry (`rbtree`, `avl`, `nrtree`, `sftree`,
+//! `sftree-opt`, `sftree-opt-sharded<N>`, ...), which is what the
+//! `SF_STRUCTURES` environment variable of the harnesses feeds into:
+//!
+//! ```
+//! use speculation_friendly_tree::stm::StmConfig;
+//! use speculation_friendly_tree::workloads::Backend;
+//!
+//! let backend = Backend::build("sftree-opt-sharded4", StmConfig::ctl()).unwrap();
+//! let mut session = backend.session();
+//! assert!(session.insert(1, 10));
+//! assert!(session.contains(1));
 //! ```
 
 #![warn(missing_docs)]
@@ -41,7 +79,8 @@ pub mod prelude {
     pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
     pub use sf_stm::{Stm, StmConfig, TCell, ThreadCtx, Transaction, TxKind, TxResult};
     pub use sf_tree::{
-        MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree, TxMap, TxMapInTx,
+        MaintenanceConfig, OptSpecFriendlyTree, ShardedHandle, ShardedMap, SpecFriendlyTree, TxMap,
+        TxMapInTx,
     };
     pub use sf_vacation::{Manager, ReservationKind, VacationParams};
     pub use sf_workloads::{RunLength, WorkloadConfig};

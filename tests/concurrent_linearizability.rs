@@ -35,7 +35,12 @@ fn disjoint_ranges_are_preserved_under_concurrency_and_maintenance() {
                 }
                 for i in 0..1_000u64 {
                     let expect = i % 3 != 0;
-                    assert_eq!(tree.contains(&mut handle, base + i), expect, "key {}", base + i);
+                    assert_eq!(
+                        tree.contains(&mut handle, base + i),
+                        expect,
+                        "key {}",
+                        base + i
+                    );
                 }
             })
         })

@@ -42,11 +42,11 @@ fn apply_to_oracle(ops: &[Op], oracle: &mut BTreeMap<u64, u64>) -> Vec<bool> {
     ops.iter()
         .map(|op| match *op {
             Op::Insert(k, v) => {
-                if oracle.contains_key(&k) {
-                    false
-                } else {
-                    oracle.insert(k, v);
+                if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(k) {
+                    e.insert(v);
                     true
+                } else {
+                    false
                 }
             }
             Op::Delete(k) => oracle.remove(&k).is_some(),
@@ -94,7 +94,12 @@ fn check_equivalence<M: TxMap>(tree: M, seed: u64) {
     let (answers, contents) = apply_to_tree(&ops, &tree, &stm);
     assert_eq!(answers, expected_answers, "{} answers diverge", tree.name());
     let expected_contents: Vec<(u64, u64)> = oracle.into_iter().collect();
-    assert_eq!(contents, expected_contents, "{} contents diverge", tree.name());
+    assert_eq!(
+        contents,
+        expected_contents,
+        "{} contents diverge",
+        tree.name()
+    );
 }
 
 #[test]

@@ -33,11 +33,11 @@ fn run_model(ops: &[Op]) -> (Vec<bool>, BTreeMap<u64, u64>) {
         .map(|op| match *op {
             Op::Insert(k, v) => {
                 let (k, v) = (k as u64, v as u64);
-                if model.contains_key(&k) {
-                    false
-                } else {
-                    model.insert(k, v);
+                if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
+                    e.insert(v);
                     true
+                } else {
+                    false
                 }
             }
             Op::Delete(k) => model.remove(&(k as u64)).is_some(),
