@@ -7,10 +7,11 @@
 //! behaviour whose cost Table 1 and Figure 3 measure. It mirrors the AVL tree
 //! shipped with STAMP that the paper evaluates.
 
+use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
-use sf_stm::{TCell, ThreadCtx, Transaction, TxResult};
-use sf_tree::map::{TxMap, TxMapInTx};
+use sf_stm::{TCell, ThreadCtx, Transaction, TxKind, TxResult};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use sf_tree::{Key, NodeId, TxArena, Value};
 
 /// AVL node: key and value are mutable because deletion of a two-child node
@@ -388,6 +389,43 @@ impl TxMapInTx for AvlTree {
     }
 }
 
+impl sf_tree::scan::ScanNode for AvlNode {
+    /// Keys are read transactionally — the AVL delete rewrites a node's key
+    /// when splicing the in-order successor into a two-child node, so key
+    /// reads must be conflict-checked like any other field.
+    fn scan_key<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Key> {
+        tx.read(&self.key)
+    }
+
+    fn scan_entry<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Option<(Key, Value)>> {
+        // No tombstones: every reachable node is live.
+        Ok(Some((tx.read(&self.key)?, tx.read(&self.value)?)))
+    }
+
+    fn left_child(&self) -> &TCell<NodeId> {
+        &self.left
+    }
+
+    fn right_child(&self) -> &TCell<NodeId> {
+        &self.right
+    }
+}
+
+impl TxOrderedMapInTx for AvlTree {
+    /// In-order range walk inside the caller's transaction (the generic
+    /// walker of [`sf_tree::scan`]).
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        let root = tx.read(&self.root)?;
+        sf_tree::scan::bst_range_visit(|id| self.node(id), root, tx, range, order, visit)
+    }
+}
+
 impl TxMap for AvlTree {
     type Handle = ThreadCtx;
 
@@ -417,6 +455,16 @@ impl TxMap for AvlTree {
 
     fn move_entry(&self, ctx: &mut ThreadCtx, from: Key, to: Key) -> bool {
         ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn range_collect(&self, ctx: &mut ThreadCtx, range: RangeInclusive<Key>) -> Vec<(Key, Value)> {
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, range.clone())
+        })
+    }
+
+    fn len(&self, ctx: &mut ThreadCtx) -> usize {
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| self.tx_len(tx))
     }
 
     fn len_quiescent(&self) -> usize {

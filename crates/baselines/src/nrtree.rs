@@ -6,8 +6,10 @@
 //! runs, so the tree silently degenerates under biased workloads — exactly
 //! the behaviour Figure 3 (right column) exhibits.
 
+use std::ops::{ControlFlow, RangeInclusive};
+
 use sf_stm::{ThreadCtx, Transaction, TxResult};
-use sf_tree::map::{TxMap, TxMapInTx};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use sf_tree::{Key, SfHandle, SpecFriendlyTree, TreeInspect, Value};
 
 /// No-restructuring tree: a speculation-friendly tree whose maintenance
@@ -55,6 +57,21 @@ impl TxMapInTx for NoRestructureTree {
     }
 }
 
+impl TxOrderedMapInTx for NoRestructureTree {
+    /// Same walk as the portable tree; with no maintenance thread the
+    /// logically-deleted tombstones accumulate forever, so skipping them is
+    /// what keeps scans over this baseline correct.
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        self.inner.tx_range_visit(tx, range, order, visit)
+    }
+}
+
 impl TxMap for NoRestructureTree {
     type Handle = SfHandle;
 
@@ -84,6 +101,18 @@ impl TxMap for NoRestructureTree {
 
     fn move_entry(&self, handle: &mut SfHandle, from: Key, to: Key) -> bool {
         TxMap::move_entry(&self.inner, handle, from, to)
+    }
+
+    fn range_collect(
+        &self,
+        handle: &mut SfHandle,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        TxMap::range_collect(&self.inner, handle, range)
+    }
+
+    fn len(&self, handle: &mut SfHandle) -> usize {
+        TxMap::len(&self.inner, handle)
     }
 
     fn len_quiescent(&self) -> usize {

@@ -9,10 +9,11 @@
 //! false conflicts); ⊥ children are represented by [`NodeId::NIL`] and the
 //! fix-up code tracks the parent of an absent child explicitly.
 
+use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
-use sf_stm::{TCell, ThreadCtx, Transaction, TxResult};
-use sf_tree::map::{TxMap, TxMapInTx};
+use sf_stm::{TCell, ThreadCtx, Transaction, TxKind, TxResult};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use sf_tree::{Key, NodeId, TxArena, Value};
 
 const RED: bool = true;
@@ -514,6 +515,43 @@ impl TxMapInTx for RedBlackTree {
     }
 }
 
+impl sf_tree::scan::ScanNode for RbNode {
+    fn scan_key<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Key> {
+        tx.read(&self.key)
+    }
+
+    fn scan_entry<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Option<(Key, Value)>> {
+        // No tombstones: every reachable node is live.
+        Ok(Some((tx.read(&self.key)?, tx.read(&self.value)?)))
+    }
+
+    fn left_child(&self) -> &TCell<NodeId> {
+        &self.left
+    }
+
+    fn right_child(&self) -> &TCell<NodeId> {
+        &self.right
+    }
+}
+
+impl TxOrderedMapInTx for RedBlackTree {
+    /// In-order range walk inside the caller's transaction (the generic
+    /// walker of [`sf_tree::scan`]). The read set covers every visited
+    /// node, so a committed scan is an atomic snapshot of the range — and,
+    /// true to this "transaction-encapsulated" baseline, its cost grows
+    /// with the range.
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        let root = tx.read(&self.root)?;
+        sf_tree::scan::bst_range_visit(|id| self.node(id), root, tx, range, order, visit)
+    }
+}
+
 impl TxMap for RedBlackTree {
     type Handle = ThreadCtx;
 
@@ -543,6 +581,16 @@ impl TxMap for RedBlackTree {
 
     fn move_entry(&self, ctx: &mut ThreadCtx, from: Key, to: Key) -> bool {
         ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn range_collect(&self, ctx: &mut ThreadCtx, range: RangeInclusive<Key>) -> Vec<(Key, Value)> {
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, range.clone())
+        })
+    }
+
+    fn len(&self, ctx: &mut ThreadCtx) -> usize {
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| self.tx_len(tx))
     }
 
     fn len_quiescent(&self) -> usize {

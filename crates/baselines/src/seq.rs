@@ -8,10 +8,11 @@
 //! satisfying the `TxMap` interface.
 
 use std::collections::BTreeMap;
+use std::ops::{ControlFlow, RangeInclusive};
 
 use parking_lot::Mutex;
 use sf_stm::{ThreadCtx, Transaction, TxResult};
-use sf_tree::map::{TxMap, TxMapInTx};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use sf_tree::{Key, Value};
 
 /// Sequential map baseline (single-threaded use).
@@ -63,6 +64,15 @@ impl SeqMap {
     pub fn entries(&self) -> Vec<(Key, Value)> {
         self.inner.lock().iter().map(|(k, v)| (*k, *v)).collect()
     }
+
+    /// Range scan under one lock acquisition.
+    pub fn range_direct(&self, range: RangeInclusive<Key>) -> Vec<(Key, Value)> {
+        self.inner
+            .lock()
+            .range(range)
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
 }
 
 impl TxMapInTx for SeqMap {
@@ -92,6 +102,38 @@ impl TxMapInTx for SeqMap {
         // The default (get then delete) would take the lock twice and lose
         // atomicity; do the compare-and-delete under one acquisition.
         Ok(self.delete_if_direct(key, expected))
+    }
+}
+
+impl TxOrderedMapInTx for SeqMap {
+    fn tx_range_visit<'env>(
+        &'env self,
+        _tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        // Snapshot under the lock, release it, then run the callback:
+        // `visit` may re-enter this map (a fold composing point operations),
+        // and the inner mutex is not reentrant.
+        let entries = self.range_direct(range);
+        match order {
+            ScanOrder::Ascending => {
+                for (k, v) in entries {
+                    if visit(k, v).is_break() {
+                        break;
+                    }
+                }
+            }
+            ScanOrder::Descending => {
+                for (k, v) in entries.into_iter().rev() {
+                    if visit(k, v).is_break() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -135,6 +177,14 @@ impl TxMap for SeqMap {
         true
     }
 
+    fn range_collect(&self, _ctx: &mut ThreadCtx, range: RangeInclusive<Key>) -> Vec<(Key, Value)> {
+        self.range_direct(range)
+    }
+
+    fn len(&self, _ctx: &mut ThreadCtx) -> usize {
+        self.inner.lock().len()
+    }
+
     fn len_quiescent(&self) -> usize {
         self.inner.lock().len()
     }
@@ -157,6 +207,23 @@ mod tests {
         assert!(m.delete_direct(1));
         assert!(!m.delete_direct(1));
         assert_eq!(m.len_quiescent(), 0);
+    }
+
+    #[test]
+    fn range_visit_callback_may_reenter_the_map() {
+        // Regression test: the visit callback runs after the inner lock is
+        // released, so a fold may compose with point reads of the same map.
+        let stm = sf_stm::Stm::default_config();
+        let mut ctx = stm.register();
+        let m = SeqMap::new();
+        m.insert_direct(1, 10);
+        m.insert_direct(2, 20);
+        let sum = ctx.atomically(|tx| {
+            m.tx_range_fold(tx, 0..=10, 0u64, |acc, k, _| {
+                acc + m.get_direct(k).unwrap_or(0)
+            })
+        });
+        assert_eq!(sum, 30);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! | `SF_VACATION_TX` | vacation transactions (1× scale) | `32768` |
 //! | `SF_STRUCTURES` | comma/space-separated structure names | per-harness |
 //! | `SF_JSON` | `1` → one JSON line per workload result | off |
+//! | `SF_SEED` | workload key-stream seed (deterministic streams) | `0x5eed5eed` |
+//! | `SF_SCAN_PCT` | percent of operations that are range scans | `0` |
+//! | `SF_SCAN_WIDTH` | keys spanned by one range scan | `100` |
 
 #![warn(missing_docs)]
 
@@ -68,6 +71,38 @@ pub fn vacation_transactions() -> u64 {
         .unwrap_or(1 << 15)
 }
 
+/// Workload seed (`SF_SEED`): every thread's key stream derives
+/// deterministically from it, so two runs with the same seed (and the same
+/// thread count) replay the same operation sequences.
+pub fn workload_seed() -> u64 {
+    std::env::var("SF_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5eed_5eed)
+}
+
+/// Range-scan share of operations (`SF_SCAN_PCT`, in percent).
+pub fn scan_pct() -> f64 {
+    std::env::var("SF_SCAN_PCT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// True when `SF_SCAN_PCT` was set explicitly (used by `fig7` to decide
+/// between a sweep and a single configured point).
+pub fn scan_pct_overridden() -> bool {
+    std::env::var("SF_SCAN_PCT").is_ok()
+}
+
+/// Range-scan width in keys (`SF_SCAN_WIDTH`).
+pub fn scan_width() -> u64 {
+    std::env::var("SF_SCAN_WIDTH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100)
+}
+
 /// The structures a harness should drive: `SF_STRUCTURES` (comma- or
 /// whitespace-separated registry names), falling back to the harness's
 /// `defaults`.
@@ -96,12 +131,18 @@ pub fn run_structure(name: &str, stm_config: StmConfig, config: &WorkloadConfig)
     populate_and_run_backend(&backend, config)
 }
 
-/// Workload configuration shared by the figure harnesses.
+/// Workload configuration shared by the figure harnesses: the paper shape,
+/// scaled by the environment (`SF_SIZE`, `SF_DURATION_MS`), seeded from
+/// `SF_SEED`, with the scan family applied from `SF_SCAN_PCT` /
+/// `SF_SCAN_WIDTH` (so *every* harness can mix range scans in).
 pub fn base_config(threads: usize, update_ratio: f64) -> WorkloadConfig {
     WorkloadConfig::paper_default()
         .with_size(initial_size())
         .with_threads(threads)
         .with_update_ratio(update_ratio)
+        .with_seed(workload_seed())
+        .with_scan_ratio(scan_pct() / 100.0)
+        .with_scan_width(scan_width())
         .with_run(RunLength::Timed(cell_duration()))
 }
 
@@ -125,16 +166,19 @@ fn json_escape(s: &str) -> String {
 pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String {
     let mut line = format!(
         concat!(
-            "{{\"label\":\"{}\",\"structure\":\"{}\",\"threads\":{},",
+            "{{\"label\":\"{}\",\"structure\":\"{}\",\"threads\":{},\"seed\":{},",
             "\"total_ops\":{},\"elapsed_us\":{},\"throughput_ops_per_us\":{:.6},",
             "\"effective_updates\":{},\"attempted_updates\":{},\"effective_moves\":{},",
-            "\"successful_lookups\":{},\"commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
+            "\"successful_lookups\":{},\"scans\":{},\"scanned_entries\":{},",
+            "\"commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
             "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
-            "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{}"
+            "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
+            "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{}"
         ),
         json_escape(label),
         json_escape(&result.structure),
         result.threads,
+        result.seed,
         result.total_ops,
         result.elapsed.as_micros(),
         result.ops_per_microsecond(),
@@ -142,6 +186,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.attempted_updates,
         result.effective_moves,
         result.successful_lookups,
+        result.scans,
+        result.scanned_entries,
         result.stm.commits,
         result.stm.aborts,
         result.abort_ratio(),
@@ -152,6 +198,9 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.stm.max_reads_per_op,
         result.stm.max_read_set,
         result.stm.max_write_set,
+        result.stm.scan_commits,
+        result.stm.scan_aborts,
+        result.stm.max_scan_read_set,
     );
     if !extra.is_empty() {
         line.push(',');
@@ -190,7 +239,13 @@ mod tests {
         assert!(cell_duration() >= Duration::from_millis(1));
         assert!(initial_size() >= 2);
         assert!(vacation_transactions() >= 1);
+        assert!(scan_width() >= 1);
         assert_eq!(structures(&["rbtree", "sftree"]), vec!["rbtree", "sftree"]);
+        // base_config plumbs the seed and scan knobs through.
+        let config = base_config(2, 0.1);
+        assert_eq!(config.seed, workload_seed());
+        assert_eq!(config.scan_ratio, scan_pct() / 100.0);
+        assert_eq!(config.scan_width, scan_width());
     }
 
     #[test]
@@ -229,6 +284,9 @@ mod tests {
             "one thread x 300 ops: {line}"
         );
         assert!(line.contains("\"figure\":\"test\""));
+        assert!(line.contains("\"seed\":42"), "smoke-test seed: {line}");
+        assert!(line.contains("\"scans\":"));
+        assert!(line.contains("\"scan_commits\":"));
         // Balanced quotes => even count; cheap smoke check of JSON shape.
         assert_eq!(line.matches('"').count() % 2, 0);
     }

@@ -53,6 +53,7 @@ pub mod map;
 pub mod node;
 mod optimized;
 mod portable;
+pub mod scan;
 pub mod sharded;
 mod shared;
 
@@ -62,7 +63,7 @@ pub use maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenancePause, MaintenanceStyle, MaintenanceWorker,
     PassReport,
 };
-pub use map::{TxMap, TxMapInTx};
+pub use map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 pub use node::{Key, Node, RemState, Side, Value, SENTINEL_KEY};
 pub use optimized::OptSpecFriendlyTree;
 pub use portable::SpecFriendlyTree;

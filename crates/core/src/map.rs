@@ -11,6 +11,15 @@
 //!   `move` operation and the vacation application compose several map
 //!   operations into one atomic transaction without knowing anything about
 //!   the tree's synchronization internals.
+//!
+//! On top of the point operations, [`TxOrderedMapInTx`] exposes the *ordered*
+//! structure of the trees — min/max, successor, and range scans — which is
+//! the capability that distinguishes a BST service from a hash map. A single
+//! required primitive ([`TxOrderedMapInTx::tx_range_visit`]) yields every
+//! derived operation; scans run as [`sf_stm::TxKind::ReadOnly`] transactions
+//! at the top level so the STM skips write-set bookkeeping entirely.
+
+use std::ops::{ControlFlow, RangeInclusive};
 
 use sf_stm::{ThreadCtx, Transaction, TxResult};
 
@@ -73,6 +82,125 @@ pub trait TxMapInTx: Send + Sync {
     }
 }
 
+/// Direction of an ordered scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanOrder {
+    /// Visit keys in ascending order.
+    Ascending,
+    /// Visit keys in descending order.
+    Descending,
+}
+
+/// In-transaction *ordered*-map operations: min/max, successor and range
+/// scans that compose with point operations inside one transaction.
+///
+/// Implementations provide a single primitive — [`tx_range_visit`] — that
+/// walks the live entries of a key range in order inside the caller's
+/// transaction. For the speculation-friendly trees the subtle part is that
+/// the walk must *skip logically-deleted nodes*: a deleted key stays
+/// physically linked (its `del` flag set) until the background maintenance
+/// thread removes it, so the traversal reads each in-range node's deletion
+/// flag transactionally and filters the tombstones out of the scan.
+///
+/// Every derived operation keeps the read set of the underlying transaction,
+/// so a committed scan is an atomic snapshot of the visited range.
+///
+/// [`tx_range_visit`]: TxOrderedMapInTx::tx_range_visit
+pub trait TxOrderedMapInTx: TxMapInTx {
+    /// Visit the live `(key, value)` entries whose keys fall in `range`, in
+    /// `order`, calling `visit` for each until it breaks or the range is
+    /// exhausted.
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()>;
+
+    /// Fold `fold` over the live entries of `range` in ascending key order.
+    fn tx_range_fold<'env, A>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        init: A,
+        mut fold: impl FnMut(A, Key, Value) -> A,
+    ) -> TxResult<A> {
+        let mut acc = Some(init);
+        self.tx_range_visit(tx, range, ScanOrder::Ascending, &mut |key, value| {
+            let prev = acc.take().expect("fold accumulator is always present");
+            acc = Some(fold(prev, key, value));
+            ControlFlow::Continue(())
+        })?;
+        Ok(acc.expect("fold accumulator is always present"))
+    }
+
+    /// Collect the live entries of `range` in ascending key order.
+    fn tx_range_collect<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+    ) -> TxResult<Vec<(Key, Value)>> {
+        self.tx_range_fold(tx, range, Vec::new(), |mut out, key, value| {
+            out.push((key, value));
+            out
+        })
+    }
+
+    /// The smallest live entry, if any.
+    fn tx_min<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Option<(Key, Value)>> {
+        let mut out = None;
+        self.tx_range_visit(tx, 0..=Key::MAX, ScanOrder::Ascending, &mut |key, value| {
+            out = Some((key, value));
+            ControlFlow::Break(())
+        })?;
+        Ok(out)
+    }
+
+    /// The largest live entry, if any.
+    fn tx_max<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Option<(Key, Value)>> {
+        let mut out = None;
+        self.tx_range_visit(
+            tx,
+            0..=Key::MAX,
+            ScanOrder::Descending,
+            &mut |key, value| {
+                out = Some((key, value));
+                ControlFlow::Break(())
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// The smallest live entry with a key strictly greater than `key`.
+    fn tx_successor<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        key: Key,
+    ) -> TxResult<Option<(Key, Value)>> {
+        if key == Key::MAX {
+            return Ok(None);
+        }
+        let mut out = None;
+        self.tx_range_visit(
+            tx,
+            (key + 1)..=Key::MAX,
+            ScanOrder::Ascending,
+            &mut |key, value| {
+                out = Some((key, value));
+                ControlFlow::Break(())
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Number of live entries, counted by a full-range scan inside the
+    /// caller's transaction.
+    fn tx_len<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<usize> {
+        self.tx_range_fold(tx, 0..=Key::MAX, 0usize, |count, _, _| count + 1)
+    }
+}
+
 /// Top-level map operations, one transaction per call.
 ///
 /// `Handle` bundles whatever per-thread state the structure needs: at minimum
@@ -103,6 +231,22 @@ pub trait TxMap: Send + Sync {
 
     /// Atomically move `from` to `to`; `true` when the map changed.
     fn move_entry(&self, handle: &mut Self::Handle, from: Key, to: Key) -> bool;
+
+    /// Collect the live entries whose keys fall in `range`, in ascending key
+    /// order, as one atomic read-only scan transaction
+    /// ([`sf_stm::TxKind::ReadOnly`] — no write-set bookkeeping). Structures
+    /// composed of several transactional domains (e.g. the sharded map)
+    /// relax atomicity to per-domain snapshots; see their documentation.
+    fn range_collect(
+        &self,
+        handle: &mut Self::Handle,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)>;
+
+    /// Number of live keys, counted by a read-only scan transaction. Unlike
+    /// [`TxMap::len_quiescent`] this is safe (and linearizable per
+    /// transactional domain) under concurrent updates.
+    fn len(&self, handle: &mut Self::Handle) -> usize;
 
     /// Number of live keys. Only accurate while no concurrent updates run;
     /// used for test oracles and for sizing reports.
@@ -172,5 +316,72 @@ mod tests {
         assert!(!ctx.atomically(|tx| oracle.tx_contains(tx, 7)));
         ctx.atomically(|tx| oracle.tx_insert(tx, 7, 70));
         assert!(ctx.atomically(|tx| oracle.tx_contains(tx, 7)));
+    }
+
+    impl TxOrderedMapInTx for Oracle {
+        fn tx_range_visit<'env>(
+            &'env self,
+            _tx: &mut Transaction<'env>,
+            range: RangeInclusive<Key>,
+            order: ScanOrder,
+            visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+        ) -> TxResult<()> {
+            let map = self.0.lock();
+            match order {
+                ScanOrder::Ascending => {
+                    for (&k, &v) in map.range(range) {
+                        if visit(k, v).is_break() {
+                            break;
+                        }
+                    }
+                }
+                ScanOrder::Descending => {
+                    for (&k, &v) in map.range(range).rev() {
+                        if visit(k, v).is_break() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ordered_defaults_derive_from_the_visit_primitive() {
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let oracle = Oracle(Mutex::new(BTreeMap::new()));
+        assert_eq!(ctx.atomically(|tx| oracle.tx_min(tx)), None);
+        assert_eq!(ctx.atomically(|tx| oracle.tx_max(tx)), None);
+        assert_eq!(ctx.atomically(|tx| oracle.tx_len(tx)), 0);
+        for k in [5u64, 1, 9, 3] {
+            ctx.atomically(|tx| oracle.tx_insert(tx, k, k * 10));
+        }
+        assert_eq!(ctx.atomically(|tx| oracle.tx_min(tx)), Some((1, 10)));
+        assert_eq!(ctx.atomically(|tx| oracle.tx_max(tx)), Some((9, 90)));
+        assert_eq!(ctx.atomically(|tx| oracle.tx_len(tx)), 4);
+        assert_eq!(
+            ctx.atomically(|tx| oracle.tx_successor(tx, 3)),
+            Some((5, 50))
+        );
+        assert_eq!(
+            ctx.atomically(|tx| oracle.tx_successor(tx, 5)),
+            Some((9, 90))
+        );
+        assert_eq!(ctx.atomically(|tx| oracle.tx_successor(tx, 9)), None);
+        assert_eq!(ctx.atomically(|tx| oracle.tx_successor(tx, Key::MAX)), None);
+        assert_eq!(
+            ctx.atomically(|tx| oracle.tx_range_collect(tx, 2..=5)),
+            vec![(3, 30), (5, 50)]
+        );
+        let sum =
+            ctx.atomically(|tx| oracle.tx_range_fold(tx, 0..=Key::MAX, 0u64, |a, _, v| a + v));
+        assert_eq!(sum, 10 + 30 + 50 + 90);
+        // Empty ranges are handled without visiting anything.
+        assert_eq!(
+            ctx.atomically(|tx| oracle.tx_range_collect(tx, 6..=8)),
+            vec![]
+        );
     }
 }

@@ -14,19 +14,21 @@
 //!   fresh clone takes its place, and the stale node keeps a path back into
 //!   the tree.
 
+use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
-use sf_stm::{ThreadCtx, Transaction, TxResult};
+use sf_stm::{ThreadCtx, Transaction, TxKind, TxResult};
 
 use crate::arena::{NodeId, TxArena};
 use crate::inspect::TreeInspect;
 use crate::maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker,
 };
-use crate::map::{TxMap, TxMapInTx};
+use crate::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use crate::node::{Key, Node, RemState, Side, Value};
 use crate::shared::{
-    tx_delete_common, tx_get_common, tx_insert_common, FindSpec, SfHandle, TreeCore, TreeStats,
+    tx_delete_common, tx_get_common, tx_insert_common, tx_range_visit_common, FindSpec, SfHandle,
+    TreeCore, TreeStats,
 };
 
 /// Traversal of Algorithm 2: unit reads on the way down, transactional reads
@@ -215,6 +217,22 @@ impl TxMapInTx for OptSpecFriendlyTree {
     }
 }
 
+impl TxOrderedMapInTx for OptSpecFriendlyTree {
+    /// Range walk with fully-transactional reads: the unit-read shortcut of
+    /// the optimized point `find` cannot apply because a scan's whole result
+    /// set must be one atomic snapshot (see
+    /// `sf_tree::shared::tx_range_visit_common`).
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        tx_range_visit_common(&self.core, tx, range, order, visit)
+    }
+}
+
 impl TxMap for OptSpecFriendlyTree {
     type Handle = SfHandle;
 
@@ -256,6 +274,24 @@ impl TxMap for OptSpecFriendlyTree {
         let (ctx, activity) = handle.parts();
         let _op = activity.begin();
         ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn range_collect(
+        &self,
+        handle: &mut SfHandle,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, range.clone())
+        })
+    }
+
+    fn len(&self, handle: &mut SfHandle) -> usize {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| self.tx_len(tx))
     }
 
     fn len_quiescent(&self) -> usize {
@@ -368,6 +404,83 @@ mod tests {
         }
         assert_eq!(tree.len_quiescent(), 4 * 100);
         tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn range_scans_survive_clone_based_rotations() {
+        // Scans must stay correct across the structure produced by
+        // clone-based maintenance (stale removed nodes retired, clones
+        // linked in their place).
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        let keys: Vec<u64> = (0..128u64).map(|i| (i * 97) % 131).collect();
+        for &k in &keys {
+            tree.insert(&mut h, k, k + 1);
+        }
+        for &k in keys.iter().step_by(3) {
+            tree.delete(&mut h, k);
+        }
+        let mut worker = tree.maintenance_worker(stm.register());
+        worker.run_until_stable(512);
+        assert!(tree.stats().rotations() > 0);
+        let expected: Vec<(u64, u64)> = {
+            let mut live: Vec<u64> = keys.clone();
+            live.sort_unstable();
+            live.dedup();
+            let deleted: std::collections::BTreeSet<u64> =
+                keys.iter().step_by(3).copied().collect();
+            live.into_iter()
+                .filter(|k| !deleted.contains(k))
+                .map(|k| (k, k + 1))
+                .collect()
+        };
+        assert_eq!(tree.range_collect(&mut h, 0..=u64::MAX), expected);
+        assert_eq!(TxMap::len(&tree, &mut h), expected.len());
+        let mid: Vec<(u64, u64)> = expected
+            .iter()
+            .copied()
+            .filter(|&(k, _)| (40..=90).contains(&k))
+            .collect();
+        assert_eq!(tree.range_collect(&mut h, 40..=90), mid);
+    }
+
+    #[test]
+    fn scans_are_atomic_snapshots_under_concurrent_updates() {
+        // One writer keeps the pair (0, 1) in an "exactly one present"
+        // invariant per committed state... it alternates inserting one and
+        // deleting the other in a single transaction, so any atomic scan
+        // must observe exactly one of them.
+        let (stm, tree) = setup();
+        let tree = Arc::new(tree);
+        let mut h = tree.register(stm.register());
+        tree.insert(&mut h, 0, 100);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let tree = Arc::clone(&tree);
+            let stop = Arc::clone(&stop);
+            let mut h = tree.register(stm.register());
+            std::thread::spawn(move || {
+                let mut which = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let (del, ins) = (which, 1 - which);
+                    h.ctx_mut().atomically(|tx| {
+                        tree.tx_delete(tx, del)?;
+                        tree.tx_insert(tx, ins, 100)
+                    });
+                    which = 1 - which;
+                }
+            })
+        };
+        for _ in 0..300 {
+            let snapshot = tree.range_collect(&mut h, 0..=1);
+            assert_eq!(
+                snapshot.len(),
+                1,
+                "scan must see exactly one of the pair, got {snapshot:?}"
+            );
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
     }
 
     #[test]

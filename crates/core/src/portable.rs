@@ -11,19 +11,21 @@
 //!   [`crate::maintenance::MaintenanceWorker`] in small node-local
 //!   transactions (classic in-place rotations for this variant).
 
+use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
-use sf_stm::{ThreadCtx, Transaction, TxResult};
+use sf_stm::{ThreadCtx, Transaction, TxKind, TxResult};
 
 use crate::arena::{NodeId, TxArena};
 use crate::inspect::TreeInspect;
 use crate::maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker,
 };
-use crate::map::{TxMap, TxMapInTx};
+use crate::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
 use crate::node::{Key, Node, Side, Value};
 use crate::shared::{
-    tx_delete_common, tx_get_common, tx_insert_common, FindSpec, SfHandle, TreeCore, TreeStats,
+    tx_delete_common, tx_get_common, tx_insert_common, tx_range_visit_common, FindSpec, SfHandle,
+    TreeCore, TreeStats,
 };
 
 /// Traversal of Algorithm 1: transactional reads all the way down; stops on a
@@ -146,6 +148,18 @@ impl TxMapInTx for SpecFriendlyTree {
     }
 }
 
+impl TxOrderedMapInTx for SpecFriendlyTree {
+    fn tx_range_visit<'env>(
+        &'env self,
+        tx: &mut Transaction<'env>,
+        range: RangeInclusive<Key>,
+        order: ScanOrder,
+        visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+    ) -> TxResult<()> {
+        tx_range_visit_common(&self.core, tx, range, order, visit)
+    }
+}
+
 impl TxMap for SpecFriendlyTree {
     type Handle = SfHandle;
 
@@ -187,6 +201,24 @@ impl TxMap for SpecFriendlyTree {
         let (ctx, activity) = handle.parts();
         let _op = activity.begin();
         ctx.atomically(|tx| self.tx_move(tx, from, to))
+    }
+
+    fn range_collect(
+        &self,
+        handle: &mut SfHandle,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, range.clone())
+        })
+    }
+
+    fn len(&self, handle: &mut SfHandle) -> usize {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| self.tx_len(tx))
     }
 
     fn len_quiescent(&self) -> usize {
@@ -279,6 +311,64 @@ mod tests {
         tree.delete(&mut h, 25);
         assert_eq!(tree.inspect().reachable_nodes(), nodes_before);
         tree.inspect().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn range_scans_skip_logically_deleted_nodes() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        for k in 0..32u64 {
+            tree.insert(&mut h, k, k * 10);
+        }
+        for k in (0..32u64).step_by(2) {
+            tree.delete(&mut h, k);
+        }
+        // No maintenance ran: the deleted nodes are still physically linked.
+        assert_eq!(tree.inspect().reachable_nodes(), 33); // 32 keys + sentinel
+        let scanned = tree.range_collect(&mut h, 0..=31);
+        let expected: Vec<(u64, u64)> = (0..32u64)
+            .filter(|k| k % 2 == 1)
+            .map(|k| (k, k * 10))
+            .collect();
+        assert_eq!(scanned, expected);
+        assert_eq!(
+            tree.range_collect(&mut h, 5..=9),
+            vec![(5, 50), (7, 70), (9, 90)]
+        );
+        assert_eq!(TxMap::len(&tree, &mut h), 16);
+        // Read-only scan transactions are accounted separately.
+        assert!(stm.stats().scan_commits >= 3);
+    }
+
+    #[test]
+    fn ordered_in_tx_operations_compose_with_point_ops() {
+        let (stm, tree) = setup();
+        let mut h = tree.register(stm.register());
+        for k in [4u64, 8, 15, 16, 23, 42] {
+            tree.insert(&mut h, k, k);
+        }
+        tree.delete(&mut h, 4);
+        tree.delete(&mut h, 42);
+        let (min, max, succ, none_succ) = h.ctx_mut().atomically(|tx| {
+            Ok((
+                tree.tx_min(tx)?,
+                tree.tx_max(tx)?,
+                tree.tx_successor(tx, 15)?,
+                tree.tx_successor(tx, 23)?,
+            ))
+        });
+        assert_eq!(min, Some((8, 8)));
+        assert_eq!(max, Some((23, 23)));
+        assert_eq!(succ, Some((16, 16)));
+        assert_eq!(none_succ, None);
+        // A fold composing with a point lookup in one transaction.
+        let (sum, present) = h.ctx_mut().atomically(|tx| {
+            let sum = tree.tx_range_fold(tx, 0..=u64::MAX, 0u64, |a, _, v| a + v)?;
+            let present = tree.tx_contains(tx, 16)?;
+            Ok((sum, present))
+        });
+        assert_eq!(sum, 8 + 15 + 16 + 23);
+        assert!(present);
     }
 
     #[test]

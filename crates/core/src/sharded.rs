@@ -42,8 +42,34 @@
 //! cross-shard `tx_move` inside a caller-supplied transaction is rejected
 //! because no single transaction can span two STM instances — use the
 //! top-level [`TxMap::move_entry`] instead.
+//!
+//! ## Range scans: the consistency contract
+//!
+//! An ordered scan ([`TxMap::range_collect`] / [`TxMap::len`]) cannot run as
+//! one transaction either — the range spans every shard (keys are *hashed*
+//! across shards, so each shard holds a scattering of the whole key space).
+//! Two modes are offered:
+//!
+//! * **`range_collect` — per-shard-atomic.** Each shard contributes the
+//!   in-range entries of one atomic read-only scan transaction on its own
+//!   STM, executed shard by shard in index order; the sorted per-shard
+//!   results are then k-way merged into one ascending sequence. Every
+//!   *entry* observed is a committed value, and all entries from the same
+//!   shard belong to one consistent snapshot — but the snapshots of
+//!   different shards are taken at different times. Concretely: an update
+//!   that lands on a not-yet-scanned shard while an earlier shard is being
+//!   scanned may or may not appear, and a cross-shard [`TxMap::move_entry`]
+//!   racing the scan may be observed at both keys or at neither (the same
+//!   transient visibility the move protocol itself allows).
+//! * **[`ShardedMap::range_quiescent`] — exact.** Parks every shard's
+//!   rotator thread (via [`ShardedMap::pause_maintenance`]) before scanning,
+//!   so no restructuring runs underneath; with no concurrent updaters the
+//!   result is exactly the map's contents (the oracle mode used by the
+//!   equivalence tests). Under concurrent updates it degrades to the
+//!   per-shard-atomic contract above.
 
 use std::collections::HashMap;
+use std::ops::RangeInclusive;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
@@ -92,6 +118,33 @@ pub struct ShardedMap<M: TxMap> {
 /// registered with that shard's own STM instance.
 pub struct ShardedHandle<M: TxMap> {
     handles: Vec<M::Handle>,
+}
+
+/// K-way merge of per-shard range results. Each input is sorted ascending
+/// and the hash partition makes keys unique across shards, so repeatedly
+/// taking the smallest head yields the globally sorted sequence (shard
+/// counts are small, so a linear head scan beats a heap).
+fn merge_sorted(per_shard: Vec<Vec<(Key, Value)>>) -> Vec<(Key, Value)> {
+    let total = per_shard.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heads = vec![0usize; per_shard.len()];
+    loop {
+        let mut best: Option<(usize, Key)> = None;
+        for (shard, entries) in per_shard.iter().enumerate() {
+            if let Some(&(key, _)) = entries.get(heads[shard]) {
+                if best.is_none_or(|(_, best_key)| key < best_key) {
+                    best = Some((shard, key));
+                }
+            }
+        }
+        match best {
+            Some((shard, _)) => {
+                out.push(per_shard[shard][heads[shard]]);
+                heads[shard] += 1;
+            }
+            None => return out,
+        }
+    }
 }
 
 /// Intern a backend label so [`TxMap::name`] can hand out `&'static str` for
@@ -200,6 +253,19 @@ impl<M: TxMap> ShardedMap<M> {
             .iter()
             .filter_map(|shard| shard.maintenance.as_ref().map(|m| m.pause()))
             .collect()
+    }
+
+    /// Exact-mode range scan: park every shard's rotator, then collect the
+    /// in-range entries shard by shard and k-way merge them. See the
+    /// [module docs](self) for the contract relative to the default
+    /// per-shard-atomic [`TxMap::range_collect`].
+    pub fn range_quiescent(
+        &self,
+        handle: &mut ShardedHandle<M>,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        let _paused = self.pause_maintenance();
+        TxMap::range_collect(self, handle, range)
     }
 }
 
@@ -365,6 +431,32 @@ where
             return false;
         }
         true
+    }
+
+    /// Per-shard-atomic range scan (see the [module docs](self)): one atomic
+    /// read-only scan per shard, k-way merged. For an exact snapshot at
+    /// quiescence use [`ShardedMap::range_quiescent`].
+    fn range_collect(
+        &self,
+        handle: &mut ShardedHandle<M>,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        let per_shard: Vec<Vec<(Key, Value)>> = self
+            .shards
+            .iter()
+            .zip(handle.handles.iter_mut())
+            .map(|(shard, h)| shard.map.range_collect(h, range.clone()))
+            .collect();
+        merge_sorted(per_shard)
+    }
+
+    /// Per-shard-atomic size: the sum of one atomic scan count per shard.
+    fn len(&self, handle: &mut ShardedHandle<M>) -> usize {
+        self.shards
+            .iter()
+            .zip(handle.handles.iter_mut())
+            .map(|(shard, h)| shard.map.len(h))
+            .sum()
     }
 
     fn len_quiescent(&self) -> usize {
@@ -585,6 +677,47 @@ mod tests {
             .unwrap();
         let mut ctx = map.stm_for(from).register();
         ctx.atomically(|tx| map.tx_move(tx, from, to));
+    }
+
+    #[test]
+    fn range_collect_merges_shards_in_ascending_order() {
+        let map = sharded(4);
+        let mut handle = map.register_sharded();
+        let keys: Vec<u64> = (0..256u64).map(|i| (i * 37) % 509).collect();
+        for &k in &keys {
+            map.insert(&mut handle, k, k + 1);
+        }
+        let mut expected: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 1)).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        let full = map.range_collect(&mut handle, 0..=u64::MAX);
+        assert_eq!(full, expected);
+        // Sub-range.
+        let want: Vec<(u64, u64)> = expected
+            .iter()
+            .copied()
+            .filter(|&(k, _)| (100..=200).contains(&k))
+            .collect();
+        assert_eq!(map.range_collect(&mut handle, 100..=200), want);
+        // Transactional len agrees with the quiescent count.
+        assert_eq!(TxMap::len(&map, &mut handle), map.len_quiescent());
+        // Exact mode agrees while no updates run.
+        assert_eq!(map.range_quiescent(&mut handle, 0..=u64::MAX), expected);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves_unique_sorted_runs() {
+        let merged = merge_sorted(vec![
+            vec![(1, 10), (5, 50)],
+            vec![],
+            vec![(2, 20), (3, 30), (9, 90)],
+            vec![(4, 40)],
+        ]);
+        assert_eq!(
+            merged,
+            vec![(1, 10), (2, 20), (3, 30), (4, 40), (5, 50), (9, 90)]
+        );
+        assert!(merge_sorted(vec![vec![], vec![]]).is_empty());
     }
 
     #[test]

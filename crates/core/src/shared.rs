@@ -8,13 +8,16 @@
 //! operations (contains / insert / logical delete). Only the `find` routine
 //! differs, so it is abstracted behind [`FindSpec`].
 
+use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sf_stm::{ThreadCtx, Transaction, TxResult};
+use sf_stm::{TCell, ThreadCtx, Transaction, TxResult};
 
 use crate::arena::{ActivityHandle, NodeId, TxArena};
+use crate::map::ScanOrder;
 use crate::node::{Key, Node, Side, Value, SENTINEL_KEY};
+use crate::scan::{bst_range_visit, ScanNode};
 
 /// Counters describing the work performed on a tree, both by abstract
 /// operations and by the background maintenance thread. §5.5 of the paper
@@ -158,6 +161,62 @@ pub(crate) fn tx_delete_common<'env, F: FindSpec>(
         tx.write(&node.del, true)?;
         Ok(true)
     }
+}
+
+/// The scan hooks of the speculation-friendly node layout, feeding the
+/// generic walker of [`crate::scan`]. Two paper-specific subtleties live
+/// here:
+///
+/// * **Logically-deleted nodes are skipped.** A deleted key stays physically
+///   linked (`del = true`) until the maintenance thread removes it, so
+///   [`scan_entry`](ScanNode::scan_entry) reads `del` inside the transaction
+///   and reports tombstones as absent — which also makes a racing
+///   revive-insert (`del` flipped back to `false`) conflict with the scan
+///   instead of being missed.
+/// * **Keys are immutable per node incarnation** (slots recycle only after
+///   quiescence), so routing reads them with a plain atomic load, exactly
+///   like the point `find`.
+impl ScanNode for Node {
+    fn scan_key<'env>(&'env self, _tx: &mut Transaction<'env>) -> TxResult<Key> {
+        Ok(self.key())
+    }
+
+    fn scan_entry<'env>(&'env self, tx: &mut Transaction<'env>) -> TxResult<Option<(Key, Value)>> {
+        // The sentinel root carries `del = true` from birth, so it can
+        // never leak into a scan even when the range ends at `Key::MAX`.
+        if tx.read(&self.del)? {
+            Ok(None)
+        } else {
+            Ok(Some((self.key(), tx.read(&self.value)?)))
+        }
+    }
+
+    fn left_child(&self) -> &TCell<NodeId> {
+        &self.left
+    }
+
+    fn right_child(&self) -> &TCell<NodeId> {
+        &self.right
+    }
+}
+
+/// Common ordered range walk shared by both speculation-friendly variants.
+///
+/// Note that the optimized traversal shortcut does **not** apply here:
+/// Algorithm 2's point `find` can use unit reads because it only needs to
+/// pin one node, but a range scan's *result set* must be an atomic
+/// snapshot, so every hop stays in the read set and is revalidated at
+/// commit. The scan read-set cost is therefore `O(path + range)` on both
+/// variants — exactly what `max_scan_read_set` in
+/// [`sf_stm::StatsSnapshot`] measures.
+pub(crate) fn tx_range_visit_common<'env>(
+    core: &'env TreeCore,
+    tx: &mut Transaction<'env>,
+    range: RangeInclusive<Key>,
+    order: ScanOrder,
+    visit: &mut dyn FnMut(Key, Value) -> ControlFlow<()>,
+) -> TxResult<()> {
+    bst_range_visit(|id| core.node(id), core.root, tx, range, order, visit)
 }
 
 /// Per-thread handle of a speculation-friendly tree: the STM context plus the

@@ -25,6 +25,13 @@ pub enum TxKind {
     /// a stale read may *cut* the transaction (drop the prefix of the read
     /// set) instead of aborting, as in E-STM.
     Elastic,
+    /// Read-only scan transaction: reads behave exactly like [`TxKind::Normal`]
+    /// (tracked read set, timestamp extension), but [`crate::Transaction::write`]
+    /// is forbidden, so commit never acquires locks or ticks the clock and the
+    /// runtime accounts the attempt in the dedicated scan counters of
+    /// [`crate::StatsSnapshot`] (`scan_commits`, `scan_aborts`,
+    /// `max_scan_read_set`). Used by the ordered-map range scans.
+    ReadOnly,
 }
 
 /// STM-wide configuration.

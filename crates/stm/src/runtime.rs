@@ -130,16 +130,25 @@ impl ThreadCtx {
                 Ok(value) => match tx.commit() {
                     Ok(info) => {
                         stats.record_commit(info.read_set, info.write_set);
+                        if kind == TxKind::ReadOnly {
+                            stats.record_scan_commit(info.read_set);
+                        }
                         Some(value)
                     }
                     Err(_) => {
                         stats.aborts.fetch_add(1, Ordering::Relaxed);
+                        if kind == TxKind::ReadOnly {
+                            stats.scan_aborts.fetch_add(1, Ordering::Relaxed);
+                        }
                         None
                     }
                 },
                 Err(abort) => {
                     tx.rollback();
                     stats.aborts.fetch_add(1, Ordering::Relaxed);
+                    if kind == TxKind::ReadOnly {
+                        stats.scan_aborts.fetch_add(1, Ordering::Relaxed);
+                    }
                     if abort.reason == AbortReason::Explicit {
                         stats.explicit_aborts.fetch_add(1, Ordering::Relaxed);
                     }
@@ -338,6 +347,50 @@ mod tests {
         assert_eq!(stm.stats().commits, 1);
         stm.reset_stats();
         assert_eq!(stm.stats().commits, 0);
+    }
+
+    #[test]
+    fn read_only_kind_feeds_the_scan_counters() {
+        use crate::config::TxKind;
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let cells: Vec<TCell<u64>> = (0..8).map(TCell::new).collect();
+        let mut first = true;
+        let sum = ctx.atomically_kind(TxKind::ReadOnly, |tx| {
+            let mut acc = 0u64;
+            for c in &cells {
+                acc += tx.read(c)?;
+            }
+            if first {
+                first = false;
+                return tx.retry();
+            }
+            Ok(acc)
+        });
+        assert_eq!(sum, (0..8).sum::<u64>());
+        let s = stm.stats();
+        assert_eq!(s.scan_commits, 1);
+        assert_eq!(
+            s.scan_aborts, 1,
+            "the explicit retry counts as a scan abort"
+        );
+        assert_eq!(s.max_scan_read_set, 8);
+        // Scan attempts also show up in the general counters.
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        // Normal transactions never touch the scan counters.
+        ctx.atomically(|tx| tx.read(&cells[0]));
+        assert_eq!(stm.stats().scan_commits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn read_only_kind_forbids_writes() {
+        use crate::config::TxKind;
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let cell = TCell::new(0u64);
+        ctx.atomically_kind(TxKind::ReadOnly, |tx| tx.write(&cell, 1));
     }
 
     #[test]

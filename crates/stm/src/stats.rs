@@ -37,6 +37,13 @@ pub struct ThreadStats {
     pub max_read_set: AtomicU64,
     /// Maximum write-set size observed at commit.
     pub max_write_set: AtomicU64,
+    /// Committed read-only scan transactions ([`crate::TxKind::ReadOnly`]).
+    pub scan_commits: AtomicU64,
+    /// Aborted read-only scan attempts.
+    pub scan_aborts: AtomicU64,
+    /// Maximum read-set size observed at the commit of a scan transaction
+    /// (how much of the structure one ordered scan had to protect).
+    pub max_scan_read_set: AtomicU64,
 }
 
 impl ThreadStats {
@@ -51,6 +58,15 @@ impl ThreadStats {
         self.max_reads_per_op.store(0, Ordering::Relaxed);
         self.max_read_set.store(0, Ordering::Relaxed);
         self.max_write_set.store(0, Ordering::Relaxed);
+        self.scan_commits.store(0, Ordering::Relaxed);
+        self.scan_aborts.store(0, Ordering::Relaxed);
+        self.max_scan_read_set.store(0, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scan_commit(&self, read_set: usize) {
+        self.scan_commits.fetch_add(1, Ordering::Relaxed);
+        self.max_scan_read_set
+            .fetch_max(read_set as u64, Ordering::Relaxed);
     }
 
     pub(crate) fn record_max_reads_per_op(&self, reads: u64) {
@@ -89,6 +105,12 @@ pub struct StatsSnapshot {
     pub max_read_set: u64,
     /// Maximum committed write-set size over all threads.
     pub max_write_set: u64,
+    /// Committed read-only scan transactions across all threads.
+    pub scan_commits: u64,
+    /// Aborted read-only scan attempts across all threads.
+    pub scan_aborts: u64,
+    /// Maximum committed scan read-set size over all threads.
+    pub max_scan_read_set: u64,
 }
 
 impl StatsSnapshot {
@@ -106,6 +128,9 @@ impl StatsSnapshot {
         self.max_reads_per_op = self.max_reads_per_op.max(other.max_reads_per_op);
         self.max_read_set = self.max_read_set.max(other.max_read_set);
         self.max_write_set = self.max_write_set.max(other.max_write_set);
+        self.scan_commits += other.scan_commits;
+        self.scan_aborts += other.scan_aborts;
+        self.max_scan_read_set = self.max_scan_read_set.max(other.max_scan_read_set);
     }
 
     /// Ratio of aborted attempts to total attempts, in `[0, 1]`.
@@ -148,6 +173,11 @@ impl StatsRegistry {
                 .max(t.max_reads_per_op.load(Ordering::Relaxed));
             s.max_read_set = s.max_read_set.max(t.max_read_set.load(Ordering::Relaxed));
             s.max_write_set = s.max_write_set.max(t.max_write_set.load(Ordering::Relaxed));
+            s.scan_commits += t.scan_commits.load(Ordering::Relaxed);
+            s.scan_aborts += t.scan_aborts.load(Ordering::Relaxed);
+            s.max_scan_read_set = s
+                .max_scan_read_set
+                .max(t.max_scan_read_set.load(Ordering::Relaxed));
         }
         s
     }

@@ -236,7 +236,16 @@ impl<'env> Transaction<'env> {
 
     /// Transactional write: buffers the value. Under eager acquirement the
     /// cell lock is taken immediately.
+    ///
+    /// # Panics
+    /// Panics when the attempt runs as [`TxKind::ReadOnly`]: scan
+    /// transactions promise the runtime they never write, which is what lets
+    /// commit skip the whole write-set protocol.
     pub fn write<T: TxValue>(&mut self, cell: &'env TCell<T>, value: T) -> TxResult<()> {
+        assert!(
+            self.kind != TxKind::ReadOnly,
+            "transactional write inside a read-only (scan) transaction"
+        );
         self.writes += 1;
         let raw = cell.raw();
         let encoded = value.encode();

@@ -61,6 +61,16 @@ pub trait MapSession: Send {
     fn delete(&mut self, key: u64) -> bool;
     /// Atomically move `from` to `to`; `true` when the map changed.
     fn move_entry(&mut self, from: u64, to: u64) -> bool;
+    /// Ordered range scan: the live entries with keys in `[lo, hi]`,
+    /// ascending, as a read-only scan transaction (per-shard-atomic on
+    /// sharded backends — see `sf_tree::sharded`).
+    fn range_collect(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)>;
+    /// Number of live keys, counted by a read-only scan transaction.
+    fn len(&mut self) -> usize;
+    /// True when the map holds no live keys.
+    fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// The object-safe face of a runnable backend: create sessions, observe
@@ -95,6 +105,12 @@ where
     }
     fn move_entry(&mut self, from: u64, to: u64) -> bool {
         self.map.move_entry(&mut self.handle, from, to)
+    }
+    fn range_collect(&mut self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        self.map.range_collect(&mut self.handle, lo..=hi)
+    }
+    fn len(&mut self) -> usize {
+        self.map.len(&mut self.handle)
     }
 }
 

@@ -48,10 +48,17 @@ pub struct WorkloadConfig {
     /// Fraction of update operations that are `move` compositions
     /// (Figure 5(b)); the rest split evenly between inserts and deletes.
     pub move_ratio: f64,
+    /// Fraction of operations that are ordered range scans. The scan
+    /// decision is drawn first; `update_ratio` then applies to the remaining
+    /// (non-scan) operations. `SF_SCAN_PCT` in the harnesses.
+    pub scan_ratio: f64,
+    /// Width of one range scan in key-space units: a scan covers
+    /// `[origin, origin + scan_width)`. `SF_SCAN_WIDTH` in the harnesses.
+    pub scan_width: u64,
     /// Optional key-distribution bias (Figure 3, right column).
     pub bias: Option<Bias>,
     /// Seed for the workload's pseudo-random generators; each thread derives
-    /// its own stream from this seed.
+    /// its own stream from this seed. `SF_SEED` in the harnesses.
     pub seed: u64,
 }
 
@@ -66,6 +73,8 @@ impl WorkloadConfig {
             key_range: 1 << 13,
             update_ratio: 0.10,
             move_ratio: 0.0,
+            scan_ratio: 0.0,
+            scan_width: 100,
             bias: None,
             seed: 0x5eed_5eed,
         }
@@ -80,6 +89,8 @@ impl WorkloadConfig {
             key_range: 512,
             update_ratio: 0.2,
             move_ratio: 0.0,
+            scan_ratio: 0.0,
+            scan_width: 16,
             bias: None,
             seed: 42,
         }
@@ -115,6 +126,24 @@ impl WorkloadConfig {
         self
     }
 
+    /// Builder-style helper: set the range-scan share of operations.
+    pub fn with_scan_ratio(mut self, ratio: f64) -> Self {
+        self.scan_ratio = ratio;
+        self
+    }
+
+    /// Builder-style helper: set the range-scan width (keys spanned).
+    pub fn with_scan_width(mut self, width: u64) -> Self {
+        self.scan_width = width;
+        self
+    }
+
+    /// Builder-style helper: set the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
     /// Builder-style helper: set initial size and key range together
     /// (range = 2 × size, as in the paper).
     pub fn with_size(mut self, initial_size: usize) -> Self {
@@ -136,6 +165,9 @@ mod tests {
             .with_size(1 << 10)
             .with_bias(Bias::default())
             .with_move_ratio(0.05)
+            .with_scan_ratio(0.1)
+            .with_scan_width(64)
+            .with_seed(0xfeed)
             .with_run(RunLength::Ops(100));
         assert_eq!(c.threads, 8);
         assert_eq!(c.update_ratio, 0.15);
@@ -143,6 +175,9 @@ mod tests {
         assert_eq!(c.key_range, 2048);
         assert_eq!(c.bias, Some(Bias { skew: 10 }));
         assert_eq!(c.move_ratio, 0.05);
+        assert_eq!(c.scan_ratio, 0.1);
+        assert_eq!(c.scan_width, 64);
+        assert_eq!(c.seed, 0xfeed);
         assert_eq!(c.run, RunLength::Ops(100));
     }
 }

@@ -30,6 +30,8 @@ struct ThreadReport {
     attempted_updates: u64,
     effective_moves: u64,
     successful_lookups: u64,
+    scans: u64,
+    scanned_entries: u64,
 }
 
 /// Aggregated result of one micro-benchmark run.
@@ -50,6 +52,12 @@ pub struct WorkloadResult {
     pub effective_moves: u64,
     /// Membership tests that found their key.
     pub successful_lookups: u64,
+    /// Completed range scans.
+    pub scans: u64,
+    /// Total live entries returned across all range scans.
+    pub scanned_entries: u64,
+    /// The seed the workload's key streams were derived from (`SF_SEED`).
+    pub seed: u64,
     /// Wall-clock duration of the measured phase.
     pub elapsed: Duration,
     /// STM statistics accumulated during the measured phase (the populate
@@ -170,6 +178,11 @@ fn worker_loop(
                     report.effective_moves += 1;
                 }
             }
+            OpKind::Scan => {
+                let (lo, hi) = gen.scan_range();
+                report.scans += 1;
+                report.scanned_entries += session.range_collect(lo, hi).len() as u64;
+            }
         }
         report.ops += 1;
     }
@@ -193,14 +206,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         let workers: Vec<_> = (0..config.threads)
             .map(|thread_index| {
                 let mut session = backend.session();
-                let mut gen = KeyGen::new(
-                    config.seed,
-                    thread_index,
-                    config.key_range,
-                    config.update_ratio,
-                    config.move_ratio,
-                    config.bias,
-                );
+                let mut gen = KeyGen::for_config(config, thread_index);
                 let (stop, barrier) = (&stop, &barrier);
                 scope.spawn(move || worker_loop(session.as_mut(), &mut gen, run, stop, barrier))
             })
@@ -225,6 +231,9 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         attempted_updates: 0,
         effective_moves: 0,
         successful_lookups: 0,
+        scans: 0,
+        scanned_entries: 0,
+        seed: config.seed,
         elapsed,
         stm: backend.stats(),
     };
@@ -234,6 +243,8 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         result.attempted_updates += r.attempted_updates;
         result.effective_moves += r.effective_moves;
         result.successful_lookups += r.successful_lookups;
+        result.scans += r.scans;
+        result.scanned_entries += r.scanned_entries;
     }
     result
 }
@@ -341,6 +352,31 @@ mod tests {
             .with_move_ratio(0.5);
         let result = populate_and_run_backend(&backend, &config);
         assert!(result.effective_moves > 0, "expected some moves to succeed");
+    }
+
+    #[test]
+    fn scan_workload_reports_scans_on_plain_and_sharded_backends() {
+        for name in ["sftree-opt", "seq", "sftree-opt-sharded2"] {
+            let backend = Backend::build(name, StmConfig::ctl()).unwrap();
+            let config = WorkloadConfig::smoke_test()
+                .with_scan_ratio(0.3)
+                .with_scan_width(32);
+            let result = populate_and_run_backend(&backend, &config);
+            assert!(result.scans > 0, "{name}: expected some scans");
+            assert!(
+                result.scanned_entries > 0,
+                "{name}: scans over a populated map should return entries"
+            );
+            assert_eq!(result.seed, config.seed);
+            // Scans plus point ops account for every operation.
+            assert_eq!(result.total_ops, 600);
+            if name != "seq" {
+                assert!(
+                    result.stm.scan_commits >= result.scans,
+                    "{name}: every scan commits at least one read-only transaction"
+                );
+            }
+        }
     }
 
     #[test]

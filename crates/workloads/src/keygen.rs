@@ -4,7 +4,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::Bias;
+use crate::config::{Bias, WorkloadConfig};
 
 /// The kind of abstract operation an update slot will perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +17,8 @@ pub enum OpKind {
     Delete,
     /// Composed move (delete + insert in one transaction).
     Move,
+    /// Ordered range scan (`range_collect` over a window of the key space).
+    Scan,
 }
 
 /// Per-thread pseudo-random key/operation generator.
@@ -26,6 +28,8 @@ pub struct KeyGen {
     key_range: u64,
     update_ratio: f64,
     move_ratio: f64,
+    scan_ratio: f64,
+    scan_width: u64,
     bias: Option<Bias>,
     /// Alternates inserts and deletes so the expected set size stays constant
     /// (the paper performs "an insert and a remove with the same
@@ -34,7 +38,8 @@ pub struct KeyGen {
 }
 
 impl KeyGen {
-    /// Create a generator for one worker thread.
+    /// Create a generator for one worker thread (point operations only; use
+    /// [`KeyGen::for_config`] to include the scan mix).
     pub fn new(
         seed: u64,
         thread_index: usize,
@@ -52,9 +57,27 @@ impl KeyGen {
             key_range: key_range.max(2),
             update_ratio,
             move_ratio,
+            scan_ratio: 0.0,
+            scan_width: 0,
             bias,
             next_update_is_insert: thread_index.is_multiple_of(2),
         }
+    }
+
+    /// Create a generator for one worker thread with the full operation mix
+    /// of `config`, including the range-scan family.
+    pub fn for_config(config: &WorkloadConfig, thread_index: usize) -> Self {
+        let mut gen = KeyGen::new(
+            config.seed,
+            thread_index,
+            config.key_range,
+            config.update_ratio,
+            config.move_ratio,
+            config.bias,
+        );
+        gen.scan_ratio = config.scan_ratio;
+        gen.scan_width = config.scan_width;
+        gen
     }
 
     /// Uniform key in `[0, key_range)`.
@@ -82,8 +105,27 @@ impl KeyGen {
         }
     }
 
+    /// The `[lo, hi]` bounds of one range scan: a window of `scan_width`
+    /// keys whose origin is drawn from a zipf-ish clustered distribution —
+    /// the origin domain is halved geometrically (each halving with
+    /// probability one half) before drawing uniformly, so scans concentrate
+    /// on nearby low keys the way dynamic-finger workloads concentrate on
+    /// recently-touched ones, while still occasionally ranging anywhere.
+    pub fn scan_range(&mut self) -> (u64, u64) {
+        let width = self.scan_width.max(1);
+        let mut span = self.key_range;
+        while span > width && self.rng.gen::<f64>() < 0.5 {
+            span /= 2;
+        }
+        let lo = self.rng.gen_range(0..span.max(1));
+        (lo, lo.saturating_add(width - 1))
+    }
+
     /// Decide the next operation according to the configured mix.
     pub fn next_op(&mut self) -> OpKind {
+        if self.scan_ratio > 0.0 && self.rng.gen::<f64>() < self.scan_ratio {
+            return OpKind::Scan;
+        }
         if self.rng.gen::<f64>() >= self.update_ratio {
             return OpKind::Contains;
         }
@@ -158,6 +200,45 @@ mod tests {
         assert!(
             diff_avg > 5.0,
             "bias should push inserts up and deletes down: paired diff {diff_avg}"
+        );
+    }
+
+    #[test]
+    fn scan_ratio_is_respected_approximately() {
+        let config = crate::WorkloadConfig::smoke_test().with_scan_ratio(0.3);
+        let mut g = KeyGen::for_config(&config, 0);
+        let scans = (0..20_000).filter(|_| g.next_op() == OpKind::Scan).count();
+        let ratio = scans as f64 / 20_000.0;
+        assert!((ratio - 0.3).abs() < 0.02, "observed scan ratio {ratio}");
+    }
+
+    #[test]
+    fn plain_new_generates_no_scans() {
+        let mut g = KeyGen::new(5, 0, 1024, 0.5, 0.0, None);
+        assert!((0..5_000).all(|_| g.next_op() != OpKind::Scan));
+    }
+
+    #[test]
+    fn scan_ranges_have_the_configured_width_and_cluster_low() {
+        let config = crate::WorkloadConfig::smoke_test()
+            .with_scan_ratio(1.0)
+            .with_scan_width(32);
+        let mut g = KeyGen::for_config(&config, 1);
+        let mut low_half = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let (lo, hi) = g.scan_range();
+            assert_eq!(hi - lo + 1, 32, "scan width must be respected");
+            assert!(lo < config.key_range);
+            if lo < config.key_range / 2 {
+                low_half += 1;
+            }
+        }
+        // Geometric halving of the origin domain concentrates origins well
+        // beyond the uniform 50% in the lower half of the key space.
+        assert!(
+            low_half as f64 / n as f64 > 0.6,
+            "scan origins should cluster low, got {low_half}/{n}"
         );
     }
 

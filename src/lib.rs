@@ -50,6 +50,32 @@
 //! assert_eq!(map.get(&mut handle, 1_000_000), Some(700));
 //! ```
 //!
+//! ## Ordered scans
+//!
+//! Every backend also exposes the *ordered* structure of the map:
+//! [`TxMap::range_collect`](tree::TxMap::range_collect) /
+//! [`TxMap::len`](tree::TxMap::len) run as read-only scan transactions at
+//! the top level, and the single-STM backends additionally implement the
+//! in-transaction extension ([`TxOrderedMapInTx`](tree::TxOrderedMapInTx):
+//! min/max, successor, range folds — not the sharded compositions, whose
+//! per-shard STM instances cannot share one transaction). On the
+//! speculation-friendly trees the scan skips nodes that are logically
+//! deleted but not yet removed by the maintenance thread:
+//!
+//! ```
+//! use speculation_friendly_tree::prelude::*;
+//!
+//! let stm = Stm::default_config();
+//! let tree = OptSpecFriendlyTree::new();
+//! let mut handle = tree.register(stm.register());
+//! for k in [1u64, 2, 5, 9] {
+//!     tree.insert(&mut handle, k, k * 10);
+//! }
+//! tree.delete(&mut handle, 2); // logical delete: scans must skip it
+//! assert_eq!(tree.range_collect(&mut handle, 1..=5), vec![(1, 10), (5, 50)]);
+//! assert_eq!(TxMap::len(&tree, &mut handle), 3);
+//! ```
+//!
 //! Benchmarks and applications resolve backends by name through the
 //! [`workloads::backend`] registry (`rbtree`, `avl`, `nrtree`, `sftree`,
 //! `sftree-opt`, `sftree-opt-sharded<N>`, ...), which is what the
@@ -79,8 +105,8 @@ pub mod prelude {
     pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
     pub use sf_stm::{Stm, StmConfig, TCell, ThreadCtx, Transaction, TxKind, TxResult};
     pub use sf_tree::{
-        MaintenanceConfig, OptSpecFriendlyTree, ShardedHandle, ShardedMap, SpecFriendlyTree, TxMap,
-        TxMapInTx,
+        MaintenanceConfig, OptSpecFriendlyTree, ScanOrder, ShardedHandle, ShardedMap,
+        SpecFriendlyTree, TxMap, TxMapInTx, TxOrderedMapInTx,
     };
     pub use sf_vacation::{Manager, ReservationKind, VacationParams};
     pub use sf_workloads::{RunLength, WorkloadConfig};

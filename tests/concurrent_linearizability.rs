@@ -3,6 +3,7 @@
 //! key ranges, token-conservation under moves, and a counting argument for
 //! same-key contention — with the background maintenance thread running.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -142,6 +143,110 @@ fn token_conservation_under_concurrent_moves() {
     maintenance.stop();
     assert_eq!(tree.len_quiescent(), before, "moves must conserve tokens");
     tree.inspect().check_consistency().unwrap();
+}
+
+/// Regression probe for the transient membership miss noted after PR 1: a
+/// `contains` racing a rotation must never report `false` for a key that is
+/// *proven present* (inserted before the probe started and never deleted).
+///
+/// One prober (the test thread) loops over anchor keys while a single
+/// mutator churns the interleaved non-anchor keys with the maintenance
+/// thread rotating underneath — 3 threads total, sized for a 1-core host.
+/// Any false negative fails immediately.
+fn probe_anchored_keys<M>(tree: Arc<M>, stm: &Arc<Stm>, mutator_ops: u64)
+where
+    M: TxMap + Send + Sync + 'static,
+    M::Handle: Send + 'static,
+{
+    // Anchors occupy every 8th key; the mutator owns the rest.
+    let anchors: Vec<u64> = (0..512u64).step_by(8).collect();
+    let mut prober = tree.register(stm.register());
+    for &k in &anchors {
+        assert!(tree.insert(&mut prober, k, k));
+    }
+    let done = Arc::new(AtomicBool::new(false));
+    let mutator = {
+        let tree = Arc::clone(&tree);
+        let done = Arc::clone(&done);
+        let mut handle = tree.register(stm.register());
+        std::thread::spawn(move || {
+            let mut state = 0x0dd5_eed5_u64;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..mutator_ops {
+                let key = {
+                    let candidate = rng() % 512;
+                    // Steer clear of the anchors.
+                    if candidate % 8 == 0 {
+                        candidate + 1
+                    } else {
+                        candidate
+                    }
+                };
+                if rng() % 2 == 0 {
+                    tree.insert(&mut handle, key, key);
+                } else {
+                    tree.delete(&mut handle, key);
+                }
+            }
+            done.store(true, Ordering::Relaxed);
+        })
+    };
+    // The prober races the mutator and the rotator until the churn ends,
+    // then performs one final full sweep.
+    let mut sweeps = 0u64;
+    while !done.load(Ordering::Relaxed) || sweeps == 0 {
+        for &k in &anchors {
+            assert!(
+                tree.contains(&mut prober, k),
+                "false negative: anchored key {k} reported absent (sweep {sweeps})"
+            );
+        }
+        sweeps += 1;
+    }
+    mutator.join().unwrap();
+    for &k in &anchors {
+        assert!(tree.contains(&mut prober, k), "post-churn miss of {k}");
+    }
+}
+
+#[test]
+fn membership_probe_never_misses_anchored_keys_during_rotations() {
+    // Clone-based rotations (the optimized tree) are where the suspected
+    // probe-vs-rotation race lives; the portable tree's in-place rotations
+    // get the same treatment.
+    {
+        let stm = Stm::default_config();
+        let tree = Arc::new(OptSpecFriendlyTree::new());
+        let maintenance = tree.start_maintenance_with(
+            stm.register(),
+            MaintenanceConfig {
+                pass_delay: Duration::from_micros(10),
+                ..MaintenanceConfig::default()
+            },
+        );
+        probe_anchored_keys(Arc::clone(&tree), &stm, 4_000);
+        maintenance.stop();
+        tree.inspect().check_consistency().unwrap();
+    }
+    {
+        let stm = Stm::default_config();
+        let tree = Arc::new(SpecFriendlyTree::new());
+        let maintenance = tree.start_maintenance_with(
+            stm.register(),
+            MaintenanceConfig {
+                pass_delay: Duration::from_micros(10),
+                ..MaintenanceConfig::default()
+            },
+        );
+        probe_anchored_keys(Arc::clone(&tree), &stm, 4_000);
+        maintenance.stop();
+        tree.inspect().check_consistency().unwrap();
+    }
 }
 
 #[test]

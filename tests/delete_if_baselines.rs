@@ -1,0 +1,177 @@
+//! Compare-and-delete coverage for the four baselines. PR 1 added
+//! `TxMap::delete_if` / `TxMapInTx::tx_delete_if` to every structure but
+//! only stress-tested them through `ShardedMap`; these tests pin the
+//! semantics directly on the red-black tree, the AVL tree, the
+//! no-restructuring tree and the sequential map.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use speculation_friendly_tree::baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use speculation_friendly_tree::prelude::*;
+
+/// The point semantics every implementation must share: value-checked
+/// deletion, no effect on mismatch or absence.
+fn check_delete_if_semantics<M: TxMap>(map: M) {
+    let stm = Stm::default_config();
+    let mut handle = map.register(stm.register());
+    let name = map.name();
+
+    // Absent key: no effect.
+    assert!(!map.delete_if(&mut handle, 7, 70), "{name}: absent key");
+
+    map.insert(&mut handle, 7, 70);
+    map.insert(&mut handle, 9, 90);
+
+    // Wrong expected value: the entry survives untouched.
+    assert!(!map.delete_if(&mut handle, 7, 71), "{name}: wrong value");
+    assert_eq!(map.get(&mut handle, 7), Some(70), "{name}: entry kept");
+
+    // Matching value: the entry goes.
+    assert!(map.delete_if(&mut handle, 7, 70), "{name}: matching value");
+    assert!(!map.contains(&mut handle, 7), "{name}: entry removed");
+
+    // Second attempt finds nothing.
+    assert!(!map.delete_if(&mut handle, 7, 70), "{name}: double delete");
+
+    // The other entry was never disturbed.
+    assert_eq!(map.get(&mut handle, 9), Some(90), "{name}: bystander kept");
+    assert_eq!(map.len_quiescent(), 1, "{name}: final size");
+}
+
+/// The in-transaction form must compose atomically with other operations:
+/// a failed compare-and-delete plus a re-insert in one transaction leaves
+/// exactly the committed state, never an intermediate one.
+fn check_tx_delete_if_composes<M: TxMap + TxMapInTx>(map: M) {
+    let stm = Stm::default_config();
+    let mut handle = map.register(stm.register());
+    let name = map.name();
+    map.insert(&mut handle, 1, 10);
+    map.insert(&mut handle, 2, 20);
+
+    let mut ctx = stm.register();
+    let (miss, hit, moved) = ctx.atomically(|tx| {
+        let miss = map.tx_delete_if(tx, 1, 999)?; // wrong value: no-op
+        let hit = map.tx_delete_if(tx, 2, 20)?; // removes 2
+        let moved = map.tx_insert(tx, 3, 30)?; // and re-targets it
+        Ok((miss, hit, moved))
+    });
+    assert!(!miss, "{name}: wrong-value tx_delete_if");
+    assert!(hit, "{name}: matching tx_delete_if");
+    assert!(moved, "{name}: insert in the same transaction");
+    assert_eq!(map.get(&mut handle, 1), Some(10), "{name}");
+    assert!(!map.contains(&mut handle, 2), "{name}");
+    assert_eq!(map.get(&mut handle, 3), Some(30), "{name}");
+}
+
+#[test]
+fn delete_if_semantics_hold_on_all_four_baselines() {
+    check_delete_if_semantics(RedBlackTree::new());
+    check_delete_if_semantics(AvlTree::new());
+    check_delete_if_semantics(NoRestructureTree::new());
+    check_delete_if_semantics(SeqMap::new());
+}
+
+#[test]
+fn tx_delete_if_composes_on_all_four_baselines() {
+    check_tx_delete_if_composes(RedBlackTree::new());
+    check_tx_delete_if_composes(AvlTree::new());
+    check_tx_delete_if_composes(NoRestructureTree::new());
+    check_tx_delete_if_composes(SeqMap::new());
+}
+
+#[test]
+fn delete_if_matches_a_btreemap_oracle_under_random_sequences() {
+    fn run<M: TxMap>(map: M, seed: u64) {
+        let stm = Stm::default_config();
+        let mut handle = map.register(stm.register());
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let key = rng() % 64;
+            match rng() % 3 {
+                0 => {
+                    let value = rng() % 8;
+                    let expected =
+                        if let std::collections::btree_map::Entry::Vacant(e) = oracle.entry(key) {
+                            e.insert(value);
+                            true
+                        } else {
+                            false
+                        };
+                    assert_eq!(map.insert(&mut handle, key, value), expected);
+                }
+                1 => {
+                    // Half the guesses are wrong on purpose.
+                    let guess = rng() % 8;
+                    let expected = oracle.get(&key) == Some(&guess);
+                    if expected {
+                        oracle.remove(&key);
+                    }
+                    assert_eq!(
+                        map.delete_if(&mut handle, key, guess),
+                        expected,
+                        "{} delete_if({key}, {guess})",
+                        map.name()
+                    );
+                }
+                _ => {
+                    assert_eq!(map.get(&mut handle, key), oracle.get(&key).copied());
+                }
+            }
+        }
+        assert_eq!(map.len_quiescent(), oracle.len(), "{}", map.name());
+    }
+    run(RedBlackTree::new(), 0xa001);
+    run(AvlTree::new(), 0xa002);
+    run(NoRestructureTree::new(), 0xa003);
+    run(SeqMap::new(), 0xa004);
+}
+
+#[test]
+fn concurrent_delete_if_never_destroys_a_foreign_value() {
+    // Two threads race compare-and-deletes against re-inserts of *distinct*
+    // values on one key: a delete_if may only ever remove the value it was
+    // given, so the surviving value (if any) must belong to one of the
+    // writers' committed inserts.
+    let stm = Stm::default_config();
+    let tree = Arc::new(RedBlackTree::new());
+    let threads: Vec<_> = (0..2u64)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let mut ctx = stm.register();
+            std::thread::spawn(move || {
+                let my_value = 100 + t;
+                let other = 100 + (1 - t);
+                for _ in 0..1_000 {
+                    tree.insert(&mut ctx, 5, my_value);
+                    // Only ever delete what this thread (or the peer) wrote;
+                    // a mismatch must leave the entry alone.
+                    if !tree.delete_if(&mut ctx, 5, my_value) {
+                        let observed = tree.get(&mut ctx, 5);
+                        assert!(
+                            observed.is_none() || observed == Some(other),
+                            "unexpected value {observed:?}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    tree.check_invariants().unwrap();
+    let mut ctx = stm.register();
+    let leftover = tree.get(&mut ctx, 5);
+    assert!(
+        leftover.is_none() || leftover == Some(100) || leftover == Some(101),
+        "final value must come from a committed insert: {leftover:?}"
+    );
+}
