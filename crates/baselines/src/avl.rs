@@ -11,7 +11,7 @@ use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
 use sf_stm::{TCell, ThreadCtx, Transaction, TxKind, TxResult};
-use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 use sf_tree::{Key, NodeId, TxArena, Value};
 
 /// AVL node: key and value are mutable because deletion of a two-child node
@@ -473,6 +473,22 @@ impl TxMap for AvlTree {
 
     fn name(&self) -> &'static str {
         "AVLtree"
+    }
+}
+
+impl TxMapVersioned for AvlTree {
+    fn atomically_versioned<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        mut body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64) {
+        ctx.atomically_versioned(|tx| body(self, tx))
+    }
+
+    fn snapshot_versioned(&self, ctx: &mut ThreadCtx) -> (Vec<(Key, Value)>, u64) {
+        ctx.atomically_versioned_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, 0..=Key::MAX)
+        })
     }
 }
 

@@ -9,7 +9,7 @@
 use std::ops::{ControlFlow, RangeInclusive};
 
 use sf_stm::{ThreadCtx, Transaction, TxResult};
-use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 use sf_tree::{Key, SfHandle, SpecFriendlyTree, TreeInspect, Value};
 
 /// No-restructuring tree: a speculation-friendly tree whose maintenance
@@ -121,6 +121,27 @@ impl TxMap for NoRestructureTree {
 
     fn name(&self) -> &'static str {
         "NRtree"
+    }
+}
+
+impl TxMapVersioned for NoRestructureTree {
+    /// The NRtree never starts a maintenance thread, so no node is ever
+    /// physically removed or recycled — running the caller's body without
+    /// the inner tree's activity (reclamation) guard is safe here.
+    fn atomically_versioned<R>(
+        &self,
+        handle: &mut SfHandle,
+        mut body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64) {
+        handle.ctx_mut().atomically_versioned(|tx| body(self, tx))
+    }
+
+    fn snapshot_versioned(&self, handle: &mut SfHandle) -> (Vec<(Key, Value)>, u64) {
+        handle
+            .ctx_mut()
+            .atomically_versioned_kind(sf_stm::TxKind::ReadOnly, |tx| {
+                self.tx_range_collect(tx, 0..=Key::MAX)
+            })
     }
 }
 

@@ -13,7 +13,7 @@ use std::ops::{ControlFlow, RangeInclusive};
 use std::sync::Arc;
 
 use sf_stm::{TCell, ThreadCtx, Transaction, TxKind, TxResult};
-use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+use sf_tree::map::{ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 use sf_tree::{Key, NodeId, TxArena, Value};
 
 const RED: bool = true;
@@ -599,6 +599,22 @@ impl TxMap for RedBlackTree {
 
     fn name(&self) -> &'static str {
         "RBtree"
+    }
+}
+
+impl TxMapVersioned for RedBlackTree {
+    fn atomically_versioned<R>(
+        &self,
+        ctx: &mut ThreadCtx,
+        mut body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64) {
+        ctx.atomically_versioned(|tx| body(self, tx))
+    }
+
+    fn snapshot_versioned(&self, ctx: &mut ThreadCtx) -> (Vec<(Key, Value)>, u64) {
+        ctx.atomically_versioned_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, 0..=Key::MAX)
+        })
     }
 }
 

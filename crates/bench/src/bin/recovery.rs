@@ -1,0 +1,239 @@
+//! Recovery harness: replay throughput vs. log length, plus a real
+//! crash-recovery smoke used by CI.
+//!
+//! **Sweep mode** (default): for each length in `SF_RECOVERY_LENGTHS`
+//! (default `1000 5000 20000` records), write that many effective mutations
+//! through a durable optimized tree (buffered log — the sweep measures
+//! *replay*, not fsync), then measure `sf_persist::recover` over the
+//! directory. One row (and, with `SF_JSON=1`, one JSON line) per length;
+//! set `SF_RECOVERY_CKPT=1` to checkpoint at the halfway point and measure
+//! checkpoint-accelerated recovery instead.
+//!
+//! **Crash smoke** (`SF_RECOVERY_SMOKE=1`): for a plain and a sharded
+//! durable backend, spawn this same binary as a *writer child*
+//! (`SF_RECOVERY_ROLE=writer`) that inserts keys through the registry's
+//! `+wal` backend and prints `ACK <key>` after each durably acknowledged
+//! insert; SIGKILL it mid-stream; recover the directory in the parent and
+//! verify every acknowledged key survived. Exits non-zero on any loss —
+//! this is the "commit returned, then the machine died" contract, tested
+//! with an actual killed process.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use sf_bench::json_enabled;
+use sf_persist::{recover, recover_sharded, DurableMap, TempDir, WalOptions};
+use sf_stm::{Stm, StmConfig};
+use sf_tree::{OptSpecFriendlyTree, TxMap};
+use sf_workloads::Backend;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    match std::env::var("SF_RECOVERY_ROLE").as_deref() {
+        Ok("writer") => writer_child(),
+        _ if std::env::var("SF_RECOVERY_SMOKE").as_deref() == Ok("1") => crash_smoke(),
+        _ => replay_sweep(),
+    }
+}
+
+/// Sweep mode: replay throughput as a function of log length.
+fn replay_sweep() {
+    let lengths: Vec<u64> = std::env::var("SF_RECOVERY_LENGTHS")
+        .ok()
+        .map(|s| {
+            s.split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<u64>| !v.is_empty())
+        .unwrap_or_else(|| vec![1_000, 5_000, 20_000]);
+    let checkpoint_halfway = std::env::var("SF_RECOVERY_CKPT").as_deref() == Ok("1");
+    println!("# recovery — replay throughput vs. log length (ckpt-halfway: {checkpoint_halfway})");
+
+    for &target in &lengths {
+        let dir = TempDir::new("recovery-sweep");
+        let stm = Stm::new(StmConfig::ctl());
+        let tree = Arc::new(OptSpecFriendlyTree::new());
+        let maintenance = tree.start_maintenance(stm.register());
+        // Buffered mode: the sweep measures replay, not per-op fsync cost.
+        let options = WalOptions {
+            group: 0,
+            auto_checkpoint: 0,
+        };
+        let (map, _) = DurableMap::open(tree, &stm, dir.path(), options).expect("open WAL");
+        let mut handle = map.register(stm.register());
+
+        // Mixed effective mutations over a small domain: roughly half the
+        // records are deletes, exercising both replay paths.
+        let mut logged = 0u64;
+        let mut state = 0x5eed_5eedu64 ^ target;
+        while logged < target {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 4096;
+            let changed = if state.is_multiple_of(3) {
+                map.delete(&mut handle, key)
+            } else {
+                map.insert(&mut handle, key, state)
+            };
+            if changed {
+                logged += 1;
+            }
+            if checkpoint_halfway && logged == target / 2 {
+                map.checkpoint(&mut handle).expect("checkpoint");
+            }
+        }
+        map.flush().expect("flush");
+        let live = map.len_quiescent() as u64;
+
+        let started = Instant::now();
+        let recovery = recover(dir.path()).expect("recover");
+        let elapsed = started.elapsed();
+        maintenance.stop();
+
+        assert_eq!(
+            recovery.entries.len() as u64,
+            live,
+            "recovered entry count must match the live map"
+        );
+        let replay_us = elapsed.as_micros().max(1) as u64;
+        let per_us = recovery.records_scanned as f64 / replay_us as f64;
+        println!(
+            "records={target:<8} segments={:<3} replayed={:<8} entries={live:<6} replay_us={replay_us:<8} records/us={per_us:.3}",
+            recovery.segments, recovery.records_replayed,
+        );
+        if json_enabled() {
+            let wal = sf_persist::stats::snapshot();
+            println!(
+                concat!(
+                    "{{\"bin\":\"recovery\",\"records\":{},\"segments\":{},",
+                    "\"records_replayed\":{},\"checkpoint_entries\":{},\"entries\":{},",
+                    "\"replay_us\":{},\"records_per_us\":{:.6},\"ckpt_halfway\":{},",
+                    "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
+                    "\"wal_checkpoints\":{},\"wal_replayed\":{}}}"
+                ),
+                target,
+                recovery.segments,
+                recovery.records_replayed,
+                recovery.checkpoint_entries,
+                live,
+                replay_us,
+                per_us,
+                checkpoint_halfway,
+                wal.records,
+                wal.bytes,
+                wal.batches,
+                wal.checkpoints,
+                wal.replayed,
+            );
+        }
+    }
+    println!("Expected shape: replay scales linearly with surviving log length;");
+    println!("a halfway checkpoint (SF_RECOVERY_CKPT=1) roughly halves the replayed records.");
+}
+
+/// Child process of the crash smoke: insert keys 1, 2, 3, ... through a
+/// registry `+wal` backend and acknowledge each durable insert on stdout.
+/// Runs until killed.
+fn writer_child() {
+    let backend_name = std::env::var("SF_RECOVERY_BACKEND").unwrap_or_else(|_| "sftree-opt".into());
+    let backend =
+        Backend::build(&format!("{backend_name}+wal"), StmConfig::ctl()).expect("build backend");
+    let mut session = backend.session();
+    let stdout = std::io::stdout();
+    for key in 1..u64::MAX {
+        assert!(session.insert(key, key * 10), "fresh keys always insert");
+        // The insert returned => its record is durable. Acknowledge.
+        let mut out = stdout.lock();
+        writeln!(out, "ACK {key}").expect("parent closed the ack pipe");
+        out.flush().expect("parent closed the ack pipe");
+    }
+}
+
+/// Parent of the crash smoke: spawn, ack-count, SIGKILL, recover, verify.
+fn crash_smoke() {
+    let target_acks = env_u64("SF_RECOVERY_ACKS", 150);
+    let mut failures = 0u32;
+    for backend in ["sftree-opt", "sftree-opt-sharded2"] {
+        let base = TempDir::new(&format!("recovery-smoke-{backend}"));
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut child = std::process::Command::new(exe)
+            .env("SF_RECOVERY_ROLE", "writer")
+            .env("SF_RECOVERY_BACKEND", backend)
+            .env("SF_WAL_DIR", base.path())
+            .env_remove("SF_WAL_GROUP") // children must sync per batch
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn writer child");
+        let mut acked = 0u64;
+        {
+            let stdout = child.stdout.take().expect("child stdout");
+            let reader = std::io::BufReader::new(stdout);
+            for line in reader.lines() {
+                let line = line.expect("read ack");
+                if let Some(key) = line
+                    .strip_prefix("ACK ")
+                    .and_then(|k| k.parse::<u64>().ok())
+                {
+                    acked = acked.max(key);
+                }
+                if acked >= target_acks {
+                    break;
+                }
+            }
+        }
+        // The child is mid-insert (and mid-maintenance): kill it dead.
+        child.kill().expect("kill writer child");
+        let _ = child.wait();
+
+        // The child's registry build #0 landed in `<backend>+wal-0`.
+        let dir: PathBuf = base.path().join(format!("{backend}+wal-0"));
+        let recovery = if backend.contains("sharded2") {
+            recover_sharded(&dir, 2).expect("recover sharded")
+        } else {
+            recover(&dir).expect("recover")
+        };
+        let recovered: BTreeMap<u64, u64> = recovery.entries.iter().copied().collect();
+        let max_key = recovery.entries.last().map_or(0, |&(k, _)| k);
+        let mut ok = max_key >= acked;
+        for key in 1..=max_key {
+            if recovered.get(&key) != Some(&(key * 10)) {
+                ok = false;
+                eprintln!("{backend}: key {key} lost or wrong after crash");
+            }
+        }
+        // The dense prefix property: exactly the keys 1..=max survive (the
+        // child only ever inserted fresh keys in order).
+        if recovered.len() as u64 != max_key {
+            ok = false;
+        }
+        println!(
+            "crash-smoke backend={backend} acked={acked} recovered={} max_key={max_key} torn_bytes={} => {}",
+            recovered.len(),
+            recovery.torn_bytes,
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if json_enabled() {
+            println!(
+                "{{\"bin\":\"recovery-smoke\",\"backend\":\"{backend}\",\"acked\":{acked},\"recovered\":{},\"pass\":{ok}}}",
+                recovered.len()
+            );
+        }
+        if !ok {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,15 @@
 //! | `SF_SEED` | workload key-stream seed (deterministic streams) | `0x5eed5eed` |
 //! | `SF_SCAN_PCT` | percent of operations that are range scans | `0` |
 //! | `SF_SCAN_WIDTH` | keys spanned by one range scan | `100` |
+//! | `SF_WAL` | `1` → wrap every backend in the durability (WAL) layer | off |
+//! | `SF_WAL_DIR` | base directory for write-ahead logs | `$TMPDIR/sf-wal-<pid>` |
+//! | `SF_WAL_GROUP` | records per group-commit fsync batch (`0` = buffered) | `128` |
+//! | `SF_WAL_CKPT` | records between automatic checkpoints (`0` = manual) | `0` |
+//!
+//! Every harness's JSON line carries the WAL counters of its measured phase
+//! (`wal_records`, `wal_bytes`, `wal_batches`, `wal_checkpoints`,
+//! `wal_replayed` — all zero for non-durable backends), and the dedicated
+//! `recovery` binary measures replay throughput against log length.
 
 #![warn(missing_docs)]
 
@@ -173,7 +182,9 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
             "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
             "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
-            "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{}"
+            "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{},",
+            "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
+            "\"wal_checkpoints\":{},\"wal_replayed\":{}"
         ),
         json_escape(label),
         json_escape(&result.structure),
@@ -201,6 +212,11 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.stm.scan_commits,
         result.stm.scan_aborts,
         result.stm.max_scan_read_set,
+        result.wal.records,
+        result.wal.bytes,
+        result.wal.batches,
+        result.wal.checkpoints,
+        result.wal.replayed,
     );
     if !extra.is_empty() {
         line.push(',');
@@ -287,6 +303,8 @@ mod tests {
         assert!(line.contains("\"seed\":42"), "smoke-test seed: {line}");
         assert!(line.contains("\"scans\":"));
         assert!(line.contains("\"scan_commits\":"));
+        assert!(line.contains("\"wal_records\":"));
+        assert!(line.contains("\"wal_checkpoints\":"));
         // Balanced quotes => even count; cheap smoke check of JSON shape.
         assert_eq!(line.matches('"').count() % 2, 0);
     }

@@ -63,7 +63,7 @@ pub use maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenancePause, MaintenanceStyle, MaintenanceWorker,
     PassReport,
 };
-pub use map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+pub use map::{intern_label, ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 pub use node::{Key, Node, RemState, Side, Value, SENTINEL_KEY};
 pub use optimized::OptSpecFriendlyTree;
 pub use portable::SpecFriendlyTree;

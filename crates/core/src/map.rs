@@ -19,11 +19,30 @@
 //! derived operation; scans run as [`sf_stm::TxKind::ReadOnly`] transactions
 //! at the top level so the STM skips write-set bookkeeping entirely.
 
+use std::collections::HashMap;
 use std::ops::{ControlFlow, RangeInclusive};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use sf_stm::{ThreadCtx, Transaction, TxResult};
 
 use crate::node::{Key, Value};
+
+/// Intern a backend label so [`TxMap::name`] can hand out `&'static str` for
+/// dynamically-built names (sharded compositions, durability decorators).
+/// Each distinct label leaks exactly once.
+pub fn intern_label(label: String) -> &'static str {
+    static CACHE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut cache = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&interned) = cache.get(&label) {
+        return interned;
+    }
+    let leaked: &'static str = Box::leak(label.clone().into_boxed_str());
+    cache.insert(label, leaked);
+    leaked
+}
 
 /// In-transaction map operations: compose freely inside one transaction.
 pub trait TxMapInTx: Send + Sync {
@@ -254,6 +273,41 @@ pub trait TxMap: Send + Sync {
 
     /// Short human-readable name used in benchmark output (e.g. `SFtree`).
     fn name(&self) -> &'static str;
+}
+
+/// Maps whose top-level operations can report the **commit version** at which
+/// they serialized — the capability a durability layer builds on.
+///
+/// Every single-STM backend implements this by funnelling the caller's body
+/// through the same guard + retry protocol as its built-in point operations
+/// ([`sf_stm::ThreadCtx::atomically_versioned`] underneath), so the returned
+/// version is the STM clock stamp of the winning attempt and the body's
+/// [`Transaction::on_commit_versioned`] hooks observe the identical value.
+/// Multi-domain compositions (the sharded map) do **not** implement it — no
+/// single transaction spans their shards; they are made durable by wrapping
+/// each shard instead (`ShardedMap<DurableMap<M>>`).
+pub trait TxMapVersioned: TxMap + TxMapInTx + TxOrderedMapInTx {
+    /// Run `body` as one top-level transaction of the map's default kind
+    /// (the same kind its own mutating operations use), retrying until it
+    /// commits, and return its result together with the commit version.
+    ///
+    /// The body receives the map itself re-borrowed at the transaction
+    /// lifetime so it can call the [`TxMapInTx`] operations; any state it
+    /// captures for [`Transaction::on_commit_versioned`] hooks must be
+    /// owned (`'static`), because hooks may outlive the body's borrows.
+    fn atomically_versioned<R>(
+        &self,
+        handle: &mut Self::Handle,
+        body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64);
+
+    /// One atomic full-range snapshot of the live entries, in ascending key
+    /// order, together with the version at which the read-only scan
+    /// serialized: every commit with a version `<=` the returned one is
+    /// reflected in the entries, every commit with a greater version is not.
+    /// This is exactly the boundary a checkpoint needs in order to truncate
+    /// a commit-ordered log safely.
+    fn snapshot_versioned(&self, handle: &mut Self::Handle) -> (Vec<(Key, Value)>, u64);
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@ use crate::inspect::TreeInspect;
 use crate::maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker,
 };
-use crate::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+use crate::map::{ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 use crate::node::{Key, Node, RemState, Side, Value};
 use crate::shared::{
     tx_delete_common, tx_get_common, tx_insert_common, tx_range_visit_common, FindSpec, SfHandle,
@@ -300,6 +300,26 @@ impl TxMap for OptSpecFriendlyTree {
 
     fn name(&self) -> &'static str {
         "OptSFtree"
+    }
+}
+
+impl TxMapVersioned for OptSpecFriendlyTree {
+    fn atomically_versioned<R>(
+        &self,
+        handle: &mut SfHandle,
+        mut body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64) {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_versioned(|tx| body(self, tx))
+    }
+
+    fn snapshot_versioned(&self, handle: &mut SfHandle) -> (Vec<(Key, Value)>, u64) {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_versioned_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, 0..=Key::MAX)
+        })
     }
 }
 

@@ -21,7 +21,7 @@ use crate::inspect::TreeInspect;
 use crate::maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenanceStyle, MaintenanceWorker,
 };
-use crate::map::{ScanOrder, TxMap, TxMapInTx, TxOrderedMapInTx};
+use crate::map::{ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
 use crate::node::{Key, Node, Side, Value};
 use crate::shared::{
     tx_delete_common, tx_get_common, tx_insert_common, tx_range_visit_common, FindSpec, SfHandle,
@@ -227,6 +227,26 @@ impl TxMap for SpecFriendlyTree {
 
     fn name(&self) -> &'static str {
         "SFtree"
+    }
+}
+
+impl TxMapVersioned for SpecFriendlyTree {
+    fn atomically_versioned<R>(
+        &self,
+        handle: &mut SfHandle,
+        mut body: impl for<'t> FnMut(&'t Self, &mut Transaction<'t>) -> TxResult<R>,
+    ) -> (R, u64) {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_versioned(|tx| body(self, tx))
+    }
+
+    fn snapshot_versioned(&self, handle: &mut SfHandle) -> (Vec<(Key, Value)>, u64) {
+        let (ctx, activity) = handle.parts();
+        let _op = activity.begin();
+        ctx.atomically_versioned_kind(TxKind::ReadOnly, |tx| {
+            self.tx_range_collect(tx, 0..=Key::MAX)
+        })
     }
 }
 

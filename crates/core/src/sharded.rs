@@ -68,15 +68,14 @@
 //!   equivalence tests). Under concurrent updates it degrades to the
 //!   per-shard-atomic contract above.
 
-use std::collections::HashMap;
 use std::ops::RangeInclusive;
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
 use sf_stm::{StatsSnapshot, Stm, StmConfig, ThreadCtx, Transaction, TxResult};
 
 use crate::maintenance::{MaintenanceConfig, MaintenanceHandle, MaintenancePause};
-use crate::map::{TxMap, TxMapInTx};
+use crate::map::{intern_label, TxMap, TxMapInTx};
 use crate::node::{Key, Value};
 use crate::optimized::OptSpecFriendlyTree;
 use crate::portable::SpecFriendlyTree;
@@ -120,6 +119,20 @@ pub struct ShardedHandle<M: TxMap> {
     handles: Vec<M::Handle>,
 }
 
+impl<M: TxMap> ShardedHandle<M> {
+    /// Number of per-shard handles (= the map's shard count).
+    pub fn shard_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// The inner handle registered with shard `index`, for operations that
+    /// address one shard directly (e.g. a durability layer checkpointing
+    /// every shard's inner map in turn).
+    pub fn shard_handle_mut(&mut self, index: usize) -> &mut M::Handle {
+        &mut self.handles[index]
+    }
+}
+
 /// K-way merge of per-shard range results. Each input is sorted ascending
 /// and the hash partition makes keys unique across shards, so repeatedly
 /// taking the smallest head yields the globally sorted sequence (shard
@@ -145,22 +158,6 @@ fn merge_sorted(per_shard: Vec<Vec<(Key, Value)>>) -> Vec<(Key, Value)> {
             None => return out,
         }
     }
-}
-
-/// Intern a backend label so [`TxMap::name`] can hand out `&'static str` for
-/// dynamically-built names. Each distinct label leaks exactly once.
-fn intern_label(label: String) -> &'static str {
-    static CACHE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
-    let mut cache = CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
-    if let Some(&interned) = cache.get(&label) {
-        return interned;
-    }
-    let leaked: &'static str = Box::leak(label.clone().into_boxed_str());
-    cache.insert(label, leaked);
-    leaked
 }
 
 impl<M: TxMap> ShardedMap<M> {

@@ -1,0 +1,453 @@
+//! [`DurableMap`]: the durability decorator any versioned backend opts into.
+//!
+//! `DurableMap<M>` wraps a [`TxMapVersioned`] backend and logs every
+//! *effective* top-level mutation (insert that changed the map, delete,
+//! compare-and-delete, move) as a redo record stamped with the STM commit
+//! version. The record is enqueued from a
+//! [`sf_stm::Transaction::on_commit_versioned`] hook of the winning attempt
+//! — right after the commit point, before the operation returns — and the
+//! operation then waits on the group-commit writer, so **when a mutating
+//! call returns, its record is durable** (unless the log runs in buffered
+//! mode, `group == 0`).
+//!
+//! Lookups and scans pass straight through: durability costs nothing on the
+//! read path.
+//!
+//! ## Checkpoints
+//!
+//! [`DurableMap::checkpoint`] bounds recovery time: it seals the current log
+//! segment ([`Wal::rotate`]), takes one atomic
+//! [`TxMapVersioned::snapshot_versioned`] of the backend (a PR 2 read-only
+//! range scan, which also yields the snapshot's serialization version), and
+//! durably installs the image before deleting the sealed segments. The
+//! ordering makes the race with concurrent writers safe:
+//!
+//! * a record that landed in a sealed segment was enqueued before the
+//!   rotation, so its transaction committed before the snapshot began and
+//!   the image covers it — deleting the segment loses nothing;
+//! * a record enqueued after the rotation lives in the surviving segment;
+//!   if its version is `<=` the snapshot version it is skipped at replay
+//!   (the image already reflects it), otherwise it is replayed on top.
+//!
+//! ## Sharded composition
+//!
+//! A sharded durable map is `ShardedMap<DurableMap<M>>` — **one log per
+//! shard**, preserving the sharded map's property that shards share no
+//! synchronization. [`sharded_optimized`] / [`sharded_portable`] build one
+//! (with per-shard `shard-<i>` directories), [`checkpoint_sharded`]
+//! checkpoints every shard under
+//! [`sf_tree::ShardedMap::pause_maintenance`], and
+//! [`crate::recovery::recover_sharded`] merges the per-shard recoveries.
+
+use std::io;
+use std::ops::RangeInclusive;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use sf_stm::{Stm, StmConfig, ThreadCtx};
+use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
+use sf_tree::{
+    intern_label, Key, OptSpecFriendlyTree, ShardParts, ShardedHandle, ShardedMap,
+    SpecFriendlyTree, TxMap, TxMapVersioned, Value,
+};
+
+use crate::log::{Wal, WalOptions};
+use crate::record::{WalOp, WalRecord};
+use crate::recovery::{recover, shard_dir, Recovery};
+
+/// Per-thread handle of a [`DurableMap`]: the inner backend's handle plus a
+/// slot the commit hook uses to hand the enqueued record's sequence number
+/// back to the operation (hooks may only capture owned state).
+pub struct DurableHandle<M: TxMap> {
+    inner: M::Handle,
+    ticket: Arc<AtomicU64>,
+}
+
+impl<M: TxMap> DurableHandle<M> {
+    /// The wrapped backend handle (e.g. to drive the inner map directly in
+    /// tests; mutations through it bypass the log).
+    pub fn inner_mut(&mut self) -> &mut M::Handle {
+        &mut self.inner
+    }
+}
+
+/// Report of one completed checkpoint.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointReport {
+    /// The snapshot's serialization version (records above it stay live).
+    pub version: u64,
+    /// Entries written to the image.
+    pub entries: u64,
+    /// The log segment sealed and (after install) deleted through.
+    pub sealed_segment: u64,
+}
+
+/// A durability decorator over any [`TxMapVersioned`] backend. See the
+/// [module docs](self).
+pub struct DurableMap<M: TxMap> {
+    inner: Arc<M>,
+    wal: Arc<Wal>,
+    options: WalOptions,
+    /// Serializes checkpoints (explicit and automatic).
+    checkpoint_lock: Mutex<()>,
+    label: &'static str,
+}
+
+impl<M: TxMapVersioned + 'static> DurableMap<M> {
+    /// Open a durable map over `inner`, recovering any existing
+    /// `checkpoint + log` state in `dir` **into** the (expected-fresh) inner
+    /// map first: recovered entries are bulk-inserted through a bootstrap
+    /// handle (bypassing the log — they are already durable) and `stm`'s
+    /// clock is advanced past the highest recovered version so new commits
+    /// log strictly above it. A torn tail left by the crash is durably
+    /// discarded ([`crate::recovery::repair_torn_tail`]) — otherwise a
+    /// *second* crash would hit the stale corruption and throw away every
+    /// segment this incarnation writes. Appending resumes in a fresh
+    /// segment.
+    pub fn open(
+        inner: Arc<M>,
+        stm: &Arc<Stm>,
+        dir: impl Into<PathBuf>,
+        options: WalOptions,
+    ) -> io::Result<(DurableMap<M>, Recovery)> {
+        let dir = dir.into();
+        let recovery = recover(&dir)?;
+        crate::recovery::repair_torn_tail(&dir, &recovery)?;
+        if !recovery.entries.is_empty() {
+            // Batch the bootstrap: one transaction per chunk, not per entry —
+            // restart time is exactly what checkpoints exist to bound.
+            let mut bootstrap = inner.register(stm.register());
+            for chunk in recovery.entries.chunks(64) {
+                inner.atomically_versioned(&mut bootstrap, |map, tx| {
+                    for &(key, value) in chunk {
+                        map.tx_insert(tx, key, value)?;
+                    }
+                    Ok(())
+                });
+            }
+        }
+        stm.clock().advance_to(recovery.last_version);
+        let wal = Wal::open(dir, recovery.last_segment + 1, options.group)?;
+        let label = intern_label(format!("{}+wal", inner.name()));
+        Ok((
+            DurableMap {
+                inner,
+                wal: Arc::new(wal),
+                options,
+                checkpoint_lock: Mutex::new(()),
+                label,
+            },
+            recovery,
+        ))
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<M> {
+        &self.inner
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        self.wal.dir()
+    }
+
+    /// Records logged since the last completed checkpoint.
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.wal.records_since_checkpoint()
+    }
+
+    /// Write and sync every buffered record (meaningful in buffered mode,
+    /// `group == 0`; a no-op otherwise because mutations sync themselves).
+    pub fn flush(&self) -> io::Result<()> {
+        self.wal.flush()
+    }
+
+    /// Checkpoint: seal the log, snapshot the backend atomically, durably
+    /// install the image, and truncate the sealed log prefix. Safe against
+    /// concurrent mutators (see the [module docs](self)); concurrent
+    /// checkpoints serialize.
+    pub fn checkpoint(&self, handle: &mut DurableHandle<M>) -> io::Result<CheckpointReport> {
+        let _guard = self
+            .checkpoint_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.checkpoint_locked(&mut handle.inner)
+    }
+
+    fn checkpoint_locked(&self, inner_handle: &mut M::Handle) -> io::Result<CheckpointReport> {
+        let sealed = self.wal.rotate()?;
+        let (entries, version) = self.inner.snapshot_versioned(inner_handle);
+        self.wal.install_checkpoint(version, &entries, sealed)?;
+        Ok(CheckpointReport {
+            version,
+            entries: entries.len() as u64,
+            sealed_segment: sealed,
+        })
+    }
+
+    /// After a logged mutation: wait for its record's durability, then
+    /// trigger an automatic checkpoint when the threshold is crossed (and
+    /// no other thread is already checkpointing).
+    fn finish_mutation(&self, handle: &mut DurableHandle<M>) {
+        let seq = handle.ticket.swap(0, Ordering::Relaxed);
+        if seq == 0 {
+            return;
+        }
+        self.wal.sync_to(seq);
+        if self.options.auto_checkpoint > 0
+            && self.wal.records_since_checkpoint() >= self.options.auto_checkpoint
+        {
+            if let Ok(_guard) = self.checkpoint_lock.try_lock() {
+                self.checkpoint_locked(&mut handle.inner)
+                    .expect("automatic checkpoint failed");
+            }
+        }
+    }
+}
+
+impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
+    type Handle = DurableHandle<M>;
+
+    fn register(&self, ctx: ThreadCtx) -> DurableHandle<M> {
+        DurableHandle {
+            inner: self.inner.register(ctx),
+            ticket: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn contains(&self, handle: &mut DurableHandle<M>, key: Key) -> bool {
+        self.inner.contains(&mut handle.inner, key)
+    }
+
+    fn get(&self, handle: &mut DurableHandle<M>, key: Key) -> Option<Value> {
+        self.inner.get(&mut handle.inner, key)
+    }
+
+    fn insert(&self, handle: &mut DurableHandle<M>, key: Key, value: Value) -> bool {
+        let wal = Arc::clone(&self.wal);
+        let ticket = Arc::clone(&handle.ticket);
+        let (changed, _version) =
+            self.inner
+                .atomically_versioned(&mut handle.inner, move |map, tx| {
+                    let changed = map.tx_insert(tx, key, value)?;
+                    if changed {
+                        let wal = Arc::clone(&wal);
+                        let ticket = Arc::clone(&ticket);
+                        tx.on_commit_versioned(move |version| {
+                            let seq = wal.enqueue(WalRecord {
+                                version,
+                                op: WalOp::Insert { key, value },
+                            });
+                            ticket.store(seq, Ordering::Relaxed);
+                        });
+                    }
+                    Ok(changed)
+                });
+        self.finish_mutation(handle);
+        changed
+    }
+
+    fn delete(&self, handle: &mut DurableHandle<M>, key: Key) -> bool {
+        let wal = Arc::clone(&self.wal);
+        let ticket = Arc::clone(&handle.ticket);
+        let (changed, _version) =
+            self.inner
+                .atomically_versioned(&mut handle.inner, move |map, tx| {
+                    let changed = map.tx_delete(tx, key)?;
+                    if changed {
+                        let wal = Arc::clone(&wal);
+                        let ticket = Arc::clone(&ticket);
+                        tx.on_commit_versioned(move |version| {
+                            let seq = wal.enqueue(WalRecord {
+                                version,
+                                op: WalOp::Delete { key },
+                            });
+                            ticket.store(seq, Ordering::Relaxed);
+                        });
+                    }
+                    Ok(changed)
+                });
+        self.finish_mutation(handle);
+        changed
+    }
+
+    fn delete_if(&self, handle: &mut DurableHandle<M>, key: Key, expected: Value) -> bool {
+        let wal = Arc::clone(&self.wal);
+        let ticket = Arc::clone(&handle.ticket);
+        let (changed, _version) =
+            self.inner
+                .atomically_versioned(&mut handle.inner, move |map, tx| {
+                    let changed = map.tx_delete_if(tx, key, expected)?;
+                    if changed {
+                        let wal = Arc::clone(&wal);
+                        let ticket = Arc::clone(&ticket);
+                        tx.on_commit_versioned(move |version| {
+                            let seq = wal.enqueue(WalRecord {
+                                version,
+                                op: WalOp::Delete { key },
+                            });
+                            ticket.store(seq, Ordering::Relaxed);
+                        });
+                    }
+                    Ok(changed)
+                });
+        self.finish_mutation(handle);
+        changed
+    }
+
+    fn move_entry(&self, handle: &mut DurableHandle<M>, from: Key, to: Key) -> bool {
+        let wal = Arc::clone(&self.wal);
+        let ticket = Arc::clone(&handle.ticket);
+        let (moved, _version) =
+            self.inner
+                .atomically_versioned(&mut handle.inner, move |map, tx| {
+                    if from == to {
+                        // A self-move is a membership test: nothing to log.
+                        return map.tx_contains(tx, from);
+                    }
+                    let value = match map.tx_get(tx, from)? {
+                        Some(value) => value,
+                        None => return Ok(false),
+                    };
+                    let moved = map.tx_move(tx, from, to)?;
+                    if moved {
+                        let wal = Arc::clone(&wal);
+                        let ticket = Arc::clone(&ticket);
+                        // One record for both halves: a torn tail can never
+                        // recover the delete without the insert.
+                        tx.on_commit_versioned(move |version| {
+                            let seq = wal.enqueue(WalRecord {
+                                version,
+                                op: WalOp::Move { from, to, value },
+                            });
+                            ticket.store(seq, Ordering::Relaxed);
+                        });
+                    }
+                    Ok(moved)
+                });
+        self.finish_mutation(handle);
+        moved
+    }
+
+    fn range_collect(
+        &self,
+        handle: &mut DurableHandle<M>,
+        range: RangeInclusive<Key>,
+    ) -> Vec<(Key, Value)> {
+        self.inner.range_collect(&mut handle.inner, range)
+    }
+
+    fn len(&self, handle: &mut DurableHandle<M>) -> usize {
+        self.inner.len(&mut handle.inner)
+    }
+
+    fn len_quiescent(&self) -> usize {
+        self.inner.len_quiescent()
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Build a sharded durable map: `shards` inner maps produced by `make`
+/// (returning each shard's STM, map, and optional maintenance thread), each
+/// wrapped in a [`DurableMap`] logging to `base/shard-<i>`, recovering any
+/// existing state. Returns the composed map and the merged recovery report.
+pub fn sharded_with<M>(
+    shards: usize,
+    base: &Path,
+    options: WalOptions,
+    mut make: impl FnMut(usize) -> (Arc<Stm>, Arc<M>, Option<MaintenanceHandle>),
+) -> io::Result<(ShardedMap<DurableMap<M>>, Recovery)>
+where
+    M: TxMapVersioned + 'static,
+    M::Handle: Send,
+{
+    let mut merged = Recovery::default();
+    let mut parts: Vec<Option<ShardParts<DurableMap<M>>>> = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (stm, map, maintenance) = make(shard);
+        let (durable, one) = DurableMap::open(map, &stm, shard_dir(base, shard), options)?;
+        merged.absorb(one);
+        parts.push(Some(ShardParts {
+            stm,
+            map: Arc::new(durable),
+            maintenance,
+        }));
+    }
+    merged.entries.sort_unstable();
+    let map = ShardedMap::new_with(shards, |shard| {
+        parts[shard]
+            .take()
+            .expect("each shard is built exactly once")
+    });
+    Ok((map, merged))
+}
+
+/// Maintenance tuning shared by the sharded durable builders (matching
+/// [`ShardedMap::optimized`]).
+fn sharded_maintenance_config() -> MaintenanceConfig {
+    MaintenanceConfig {
+        pass_delay: Duration::from_micros(200),
+        ..MaintenanceConfig::default()
+    }
+}
+
+/// A sharded durable **optimized** speculation-friendly tree: per shard, one
+/// STM instance, one clone-based maintenance thread, and one log under
+/// `base/shard-<i>`.
+pub fn sharded_optimized(
+    shards: usize,
+    stm_config: StmConfig,
+    base: &Path,
+    options: WalOptions,
+) -> io::Result<(ShardedMap<DurableMap<OptSpecFriendlyTree>>, Recovery)> {
+    sharded_with(shards, base, options, |_| {
+        let stm = Stm::new(stm_config.clone());
+        let map = Arc::new(OptSpecFriendlyTree::new());
+        let maintenance = map.start_maintenance_with(stm.register(), sharded_maintenance_config());
+        (stm, map, Some(maintenance))
+    })
+}
+
+/// A sharded durable **portable** speculation-friendly tree (classic
+/// in-place rotations per shard).
+pub fn sharded_portable(
+    shards: usize,
+    stm_config: StmConfig,
+    base: &Path,
+    options: WalOptions,
+) -> io::Result<(ShardedMap<DurableMap<SpecFriendlyTree>>, Recovery)> {
+    sharded_with(shards, base, options, |_| {
+        let stm = Stm::new(stm_config.clone());
+        let map = Arc::new(SpecFriendlyTree::new());
+        let maintenance = map.start_maintenance_with(stm.register(), sharded_maintenance_config());
+        (stm, map, Some(maintenance))
+    })
+}
+
+/// Checkpoint every shard of a sharded durable map with all rotator threads
+/// parked ([`ShardedMap::pause_maintenance`]): full-tree snapshot scans and
+/// structural maintenance would otherwise fight over the same nodes, which
+/// on a loaded host turns the snapshot into an abort storm. Each shard's
+/// checkpoint is still individually safe against concurrent *mutators* —
+/// pausing maintenance is a throughput choice, not a correctness one.
+pub fn checkpoint_sharded<M>(
+    map: &ShardedMap<DurableMap<M>>,
+    handle: &mut ShardedHandle<DurableMap<M>>,
+) -> io::Result<Vec<CheckpointReport>>
+where
+    M: TxMapVersioned + 'static,
+    M::Handle: Send,
+{
+    let _paused = map.pause_maintenance();
+    let mut reports = Vec::with_capacity(map.shard_count());
+    for shard in 0..map.shard_count() {
+        let durable = Arc::clone(map.shard_map(shard));
+        reports.push(durable.checkpoint(handle.shard_handle_mut(shard))?);
+    }
+    Ok(reports)
+}

@@ -1,0 +1,519 @@
+//! The write-ahead log: segment files driven by a group-commit writer.
+//!
+//! One [`Wal`] owns one directory. Redo records are *enqueued* by commit
+//! hooks (cheap: a buffer push under a mutex) and made durable by
+//! [`Wal::sync_to`], which implements leader-based **group commit**: the
+//! first waiter becomes the flusher, drains up to `group` pending records
+//! into one `write` + one `fsync`, and wakes every waiter whose records the
+//! batch covered. Concurrent mutators therefore share fsyncs instead of
+//! paying one each — the classic trick of `brianshih1/little-key-value-db`'s
+//! redo log and of every production WAL.
+//!
+//! ## Files
+//!
+//! * `segment-NNNNNNNN.wal` — numbered log segments of record frames
+//!   (see [`crate::record`]). Appends go to the highest segment; a
+//!   checkpoint *seals* it (flush + switch to the next index) so the sealed
+//!   prefix can be deleted once the checkpoint image is durable.
+//! * `checkpoint.ck` — one checksummed frame holding the snapshot version
+//!   and the full entry set. Written as `checkpoint.tmp` + fsync + atomic
+//!   rename, so a crash mid-checkpoint leaves the previous image intact.
+//!
+//! ## Ordering
+//!
+//! Records carry their STM commit version. Within one flush batch the
+//! writer sorts by version, so the file order tracks commit order; across
+//! batches a preempted committer can still enqueue late. Recovery therefore
+//! never trusts file order alone: it sorts the surviving records by version
+//! before replay (see [`crate::recovery`]), which makes the log's contract
+//! independent of scheduling.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use sf_tree::{Key, Value};
+
+use crate::record::{write_frame, WalRecord};
+use crate::stats;
+
+/// Name of the durable checkpoint image inside a log directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.ck";
+/// Scratch name the checkpoint is written under before the atomic rename.
+pub const CHECKPOINT_TMP: &str = "checkpoint.tmp";
+
+/// Tuning of a [`Wal`] (and of the [`crate::DurableMap`] that owns it).
+#[derive(Debug, Clone, Copy)]
+pub struct WalOptions {
+    /// Maximum records one group-commit batch drains into a single
+    /// `write` + `fsync` (the `SF_WAL_GROUP` knob). `0` selects **buffered**
+    /// mode: mutations return without waiting for durability and the log is
+    /// only written/synced by checkpoints, [`Wal::flush`], and drop — fast,
+    /// but a crash loses the buffered tail.
+    pub group: usize,
+    /// Auto-checkpoint threshold in records (`SF_WAL_CKPT`): a mutation that
+    /// observes at least this many records logged since the last checkpoint
+    /// triggers one. `0` disables automatic checkpoints.
+    pub auto_checkpoint: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            group: 128,
+            auto_checkpoint: 0,
+        }
+    }
+}
+
+/// Records waiting to be flushed, with their assigned sequence numbers.
+struct PendingState {
+    /// FIFO of enqueued-but-not-yet-written records.
+    pending: Vec<WalRecord>,
+    /// Sequence number of the last enqueued record (first record is 1).
+    enqueued_seq: u64,
+    /// Sequence number through which records are durably on disk.
+    durable_seq: u64,
+    /// A leader is currently writing a batch.
+    flushing: bool,
+}
+
+/// The current segment file.
+struct SegmentState {
+    file: File,
+    index: u64,
+}
+
+/// A commit-ordered write-ahead log over one directory.
+#[derive(Debug)]
+pub struct Wal {
+    dir: PathBuf,
+    group: usize,
+    state: Mutex<PendingState>,
+    flushed: Condvar,
+    segment: Mutex<SegmentState>,
+    records_since_checkpoint: AtomicU64,
+}
+
+impl std::fmt::Debug for PendingState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingState")
+            .field("pending", &self.pending.len())
+            .field("enqueued_seq", &self.enqueued_seq)
+            .field("durable_seq", &self.durable_seq)
+            .field("flushing", &self.flushing)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for SegmentState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentState")
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+/// Path of segment `index` inside `dir`.
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("segment-{index:08}.wal"))
+}
+
+/// Parse a file name of the `segment-NNNNNNNN.wal` form into its index.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix("segment-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
+}
+
+/// Best-effort fsync of a directory (so renames and creations inside it are
+/// durable). Ignored on platforms where directories cannot be opened.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+impl Wal {
+    /// Open (creating if necessary) the log directory and start appending to
+    /// a fresh segment with index `start_segment` (which must be above every
+    /// existing segment — recovery hands the caller `last_segment + 1`).
+    pub fn open(dir: impl Into<PathBuf>, start_segment: u64, group: usize) -> io::Result<Wal> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, start_segment))?;
+        sync_dir(&dir);
+        Ok(Wal {
+            dir,
+            group,
+            state: Mutex::new(PendingState {
+                pending: Vec::new(),
+                enqueued_seq: 0,
+                durable_seq: 0,
+                flushing: false,
+            }),
+            flushed: Condvar::new(),
+            segment: Mutex::new(SegmentState {
+                file,
+                index: start_segment,
+            }),
+            records_since_checkpoint: AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this log writes to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records enqueued since the last completed checkpoint (the
+    /// auto-checkpoint trigger reads this).
+    pub fn records_since_checkpoint(&self) -> u64 {
+        self.records_since_checkpoint.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue one record and return its sequence number (pass it to
+    /// [`Wal::sync_to`] to wait for durability). Called from commit hooks:
+    /// the record is buffered in memory only.
+    pub fn enqueue(&self, record: WalRecord) -> u64 {
+        let mut state = self.lock_state();
+        state.pending.push(record);
+        state.enqueued_seq += 1;
+        self.records_since_checkpoint
+            .fetch_add(1, Ordering::Relaxed);
+        state.enqueued_seq
+    }
+
+    /// Block until every record with a sequence number `<= seq` is durably
+    /// on disk, flushing batches as the leader when no other thread is. In
+    /// buffered mode (`group == 0`) this returns immediately (records are
+    /// written by checkpoints, [`Wal::flush`], and drop).
+    ///
+    /// # Panics
+    /// Panics when the underlying file write or sync fails: the caller was
+    /// promised durability and the log cannot provide it.
+    pub fn sync_to(&self, seq: u64) {
+        if self.group == 0 {
+            return;
+        }
+        let mut state = self.lock_state();
+        loop {
+            if state.durable_seq >= seq {
+                return;
+            }
+            if state.flushing {
+                state = self
+                    .flushed
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            state = self.flush_batch(state);
+        }
+    }
+
+    /// Write and sync everything currently pending (used by checkpoints,
+    /// shutdown, and buffered mode's explicit durability points).
+    pub fn flush(&self) -> io::Result<()> {
+        let mut state = self.lock_state();
+        while state.durable_seq < state.enqueued_seq {
+            if state.flushing {
+                state = self
+                    .flushed
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            state = self.flush_batch(state);
+        }
+        Ok(())
+    }
+
+    /// Take the leader role, write one batch (up to `group` records, or all
+    /// pending when unbounded) with one `write` + one `fsync`, and wake
+    /// waiters. Consumes and returns the state lock.
+    fn flush_batch<'a>(
+        &'a self,
+        mut state: std::sync::MutexGuard<'a, PendingState>,
+    ) -> std::sync::MutexGuard<'a, PendingState> {
+        debug_assert!(!state.flushing);
+        let take = if self.group == 0 {
+            state.pending.len()
+        } else {
+            state.pending.len().min(self.group)
+        };
+        if take == 0 {
+            return state;
+        }
+        state.flushing = true;
+        let mut batch: Vec<WalRecord> = state.pending.drain(..take).collect();
+        drop(state);
+
+        // If the write or sync below panics (disk full, EIO), the leader
+        // role must not die with this thread: clear `flushing` and wake the
+        // waiters on unwind, so each surfaces its own durability panic
+        // instead of blocking on the condvar forever. Disarmed on the
+        // success path, which clears the flag under its own lock hold.
+        struct LeaderGuard<'a> {
+            wal: &'a Wal,
+            armed: bool,
+        }
+        impl Drop for LeaderGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    self.wal.lock_state().flushing = false;
+                    self.wal.flushed.notify_all();
+                }
+            }
+        }
+        let mut leader = LeaderGuard {
+            wal: self,
+            armed: true,
+        };
+
+        // Best-effort: make the file order track commit order within the
+        // batch (recovery sorts globally anyway, see the module docs).
+        batch.sort_by_key(|r| r.version);
+        let mut buf = Vec::with_capacity(take * 64);
+        for record in &batch {
+            record.encode_into(&mut buf);
+        }
+        {
+            let mut segment = self.lock_segment();
+            segment
+                .file
+                .write_all(&buf)
+                .expect("WAL append failed: cannot honor the durability promise");
+            segment
+                .file
+                .sync_data()
+                .expect("WAL sync failed: cannot honor the durability promise");
+        }
+        stats::note_batch(take as u64, buf.len() as u64);
+
+        let mut state = self.lock_state();
+        state.durable_seq += take as u64;
+        state.flushing = false;
+        leader.armed = false;
+        self.flushed.notify_all();
+        state
+    }
+
+    /// Seal the current segment: flush everything pending into it, then
+    /// switch appends to a fresh segment. Returns the sealed segment's
+    /// index; every record enqueued before this call is in a segment
+    /// `<= sealed`, so a snapshot taken *after* the rotation covers the
+    /// sealed prefix entirely.
+    pub fn rotate(&self) -> io::Result<u64> {
+        // Drain the pending buffer into the old segment first.
+        self.flush()?;
+        let mut segment = self.lock_segment();
+        // Records enqueued after flush() returned but before we took the
+        // segment lock were flushed by... nobody — they are still pending
+        // and will land in the *new* segment, which is exactly what the
+        // checkpoint protocol needs (their versions may exceed the snapshot
+        // version). But the sealed file itself must be fully durable:
+        segment.file.sync_data()?;
+        let sealed = segment.index;
+        let next = sealed + 1;
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, next))?;
+        sync_dir(&self.dir);
+        *segment = SegmentState { file, index: next };
+        Ok(sealed)
+    }
+
+    /// Durably install a checkpoint image: `(version, entries)` is written
+    /// to `checkpoint.tmp`, synced, atomically renamed over
+    /// [`CHECKPOINT_FILE`], and every segment with index `<= sealed_through`
+    /// is deleted (their records all have versions `<= version` and are
+    /// covered by the image).
+    pub fn install_checkpoint(
+        &self,
+        version: u64,
+        entries: &[(Key, Value)],
+        sealed_through: u64,
+    ) -> io::Result<()> {
+        let mut payload = Vec::with_capacity(16 + entries.len() * 16);
+        payload.extend_from_slice(&version.to_le_bytes());
+        payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+        for &(key, value) in entries {
+            payload.extend_from_slice(&key.to_le_bytes());
+            payload.extend_from_slice(&value.to_le_bytes());
+        }
+        let mut framed = Vec::with_capacity(payload.len() + 12);
+        write_frame(&mut framed, &payload);
+
+        let tmp = self.dir.join(CHECKPOINT_TMP);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&framed)?;
+            file.sync_data()?;
+        }
+        fs::rename(&tmp, self.dir.join(CHECKPOINT_FILE))?;
+        sync_dir(&self.dir);
+
+        // The image is durable; the sealed prefix of the log is now garbage.
+        for index in (1..=sealed_through).rev() {
+            let path = segment_path(&self.dir, index);
+            if path.exists() {
+                fs::remove_file(path)?;
+            } else {
+                break;
+            }
+        }
+        self.records_since_checkpoint.store(0, Ordering::Relaxed);
+        stats::note_checkpoint();
+        Ok(())
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PendingState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_segment(&self) -> std::sync::MutexGuard<'_, SegmentState> {
+        self.segment.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        // Clean shutdown: persist whatever is still buffered (crash tests
+        // bypass this by never dropping the map).
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{scan_segment, WalOp};
+    use crate::tempdir::TempDir;
+
+    fn record(version: u64, key: Key) -> WalRecord {
+        WalRecord {
+            version,
+            op: WalOp::Insert {
+                key,
+                value: key * 10,
+            },
+        }
+    }
+
+    #[test]
+    fn enqueue_sync_roundtrip_lands_records_in_the_segment() {
+        let dir = TempDir::new("wal-roundtrip");
+        let wal = Wal::open(dir.path(), 1, 4).unwrap();
+        let mut last = 0;
+        for i in 1..=10u64 {
+            last = wal.enqueue(record(i, i));
+        }
+        wal.sync_to(last);
+        let bytes = fs::read(segment_path(dir.path(), 1)).unwrap();
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records.len(), 10);
+        assert_eq!(scan.torn_bytes, 0);
+        assert_eq!(wal.records_since_checkpoint(), 10);
+    }
+
+    #[test]
+    fn batch_order_is_sorted_by_version() {
+        let dir = TempDir::new("wal-sort");
+        let wal = Wal::open(dir.path(), 1, 128).unwrap();
+        // Enqueue out of commit order within one batch.
+        wal.enqueue(record(3, 3));
+        wal.enqueue(record(1, 1));
+        let seq = wal.enqueue(record(2, 2));
+        wal.sync_to(seq);
+        let bytes = fs::read(segment_path(dir.path(), 1)).unwrap();
+        let versions: Vec<u64> = scan_segment(&bytes)
+            .records
+            .iter()
+            .map(|r| r.version)
+            .collect();
+        assert_eq!(versions, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn buffered_mode_defers_writes_until_flush() {
+        let dir = TempDir::new("wal-buffered");
+        let wal = Wal::open(dir.path(), 1, 0).unwrap();
+        let seq = wal.enqueue(record(1, 1));
+        wal.sync_to(seq); // no-op in buffered mode
+        let bytes = fs::read(segment_path(dir.path(), 1)).unwrap();
+        assert!(bytes.is_empty(), "buffered mode must not write per op");
+        wal.flush().unwrap();
+        let bytes = fs::read(segment_path(dir.path(), 1)).unwrap();
+        assert_eq!(scan_segment(&bytes).records.len(), 1);
+    }
+
+    #[test]
+    fn rotate_seals_and_switches_segments() {
+        let dir = TempDir::new("wal-rotate");
+        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        wal.sync_to(wal.enqueue(record(1, 1)));
+        let sealed = wal.rotate().unwrap();
+        assert_eq!(sealed, 1);
+        wal.sync_to(wal.enqueue(record(2, 2)));
+        let first = fs::read(segment_path(dir.path(), 1)).unwrap();
+        let second = fs::read(segment_path(dir.path(), 2)).unwrap();
+        assert_eq!(scan_segment(&first).records.len(), 1);
+        assert_eq!(scan_segment(&second).records.len(), 1);
+    }
+
+    #[test]
+    fn install_checkpoint_writes_image_and_deletes_sealed_segments() {
+        let dir = TempDir::new("wal-ckpt");
+        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        wal.sync_to(wal.enqueue(record(1, 1)));
+        let sealed = wal.rotate().unwrap();
+        wal.install_checkpoint(1, &[(1, 10)], sealed).unwrap();
+        assert!(!segment_path(dir.path(), 1).exists(), "sealed deleted");
+        assert!(dir.path().join(CHECKPOINT_FILE).exists());
+        assert!(!dir.path().join(CHECKPOINT_TMP).exists());
+        assert_eq!(wal.records_since_checkpoint(), 0);
+    }
+
+    #[test]
+    fn group_commit_shares_flushes_across_threads() {
+        use std::sync::Arc;
+        let dir = TempDir::new("wal-group");
+        let wal = Arc::new(Wal::open(dir.path(), 1, 64).unwrap());
+        let threads: Vec<_> = (0..2u64)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        let seq = wal.enqueue(record(t * 1000 + i + 1, i));
+                        wal.sync_to(seq);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let bytes = fs::read(segment_path(dir.path(), 1)).unwrap();
+        assert_eq!(scan_segment(&bytes).records.len(), 100);
+    }
+
+    #[test]
+    fn segment_names_roundtrip() {
+        assert_eq!(parse_segment_name("segment-00000042.wal"), Some(42));
+        assert_eq!(parse_segment_name("segment-x.wal"), None);
+        assert_eq!(parse_segment_name("checkpoint.ck"), None);
+        let path = segment_path(Path::new("/tmp/x"), 7);
+        assert_eq!(
+            parse_segment_name(path.file_name().unwrap().to_str().unwrap()),
+            Some(7)
+        );
+    }
+}

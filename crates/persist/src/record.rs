@@ -1,0 +1,319 @@
+//! On-disk record format: length-prefixed, checksummed frames.
+//!
+//! Every piece of durable state — log records and checkpoint images — is
+//! stored as a *frame*:
+//!
+//! ```text
+//! +----------------+------------------+------------------+
+//! | len: u32 (LE)  | checksum: u64 LE | payload (len B)  |
+//! +----------------+------------------+------------------+
+//! ```
+//!
+//! The checksum is a hand-rolled FNV-1a 64 over the payload (the environment
+//! bakes in no checksum crates, and FNV is plenty for torn-tail detection:
+//! the failure mode is a partially written or bit-flipped frame, not an
+//! adversary). A reader that hits a frame whose header is truncated, whose
+//! length is implausible, or whose checksum does not match treats everything
+//! from that offset on as a **torn tail** and stops — exactly the recovery
+//! contract of a write-ahead log whose final write was interrupted.
+
+use sf_tree::{Key, Value};
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Upper bound accepted for one frame's payload; anything larger is treated
+/// as corruption. Log records are 25 bytes; checkpoint images hold the whole
+/// map, so the bound is generous.
+pub const MAX_FRAME_LEN: usize = 1 << 30;
+
+/// Hand-rolled FNV-1a 64 checksum of `bytes`.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// One logical mutation of the map abstraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// `key` now maps to `value` (an effective insert, including revives of
+    /// logically deleted keys). Replayed as an upsert.
+    Insert {
+        /// The inserted key.
+        key: Key,
+        /// The value the key maps to after the commit.
+        value: Value,
+    },
+    /// `key` is no longer present (an effective delete, including the
+    /// compare-and-delete).
+    Delete {
+        /// The removed key.
+        key: Key,
+    },
+    /// `value` moved from `from` to `to` (§5.4's composed move). Encoded as
+    /// **one** record so a torn tail can never separate the delete half
+    /// from the insert half — recovery applies it atomically. (A
+    /// *cross-shard* move spans two logs and decomposes into
+    /// `Insert` + `Delete`; it inherits the sharded map's documented
+    /// transient-visibility relaxation.)
+    Move {
+        /// The vacated key.
+        from: Key,
+        /// The key now holding `value`.
+        to: Key,
+        /// The moved value.
+        value: Value,
+    },
+}
+
+/// One redo record: a committed logical operation stamped with the STM
+/// commit version of the transaction that performed it.
+///
+/// Records are *absolute* (they carry the post-state of the key, not a
+/// delta), so replaying them in commit-version order is idempotent and the
+/// final state of a key is decided by its highest-versioned record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The commit version drawn from the STM clock.
+    pub version: u64,
+    /// The committed logical operation.
+    pub op: WalOp,
+}
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_MOVE: u8 = 3;
+/// version (8) + tag (1) + key (8) + value (8).
+pub(crate) const RECORD_PAYLOAD_LEN: usize = 25;
+/// version (8) + tag (1) + from (8) + to (8) + value (8).
+pub(crate) const MOVE_PAYLOAD_LEN: usize = 33;
+/// len (4) + checksum (8).
+pub(crate) const FRAME_HEADER_LEN: usize = 12;
+
+impl WalRecord {
+    /// Serialize this record's frame (header + payload) into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut payload = [0u8; MOVE_PAYLOAD_LEN];
+        payload[0..8].copy_from_slice(&self.version.to_le_bytes());
+        let len = match self.op {
+            WalOp::Insert { key, value } => {
+                payload[8] = TAG_INSERT;
+                payload[9..17].copy_from_slice(&key.to_le_bytes());
+                payload[17..25].copy_from_slice(&value.to_le_bytes());
+                RECORD_PAYLOAD_LEN
+            }
+            WalOp::Delete { key } => {
+                payload[8] = TAG_DELETE;
+                payload[9..17].copy_from_slice(&key.to_le_bytes());
+                RECORD_PAYLOAD_LEN
+            }
+            WalOp::Move { from, to, value } => {
+                payload[8] = TAG_MOVE;
+                payload[9..17].copy_from_slice(&from.to_le_bytes());
+                payload[17..25].copy_from_slice(&to.to_le_bytes());
+                payload[25..33].copy_from_slice(&value.to_le_bytes());
+                MOVE_PAYLOAD_LEN
+            }
+        };
+        write_frame(out, &payload[..len]);
+    }
+
+    /// Decode one record from a frame payload.
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        if payload.len() < RECORD_PAYLOAD_LEN {
+            return None;
+        }
+        let version = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+        let key = u64::from_le_bytes(payload[9..17].try_into().ok()?);
+        let value = u64::from_le_bytes(payload[17..25].try_into().ok()?);
+        let op = match (payload[8], payload.len()) {
+            (TAG_INSERT, RECORD_PAYLOAD_LEN) => WalOp::Insert { key, value },
+            (TAG_DELETE, RECORD_PAYLOAD_LEN) => WalOp::Delete { key },
+            (TAG_MOVE, MOVE_PAYLOAD_LEN) => WalOp::Move {
+                from: key,
+                to: value,
+                value: u64::from_le_bytes(payload[25..33].try_into().ok()?),
+            },
+            _ => return None,
+        };
+        Some(WalRecord { version, op })
+    }
+}
+
+/// Append a `len | checksum | payload` frame to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Read the frame starting at `bytes[offset..]`. Returns the payload slice
+/// and the offset of the next frame, or `None` when the bytes from `offset`
+/// on do not form a valid frame (truncated header, implausible length, short
+/// payload, or checksum mismatch) — the torn-tail condition.
+pub fn read_frame(bytes: &[u8], offset: usize) -> Option<(&[u8], usize)> {
+    let header = bytes.get(offset..offset + FRAME_HEADER_LEN)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().ok()?) as usize;
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let expected = u64::from_le_bytes(header[4..12].try_into().ok()?);
+    let start = offset + FRAME_HEADER_LEN;
+    let payload = bytes.get(start..start + len)?;
+    if checksum(payload) != expected {
+        return None;
+    }
+    Some((payload, start + len))
+}
+
+/// Outcome of scanning a segment's bytes for records.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentScan {
+    /// The records of every valid frame, in file order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of the torn (invalid) tail, `0` when the whole segment parsed.
+    pub torn_bytes: u64,
+}
+
+/// Parse a segment file's bytes into records, stopping cleanly at the first
+/// invalid frame (torn tail). A frame that parses but does not decode as a
+/// record (unknown tag, wrong payload size) also ends the scan: its bytes
+/// cannot be trusted as a prefix of anything.
+pub fn scan_segment(bytes: &[u8]) -> SegmentScan {
+    let mut scan = SegmentScan::default();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        match read_frame(bytes, offset) {
+            Some((payload, next)) => match WalRecord::decode(payload) {
+                Some(record) => {
+                    scan.records.push(record);
+                    offset = next;
+                }
+                None => break,
+            },
+            None => break,
+        }
+    }
+    scan.torn_bytes = (bytes.len() - offset) as u64;
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                version: 1,
+                op: WalOp::Insert { key: 7, value: 70 },
+            },
+            WalRecord {
+                version: 2,
+                op: WalOp::Delete { key: 7 },
+            },
+            WalRecord {
+                version: 5,
+                op: WalOp::Insert {
+                    key: u64::MAX,
+                    value: 0,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn move_records_roundtrip_as_one_frame() {
+        let record = WalRecord {
+            version: 9,
+            op: WalOp::Move {
+                from: 3,
+                to: 4,
+                value: 77,
+            },
+        };
+        let mut bytes = Vec::new();
+        record.encode_into(&mut bytes);
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN + MOVE_PAYLOAD_LEN);
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records, vec![record]);
+        // Any truncation of the single frame drops the whole move: the two
+        // halves of a move can never be separated by a torn tail.
+        for cut in 1..bytes.len() {
+            let scan = scan_segment(&bytes[..cut]);
+            assert!(scan.records.is_empty(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_through_frames() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.torn_bytes, 0);
+    }
+
+    #[test]
+    fn short_write_is_detected_as_torn_tail() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        // Chop bytes off the end: every truncation point must recover the
+        // longest full prefix of records and report the rest as torn (a cut
+        // of exactly one frame leaves a clean two-record log, nothing torn).
+        let frame = FRAME_HEADER_LEN + RECORD_PAYLOAD_LEN;
+        for cut in 1..=frame {
+            let truncated = &bytes[..bytes.len() - cut];
+            let scan = scan_segment(truncated);
+            assert_eq!(scan.records, records[..2], "cut={cut}");
+            assert_eq!(scan.torn_bytes > 0, cut < frame, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_stops_the_scan_at_the_corrupted_frame() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        // Flip one bit inside the second record's payload.
+        let second_frame = FRAME_HEADER_LEN + RECORD_PAYLOAD_LEN;
+        let mut corrupted = bytes.clone();
+        corrupted[second_frame + FRAME_HEADER_LEN + 3] ^= 0x40;
+        let scan = scan_segment(&corrupted);
+        assert_eq!(scan.records, records[..1]);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn implausible_length_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let scan = scan_segment(&bytes);
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.torn_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let a = checksum(b"speculation");
+        assert_eq!(a, checksum(b"speculation"));
+        assert_ne!(a, checksum(b"speculatioN"));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+}

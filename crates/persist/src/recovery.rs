@@ -1,0 +1,337 @@
+//! Crash recovery: rebuild a map's contents from `checkpoint + log`.
+//!
+//! Recovery is a pure function of the directory's bytes:
+//!
+//! 1. Load `checkpoint.ck` (if present) into a `BTreeMap`, remembering its
+//!    snapshot version `vs`.
+//! 2. Scan every `segment-*.wal` in index order, collecting records until
+//!    the first invalid frame (the **torn tail**) — everything from that
+//!    point on, including later segments, is discarded, exactly like a WAL
+//!    whose final write was cut short.
+//! 3. Sort the surviving records by commit version (file order within one
+//!    group-commit batch already matches, but a preempted committer may
+//!    have appended late — the version stamps are the ground truth) and
+//!    replay the ones with `version > vs` as upserts/removes.
+//!
+//! The result equals the committed state of the map at the crash point,
+//! minus at most the operations whose `TxMap` call had not yet returned
+//! (their records never became durable). See `EXPERIMENTS.md` for the full
+//! durability contract.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use sf_tree::{Key, Value};
+
+use crate::log::{parse_segment_name, CHECKPOINT_FILE};
+use crate::record::{read_frame, scan_segment, WalOp, WalRecord};
+use crate::stats;
+
+/// The outcome of recovering one log directory.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// The recovered live entries, ascending by key.
+    pub entries: Vec<(Key, Value)>,
+    /// The highest version recovered (checkpoint or record); a fresh STM
+    /// clock must be advanced past it before new mutations are logged.
+    pub last_version: u64,
+    /// Version of the checkpoint image (`0` when none was found).
+    pub checkpoint_version: u64,
+    /// Entries loaded from the checkpoint image.
+    pub checkpoint_entries: u64,
+    /// Segment files scanned.
+    pub segments: u64,
+    /// Highest segment index found (`0` when the directory held none); a
+    /// re-opened log continues at `last_segment + 1`.
+    pub last_segment: u64,
+    /// Valid records found in the log.
+    pub records_scanned: u64,
+    /// Records actually replayed (version above the checkpoint's).
+    pub records_replayed: u64,
+    /// Bytes discarded as the torn tail (invalid trailing frames plus every
+    /// byte of the segments after the corrupted one).
+    pub torn_bytes: u64,
+    /// Where the torn tail starts, when one was found: the segment index and
+    /// the byte offset of its last valid frame boundary. [`repair_torn_tail`]
+    /// uses this to make the discard durable before appending resumes.
+    pub torn_at: Option<(u64, u64)>,
+}
+
+impl Recovery {
+    /// Fold another directory's recovery into this one: entries concatenate
+    /// (callers re-sort once — shard key spaces are disjoint), versions and
+    /// segment indices take the maximum, counters add up.
+    pub fn absorb(&mut self, other: Recovery) {
+        self.entries.extend(other.entries);
+        self.last_version = self.last_version.max(other.last_version);
+        self.checkpoint_version = self.checkpoint_version.max(other.checkpoint_version);
+        self.checkpoint_entries += other.checkpoint_entries;
+        self.segments += other.segments;
+        self.last_segment = self.last_segment.max(other.last_segment);
+        self.records_scanned += other.records_scanned;
+        self.records_replayed += other.records_replayed;
+        self.torn_bytes += other.torn_bytes;
+        self.torn_at = self.torn_at.or(other.torn_at);
+    }
+}
+
+/// Parse a checkpoint image's frame into `(version, entries)`.
+fn parse_checkpoint(bytes: &[u8]) -> io::Result<(u64, BTreeMap<Key, Value>)> {
+    let corrupt = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
+    let (payload, next) = read_frame(bytes, 0).ok_or_else(|| corrupt("checkpoint frame"))?;
+    if next != bytes.len() {
+        return Err(corrupt("trailing bytes after the checkpoint frame"));
+    }
+    if payload.len() < 16 {
+        return Err(corrupt("checkpoint header"));
+    }
+    let version = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let count = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
+    if payload.len() != 16 + count * 16 {
+        return Err(corrupt("checkpoint entry count"));
+    }
+    let mut entries = BTreeMap::new();
+    for i in 0..count {
+        let at = 16 + i * 16;
+        let key = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
+        let value = u64::from_le_bytes(payload[at + 8..at + 16].try_into().unwrap());
+        entries.insert(key, value);
+    }
+    Ok((version, entries))
+}
+
+/// Recover the contents of one log directory. A missing or empty directory
+/// recovers to the empty map; a corrupt *checkpoint* is an error (unlike a
+/// torn log tail, it cannot be attributed to an interrupted append — the
+/// atomic tmp-and-rename install protocol never exposes a partial image).
+pub fn recover(dir: impl AsRef<Path>) -> io::Result<Recovery> {
+    let dir = dir.as_ref();
+    let mut recovery = Recovery::default();
+    if !dir.exists() {
+        return Ok(recovery);
+    }
+
+    let mut map = BTreeMap::new();
+    let checkpoint_path = dir.join(CHECKPOINT_FILE);
+    if checkpoint_path.exists() {
+        let (version, entries) = parse_checkpoint(&fs::read(&checkpoint_path)?)?;
+        recovery.checkpoint_version = version;
+        recovery.checkpoint_entries = entries.len() as u64;
+        recovery.last_version = version;
+        map = entries;
+    }
+
+    // Segments in index order.
+    let mut segments: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(index) = entry.file_name().to_str().and_then(parse_segment_name) {
+            segments.push((index, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|&(index, _)| index);
+
+    let mut records: Vec<WalRecord> = Vec::new();
+    for &(index, ref path) in &segments {
+        recovery.last_segment = index;
+        if recovery.torn_at.is_some() {
+            // Everything after the corruption point is untrusted.
+            recovery.torn_bytes += fs::metadata(path)?.len();
+            continue;
+        }
+        recovery.segments += 1;
+        let bytes = fs::read(path)?;
+        let scan = scan_segment(&bytes);
+        records.extend(scan.records);
+        if scan.torn_bytes > 0 {
+            recovery.torn_bytes += scan.torn_bytes;
+            recovery.torn_at = Some((index, bytes.len() as u64 - scan.torn_bytes));
+        }
+    }
+    recovery.records_scanned = records.len() as u64;
+
+    // Version stamps are the ground truth for replay order.
+    records.sort_by_key(|r| r.version);
+    for record in &records {
+        recovery.last_version = recovery.last_version.max(record.version);
+        if record.version <= recovery.checkpoint_version {
+            // Already reflected in the checkpoint image.
+            continue;
+        }
+        recovery.records_replayed += 1;
+        match record.op {
+            WalOp::Insert { key, value } => {
+                map.insert(key, value);
+            }
+            WalOp::Delete { key } => {
+                map.remove(&key);
+            }
+            WalOp::Move { from, to, value } => {
+                map.remove(&from);
+                map.insert(to, value);
+            }
+        }
+    }
+    stats::note_replayed(recovery.records_replayed);
+
+    recovery.entries = map.into_iter().collect();
+    Ok(recovery)
+}
+
+/// Make a torn tail's discard durable so appending can safely resume in the
+/// directory: truncate the torn segment to its last valid frame boundary
+/// and delete every later segment. Without this, a crash–restart–crash
+/// sequence would leave the old torn frame in place, and the *second*
+/// recovery would discard every segment written (and acknowledged!) after
+/// the restart. No-op when the recovery saw no tear.
+pub fn repair_torn_tail(dir: impl AsRef<Path>, recovery: &Recovery) -> io::Result<()> {
+    let Some((torn_segment, valid_bytes)) = recovery.torn_at else {
+        return Ok(());
+    };
+    let dir = dir.as_ref();
+    let file = fs::OpenOptions::new()
+        .write(true)
+        .open(crate::log::segment_path(dir, torn_segment))?;
+    file.set_len(valid_bytes)?;
+    file.sync_all()?;
+    for index in (torn_segment + 1)..=recovery.last_segment {
+        let path = crate::log::segment_path(dir, index);
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
+    }
+    if let Ok(handle) = fs::File::open(dir) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
+/// Recover a sharded durable map's base directory: the union of the
+/// `shard-<i>` subdirectory recoveries (keys are hash-partitioned, so the
+/// shards are disjoint). `last_version` is the maximum over the shards.
+pub fn recover_sharded(base: impl AsRef<Path>, shards: usize) -> io::Result<Recovery> {
+    let base = base.as_ref();
+    let mut merged = Recovery::default();
+    for shard in 0..shards {
+        merged.absorb(recover(shard_dir(base, shard))?);
+    }
+    merged.entries.sort_unstable();
+    Ok(merged)
+}
+
+/// The per-shard log directory of a sharded durable map.
+pub fn shard_dir(base: &Path, shard: usize) -> std::path::PathBuf {
+    base.join(format!("shard-{shard}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{segment_path, Wal};
+    use crate::tempdir::TempDir;
+
+    fn insert(version: u64, key: Key, value: Value) -> WalRecord {
+        WalRecord {
+            version,
+            op: WalOp::Insert { key, value },
+        }
+    }
+
+    fn delete(version: u64, key: Key) -> WalRecord {
+        WalRecord {
+            version,
+            op: WalOp::Delete { key },
+        }
+    }
+
+    #[test]
+    fn missing_directory_recovers_empty() {
+        let dir = TempDir::new("rec-missing");
+        let recovery = recover(dir.join("nope")).unwrap();
+        assert!(recovery.entries.is_empty());
+        assert_eq!(recovery.last_version, 0);
+        assert_eq!(recovery.last_segment, 0);
+    }
+
+    #[test]
+    fn log_only_recovery_replays_in_version_order() {
+        let dir = TempDir::new("rec-log");
+        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        // Enqueue out of order: replay must still apply 1, 2, 3.
+        wal.enqueue(insert(2, 7, 70));
+        wal.enqueue(insert(1, 7, 7));
+        wal.enqueue(delete(3, 9));
+        wal.enqueue(insert(4, 9, 90));
+        wal.flush().unwrap();
+        let recovery = recover(dir.path()).unwrap();
+        assert_eq!(recovery.entries, vec![(7, 70), (9, 90)]);
+        assert_eq!(recovery.last_version, 4);
+        assert_eq!(recovery.records_replayed, 4);
+        assert_eq!(recovery.last_segment, 1);
+    }
+
+    #[test]
+    fn checkpoint_filters_older_records() {
+        let dir = TempDir::new("rec-ckpt");
+        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        wal.enqueue(insert(1, 1, 10));
+        wal.enqueue(insert(2, 2, 20));
+        wal.flush().unwrap();
+        let sealed = wal.rotate().unwrap();
+        // The image says: at version 5, the map was {1: 11}. A stale record
+        // with version <= 5 lurking in the live segment must NOT regress it.
+        wal.enqueue(insert(4, 2, 99));
+        wal.enqueue(insert(6, 3, 30));
+        wal.flush().unwrap();
+        wal.install_checkpoint(5, &[(1, 11)], sealed).unwrap();
+        let recovery = recover(dir.path()).unwrap();
+        assert_eq!(recovery.entries, vec![(1, 11), (3, 30)]);
+        assert_eq!(recovery.checkpoint_version, 5);
+        assert_eq!(recovery.records_replayed, 1);
+        assert_eq!(recovery.last_version, 6);
+    }
+
+    #[test]
+    fn torn_tail_discards_later_segments_too() {
+        let dir = TempDir::new("rec-torn");
+        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        wal.enqueue(insert(1, 1, 10));
+        wal.enqueue(insert(2, 2, 20));
+        wal.flush().unwrap();
+        wal.rotate().unwrap();
+        wal.enqueue(insert(3, 3, 30));
+        wal.flush().unwrap();
+        // Corrupt the FIRST segment: the second must be dropped entirely.
+        let path = segment_path(dir.path(), 1);
+        let mut bytes = fs::read(&path).unwrap();
+        let len = bytes.len();
+        bytes[len - 5] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+        let recovery = recover(dir.path()).unwrap();
+        assert_eq!(recovery.entries, vec![(1, 10)]);
+        assert!(recovery.torn_bytes > 0);
+        assert_eq!(recovery.records_scanned, 1);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_hard_error() {
+        let dir = TempDir::new("rec-badckpt");
+        fs::write(dir.join(CHECKPOINT_FILE), b"garbage").unwrap();
+        assert!(recover(dir.path()).is_err());
+    }
+
+    #[test]
+    fn sharded_recovery_merges_disjoint_shards() {
+        let dir = TempDir::new("rec-sharded");
+        for shard in 0..2usize {
+            let wal = Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap();
+            wal.enqueue(insert(shard as u64 + 1, shard as u64 * 100, 1));
+            wal.flush().unwrap();
+        }
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(recovery.entries, vec![(0, 1), (100, 1)]);
+        assert_eq!(recovery.last_version, 2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Process-wide WAL counters, in the style of [`sf_stm::StatsSnapshot`].
+//!
+//! Every log instance in the process (one per durable map, one per shard of
+//! a durable sharded map) feeds the same counters, so a harness can report
+//! the aggregate durability work of a run next to the STM statistics. The
+//! bench binaries snapshot the counters around the measured phase and emit
+//! the delta in their `SF_JSON=1` line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RECORDS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static BATCHES: AtomicU64 = AtomicU64::new(0);
+static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
+static REPLAYED: AtomicU64 = AtomicU64::new(0);
+
+/// Immutable view of the process-wide WAL counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Redo records appended to any log.
+    pub records: u64,
+    /// Bytes written to any log segment (frames, excluding checkpoints).
+    pub bytes: u64,
+    /// Group-commit flush batches (one write syscall + optional sync each).
+    pub batches: u64,
+    /// Completed checkpoints.
+    pub checkpoints: u64,
+    /// Records applied by recovery replays.
+    pub replayed: u64,
+}
+
+impl WalStats {
+    /// Counter-wise difference against an earlier snapshot (saturating, so a
+    /// concurrent [`reset`] cannot underflow).
+    pub fn delta_since(&self, earlier: &WalStats) -> WalStats {
+        WalStats {
+            records: self.records.saturating_sub(earlier.records),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+            batches: self.batches.saturating_sub(earlier.batches),
+            checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
+            replayed: self.replayed.saturating_sub(earlier.replayed),
+        }
+    }
+}
+
+/// Snapshot the process-wide counters.
+pub fn snapshot() -> WalStats {
+    WalStats {
+        records: RECORDS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+        batches: BATCHES.load(Ordering::Relaxed),
+        checkpoints: CHECKPOINTS.load(Ordering::Relaxed),
+        replayed: REPLAYED.load(Ordering::Relaxed),
+    }
+}
+
+/// Reset every counter to zero (between benchmark phases).
+pub fn reset() {
+    RECORDS.store(0, Ordering::Relaxed);
+    BYTES.store(0, Ordering::Relaxed);
+    BATCHES.store(0, Ordering::Relaxed);
+    CHECKPOINTS.store(0, Ordering::Relaxed);
+    REPLAYED.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn note_batch(records: u64, bytes: u64) {
+    RECORDS.fetch_add(records, Ordering::Relaxed);
+    BYTES.fetch_add(bytes, Ordering::Relaxed);
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_checkpoint() {
+    CHECKPOINTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_replayed(records: u64) {
+    REPLAYED.fetch_add(records, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_is_saturating_and_counterwise() {
+        let earlier = WalStats {
+            records: 5,
+            bytes: 100,
+            batches: 2,
+            checkpoints: 1,
+            replayed: 7,
+        };
+        let later = WalStats {
+            records: 9,
+            bytes: 150,
+            batches: 3,
+            checkpoints: 1,
+            replayed: 4, // e.g. a reset raced the later snapshot
+        };
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.records, 4);
+        assert_eq!(delta.bytes, 50);
+        assert_eq!(delta.batches, 1);
+        assert_eq!(delta.checkpoints, 0);
+        assert_eq!(delta.replayed, 0, "saturates instead of underflowing");
+    }
+}

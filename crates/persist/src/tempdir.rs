@@ -1,0 +1,110 @@
+//! Std-only temporary-directory helper for tests and harnesses.
+//!
+//! The environment bakes in no `tempfile` crate, and WAL tests need unique
+//! on-disk directories that never collide across concurrently running test
+//! threads or leak into the working tree. [`TempDir`] creates
+//! `<std::env::temp_dir()>/sf-<label>-<pid>-<n>-<nanos>` and removes the
+//! whole tree on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named directory under the system temp dir, deleted on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Create a fresh directory. `label` names the test or harness (it ends
+    /// up in the path, which helps when a failing run leaves state behind
+    /// for inspection — the drop cleanup is skipped on panic-in-drop only).
+    pub fn new(label: &str) -> TempDir {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos())
+            .unwrap_or(0);
+        let sanitized: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '+' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path =
+            std::env::temp_dir().join(format!("sf-{sanitized}-{}-{n}-{nanos}", std::process::id()));
+        std::fs::create_dir_all(&path).expect("creating a temp dir must succeed");
+        TempDir { path }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+
+    /// Consume the guard *without* deleting the directory (used by crash
+    /// tests that hand the path to a second process).
+    pub fn keep(mut self) -> PathBuf {
+        std::mem::take(&mut self.path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.path.as_os_str().is_empty() {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirs_are_unique_and_cleaned_on_drop() {
+        let a = TempDir::new("unique");
+        let b = TempDir::new("unique");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let path = a.path().to_path_buf();
+        std::fs::write(a.join("x"), b"x").unwrap();
+        drop(a);
+        assert!(!path.exists(), "drop removes the tree");
+    }
+
+    #[test]
+    fn keep_disarms_the_cleanup() {
+        let dir = TempDir::new("kept");
+        let path = dir.keep();
+        assert!(path.is_dir());
+        std::fs::remove_dir_all(path).unwrap();
+    }
+
+    #[test]
+    fn labels_are_sanitized_for_paths() {
+        let dir = TempDir::new("weird/label: name");
+        assert!(dir.path().is_dir());
+        assert!(
+            !dir.path().to_string_lossy().contains('/') || {
+                // Only the temp-dir separators themselves.
+                dir.path()
+                    .file_name()
+                    .unwrap()
+                    .to_string_lossy()
+                    .chars()
+                    .all(|c| c != '/' && c != ':')
+            }
+        );
+    }
+}

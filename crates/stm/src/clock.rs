@@ -34,6 +34,16 @@ impl GlobalClock {
     pub fn tick(&self) -> u64 {
         self.now.fetch_add(1, Ordering::AcqRel) + 1
     }
+
+    /// Raise the clock to at least `version` (no-op when it is already
+    /// higher). Used when a recovered data set is loaded into a fresh STM
+    /// instance: new commits must obtain versions strictly above every
+    /// version recorded in the durable log, otherwise replay order would no
+    /// longer match commit order across the restart.
+    #[inline]
+    pub fn advance_to(&self, version: u64) {
+        self.now.fetch_max(version, Ordering::AcqRel);
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +82,15 @@ mod tests {
         all.dedup();
         assert_eq!(all.len(), 4000, "every tick value must be unique");
         assert_eq!(c.now(), 4000);
+    }
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let c = GlobalClock::new();
+        c.advance_to(10);
+        assert_eq!(c.now(), 10);
+        c.advance_to(3);
+        assert_eq!(c.now(), 10, "advancing backwards is a no-op");
+        assert_eq!(c.tick(), 11, "ticks continue above the advanced value");
     }
 }

@@ -108,7 +108,36 @@ impl ThreadCtx {
 
     /// Run `body` as an atomic transaction of the given kind (normal or
     /// elastic), retrying until it commits, and return its result.
-    pub fn atomically_kind<'env, R, F>(&'env mut self, kind: TxKind, mut body: F) -> R
+    pub fn atomically_kind<'env, R, F>(&'env mut self, kind: TxKind, body: F) -> R
+    where
+        F: FnMut(&mut Transaction<'env>) -> TxResult<R>,
+    {
+        ThreadCtx::atomically_versioned_kind(self, kind, body).0
+    }
+
+    /// Run `body` as an atomic transaction of the configured default kind and
+    /// return its result together with the **commit version** at which the
+    /// winning attempt serialized (the write version for updating
+    /// transactions, the final read version for read-only ones).
+    ///
+    /// The same version is passed to every
+    /// [`Transaction::on_commit_versioned`] hook of the winning attempt, so
+    /// a caller that logs committed operations can correlate its in-hook
+    /// records with the value returned here.
+    pub fn atomically_versioned<'env, R, F>(&'env mut self, body: F) -> (R, u64)
+    where
+        F: FnMut(&mut Transaction<'env>) -> TxResult<R>,
+    {
+        let kind = self.stm.config.default_kind;
+        ThreadCtx::atomically_versioned_kind(self, kind, body)
+    }
+
+    /// [`ThreadCtx::atomically_versioned`] with an explicit transaction kind.
+    pub fn atomically_versioned_kind<'env, R, F>(
+        &'env mut self,
+        kind: TxKind,
+        mut body: F,
+    ) -> (R, u64)
     where
         F: FnMut(&mut Transaction<'env>) -> TxResult<R>,
     {
@@ -133,7 +162,7 @@ impl ThreadCtx {
                         if kind == TxKind::ReadOnly {
                             stats.record_scan_commit(info.read_set);
                         }
-                        Some(value)
+                        Some((value, info.commit_version))
                     }
                     Err(_) => {
                         stats.aborts.fetch_add(1, Ordering::Relaxed);
@@ -166,12 +195,13 @@ impl ThreadCtx {
                 tx.take_abort_hooks()
             };
             drop(tx);
+            let hook_version = committed.as_ref().map_or(0, |&(_, version)| version);
             for hook in hooks {
-                hook();
+                hook(hook_version);
             }
-            if let Some(value) = committed {
+            if let Some((value, version)) = committed {
                 stats.record_max_reads_per_op(reads_this_op);
-                return value;
+                return (value, version);
             }
             attempt = attempt.saturating_add(1);
             self.backoff(attempt);
@@ -336,6 +366,64 @@ mod tests {
         // One aborted attempt (explicit retry) then one committed attempt.
         assert_eq!(aborted_runs.get(), 1);
         assert_eq!(committed_runs.get(), 1);
+    }
+
+    #[test]
+    fn versioned_commit_reports_the_clock_stamp_to_caller_and_hooks() {
+        use std::cell::Cell;
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let cell = TCell::new(0u64);
+        let hook_version = Cell::new(0u64);
+        let ((), v1) = ctx.atomically_versioned(|tx| {
+            tx.on_commit_versioned(|wv| hook_version.set(wv));
+            tx.write(&cell, 1)
+        });
+        assert_eq!(v1, 1, "first updating commit draws version 1");
+        assert_eq!(hook_version.get(), v1, "hook payload matches the return");
+        let ((), v2) = ctx.atomically_versioned(|tx| tx.write(&cell, 2));
+        assert!(v2 > v1, "versions are strictly increasing");
+        assert_eq!(cell.version(), Some(v2));
+    }
+
+    #[test]
+    fn versioned_read_only_commit_serializes_at_its_read_version() {
+        use crate::config::TxKind;
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let cell = TCell::new(7u64);
+        ctx.atomically(|tx| tx.write(&cell, 8));
+        let (value, version) = ctx.atomically_versioned_kind(TxKind::ReadOnly, |tx| tx.read(&cell));
+        assert_eq!(value, 8);
+        assert_eq!(
+            version,
+            stm.clock().now(),
+            "a read-only commit serializes at its (final) read version"
+        );
+    }
+
+    #[test]
+    fn versioned_hooks_only_fire_for_the_committing_attempt() {
+        use std::cell::Cell;
+        let stm = Stm::default_config();
+        let mut ctx = stm.register();
+        let cell = TCell::new(0u64);
+        let fired = Cell::new(0u32);
+        let mut first = true;
+        let ((), version) = ctx.atomically_versioned(|tx| {
+            tx.on_commit_versioned(|wv| {
+                fired.set(fired.get() + 1);
+                assert!(wv > 0, "an updating commit always reports version >= 1");
+            });
+            let v = tx.read(&cell)?;
+            if first {
+                first = false;
+                return tx.retry();
+            }
+            tx.write(&cell, v + 1)
+        });
+        assert_eq!(fired.get(), 1, "the aborted attempt's hook must not run");
+        assert_eq!(version, 1);
     }
 
     #[test]

@@ -47,12 +47,22 @@ struct WriteEntry<'env> {
 pub(crate) struct CommitInfo {
     pub read_set: usize,
     pub write_set: usize,
+    /// The version at which this attempt serialized: the write version drawn
+    /// from the global clock for an updating commit, or the (final, possibly
+    /// extended) read version for a commit with an empty write set.
+    pub commit_version: u64,
 }
 
 /// Deferred action registered by user code, executed by the retry loop after
 /// the attempt's fate is known (the analogue of TinySTM's deferred
 /// malloc/free used to manage memory allocated inside transactions).
-type Hook<'env> = Box<dyn FnOnce() + 'env>;
+///
+/// Commit and abort hooks live in separate lists and only ever run for
+/// their own outcome; the `u64` payload is the commit version for commit
+/// hooks (see [`Transaction::on_commit_versioned`]) and a meaningless
+/// placeholder (`0`) for abort hooks — it is **not** a discriminator, and a
+/// read-only commit on a never-ticked clock legitimately reports version 0.
+type Hook<'env> = Box<dyn FnOnce(u64) + 'env>;
 
 /// An in-flight transaction attempt.
 ///
@@ -135,6 +145,20 @@ impl<'env> Transaction<'env> {
     /// Typical use: freeing memory that the transaction logically deleted —
     /// the free must not happen if the attempt aborts.
     pub fn on_commit(&mut self, action: impl FnOnce() + 'env) {
+        self.commit_hooks.push(Box::new(move |_| action()));
+    }
+
+    /// Register an action to run if (and only if) this attempt commits,
+    /// receiving the **commit version** at which the attempt serialized (the
+    /// write version for updating transactions, the final read version for
+    /// read-only ones — which is 0 for a read-only commit against a clock
+    /// that has never ticked; an updating commit always reports `>= 1`).
+    ///
+    /// This is the hook a durability layer builds on: the committed logical
+    /// operation plus its clock stamp can be published to a log right after
+    /// the commit point, so the log's version order equals the STM's commit
+    /// order.
+    pub fn on_commit_versioned(&mut self, action: impl FnOnce(u64) + 'env) {
         self.commit_hooks.push(Box::new(action));
     }
 
@@ -144,7 +168,7 @@ impl<'env> Transaction<'env> {
     /// allocation is invisible to other threads until commit, so it can be
     /// recycled immediately when the attempt is abandoned.
     pub fn on_abort(&mut self, action: impl FnOnce() + 'env) {
-        self.abort_hooks.push(Box::new(action));
+        self.abort_hooks.push(Box::new(move |_| action()));
     }
 
     pub(crate) fn take_commit_hooks(&mut self) -> Vec<Hook<'env>> {
@@ -360,9 +384,10 @@ impl<'env> Transaction<'env> {
     /// attempt counts as aborted; the caller re-executes the body.
     pub(crate) fn commit(&mut self) -> Result<CommitInfo, Abort> {
         debug_assert!(!self.finished);
-        let info = CommitInfo {
+        let mut info = CommitInfo {
             read_set: self.read_set.len(),
             write_set: self.write_set.len(),
+            commit_version: self.rv,
         };
         if self.write_set.is_empty() {
             // Read-only transactions are serialized at their read version.
@@ -383,6 +408,7 @@ impl<'env> Transaction<'env> {
             }
         }
         let wv = self.clock.tick();
+        info.commit_version = wv;
         // If nobody committed between our snapshot and our tick, the read set
         // cannot have changed (TL2 optimization); otherwise revalidate.
         if wv != self.rv + 1 && !self.validate() {

@@ -23,10 +23,36 @@
 //! | `sftree-opt` | speculation-friendly tree, optimized variant |
 //! | `sftree-sharded<N>` | `N`-shard portable speculation-friendly tree |
 //! | `sftree-opt-sharded<N>` | `N`-shard optimized speculation-friendly tree |
+//! | `<name>+wal` | any of the above behind the `sf-persist` durability layer |
 //!
 //! The speculation-friendly backends come with their background maintenance
 //! thread already running (one per shard for the sharded variants); dropping
 //! the [`Backend`] stops them.
+//!
+//! ## Durability (`+wal`)
+//!
+//! Appending `+wal` to any transactional backend name (everything except
+//! `seq`, whose unsynchronized baseline has no commit point to hook) wraps
+//! it in [`sf_persist::DurableMap`]: every effective mutation is logged to a
+//! commit-ordered write-ahead log and is durable when the operation returns.
+//! Setting `SF_WAL=1` applies the wrapper to every requested structure
+//! without renaming (`seq` is exempt rather than an error under the blanket
+//! switch). Sharded variants get **one log per shard** (`shard-<i>`
+//! subdirectories).
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `SF_WAL` | `1` → wrap every built backend in the WAL | unset |
+//! | `SF_WAL_DIR` | base directory for the log dirs | `$TMPDIR/sf-wal-<pid>` |
+//! | `SF_WAL_GROUP` | records per group-commit fsync batch; `0` = buffered | `128` |
+//! | `SF_WAL_CKPT` | records between automatic checkpoints; `0` = manual | `0` |
+//!
+//! Each build gets a fresh subdirectory `<base>/<name>+wal-<n>` (`n` counts
+//! builds in this process), so repeated cells of one bench sweep never
+//! recover each other's state. To *deliberately* recover — the service
+//! restart story — point [`sf_persist::recover`] (or
+//! [`sf_persist::DurableMap::open`]) at an existing directory; that is what
+//! the `recovery` bench binary and the CI crash-smoke do.
 //!
 //! ```
 //! use sf_stm::StmConfig;
@@ -40,12 +66,15 @@
 //! assert!(result.total_ops > 0);
 //! ```
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use sf_persist::{DurableMap, WalOptions};
 use sf_stm::{StatsSnapshot, Stm, StmConfig};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
-use sf_tree::{OptSpecFriendlyTree, ShardedMap, SpecFriendlyTree, TxMap};
+use sf_tree::{OptSpecFriendlyTree, ShardedMap, SpecFriendlyTree, TxMap, TxMapVersioned};
 use std::time::Duration;
 
 /// A per-thread driving session over some backend: the object-safe
@@ -238,7 +267,8 @@ impl std::fmt::Display for UnknownBackend {
 
 impl std::error::Error for UnknownBackend {}
 
-/// The names [`Backend::build`] understands (`<N>` is a shard count).
+/// The names [`Backend::build`] understands (`<N>` is a shard count; every
+/// name but `seq` also accepts a `+wal` suffix).
 pub const KNOWN_NAMES: &[&str] = &[
     "rbtree",
     "avl",
@@ -248,7 +278,42 @@ pub const KNOWN_NAMES: &[&str] = &[
     "sftree-opt",
     "sftree-sharded<N>",
     "sftree-opt-sharded<N>",
+    "<any-but-seq>+wal",
 ];
+
+/// `SF_WAL=1` wraps every built backend in the durability layer.
+fn wal_env_enabled() -> bool {
+    std::env::var("SF_WAL").is_ok_and(|v| v == "1")
+}
+
+/// WAL tuning from `SF_WAL_GROUP` / `SF_WAL_CKPT`.
+fn wal_options_from_env() -> WalOptions {
+    let defaults = WalOptions::default();
+    WalOptions {
+        group: std::env::var("SF_WAL_GROUP")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.group),
+        auto_checkpoint: std::env::var("SF_WAL_CKPT")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(defaults.auto_checkpoint),
+    }
+}
+
+/// Fresh log directory for one `+wal` build: `SF_WAL_DIR` (default
+/// `$TMPDIR/sf-wal-<pid>`) + `/<base>+wal-<n>` with a process-wide build
+/// counter, so repeated builds never recover each other's state. The naming
+/// is deterministic — the `recovery` harness's crash smoke relies on the
+/// first build of this process landing in `<base>+wal-0`.
+fn wal_dir_for(base: &str) -> PathBuf {
+    static BUILDS: AtomicU64 = AtomicU64::new(0);
+    let root = std::env::var_os("SF_WAL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("sf-wal-{}", std::process::id())));
+    let n = BUILDS.fetch_add(1, Ordering::Relaxed);
+    root.join(format!("{base}+wal-{n}"))
+}
 
 /// Maintenance tuning applied to the speculation-friendly backends built by
 /// the registry (matching the historical harness setting).
@@ -266,6 +331,15 @@ impl Backend {
     /// them.
     pub fn build(name: &str, stm_config: StmConfig) -> Result<Backend, UnknownBackend> {
         let name = name.trim();
+        let (name, wal) = match name.strip_suffix("+wal") {
+            Some(base) => (base.trim_end(), true),
+            // Blanket SF_WAL=1 leaves `seq` alone (it has nothing to hook);
+            // only an *explicit* `seq+wal` is an error.
+            None => (name, wal_env_enabled() && name != "seq"),
+        };
+        if wal {
+            return Backend::build_wal(name, stm_config);
+        }
         if let Some(shards) = parse_sharded(name, "sftree-opt-sharded") {
             let map = ShardedMap::optimized_with(shards, stm_config, registry_maintenance_config());
             return Ok(Backend::assemble_sharded(Arc::new(map)));
@@ -310,6 +384,87 @@ impl Backend {
             }
             _ => Err(UnknownBackend {
                 name: name.to_string(),
+            }),
+        }
+    }
+
+    /// Build the `+wal` (durable) variant of `base`. The log directory and
+    /// tuning come from the `SF_WAL_*` environment (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    /// Panics when the log directory cannot be created or written —
+    /// durability was requested and the environment cannot provide it.
+    fn build_wal(base: &str, stm_config: StmConfig) -> Result<Backend, UnknownBackend> {
+        let options = wal_options_from_env();
+        let dir = wal_dir_for(base);
+        let open_failed =
+            |error: std::io::Error| -> ! { panic!("opening WAL directory {dir:?}: {error}") };
+        if let Some(shards) = parse_sharded(base, "sftree-opt-sharded") {
+            let (map, _recovery) = sf_persist::sharded_optimized(shards, stm_config, &dir, options)
+                .unwrap_or_else(|e| open_failed(e));
+            return Ok(Backend::assemble_sharded(Arc::new(map)));
+        }
+        if let Some(shards) = parse_sharded(base, "sftree-sharded") {
+            let (map, _recovery) = sf_persist::sharded_portable(shards, stm_config, &dir, options)
+                .unwrap_or_else(|e| open_failed(e));
+            return Ok(Backend::assemble_sharded(Arc::new(map)));
+        }
+        let stm = Stm::new(stm_config);
+        fn durable<M>(
+            map: Arc<M>,
+            stm: Arc<Stm>,
+            dir: PathBuf,
+            options: WalOptions,
+            maintenance: Vec<MaintenanceHandle>,
+        ) -> Backend
+        where
+            M: TxMapVersioned + 'static,
+            M::Handle: Send + 'static,
+        {
+            let (map, _recovery) = DurableMap::open(map, &stm, &dir, options)
+                .unwrap_or_else(|e| panic!("opening WAL directory {dir:?}: {e}"));
+            Backend::assemble(Arc::new(map), vec![stm], maintenance)
+        }
+        match base {
+            "rbtree" => Ok(durable(
+                Arc::new(RedBlackTree::new()),
+                stm,
+                dir,
+                options,
+                Vec::new(),
+            )),
+            "avl" => Ok(durable(
+                Arc::new(AvlTree::new()),
+                stm,
+                dir,
+                options,
+                Vec::new(),
+            )),
+            "nrtree" => Ok(durable(
+                Arc::new(NoRestructureTree::new()),
+                stm,
+                dir,
+                options,
+                Vec::new(),
+            )),
+            "sftree" => {
+                let map = Arc::new(SpecFriendlyTree::new());
+                let maintenance =
+                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                Ok(durable(map, stm, dir, options, vec![maintenance]))
+            }
+            "sftree-opt" => {
+                let map = Arc::new(OptSpecFriendlyTree::new());
+                let maintenance =
+                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                Ok(durable(map, stm, dir, options, vec![maintenance]))
+            }
+            "seq" => Err(UnknownBackend {
+                name: "seq+wal (the sequential baseline has no commit point to log)".to_string(),
+            }),
+            _ => Err(UnknownBackend {
+                name: format!("{base}+wal"),
             }),
         }
     }
@@ -437,6 +592,36 @@ mod tests {
         assert!(err.to_string().contains("sftree-opt-sharded<N>"));
         assert!(Backend::build("sftree-opt-sharded0", StmConfig::ctl()).is_err());
         assert!(Backend::build("sftree-opt-shardedx", StmConfig::ctl()).is_err());
+    }
+
+    #[test]
+    fn builds_wal_variants_with_durable_labels() {
+        // Note: the log directories default under $TMPDIR/sf-wal-<pid>; the
+        // per-build counter keeps these cases disjoint from each other and
+        // from every other test in this process.
+        for (name, label) in [
+            ("rbtree+wal", "RBtree+wal"),
+            ("sftree-opt+wal", "OptSFtree+wal"),
+            ("sftree-opt-sharded2+wal", "OptSFtree+wal-sharded2"),
+        ] {
+            let backend = Backend::build(name, StmConfig::ctl()).unwrap();
+            assert_eq!(backend.label(), label, "label for {name}");
+            let mut session = backend.session();
+            assert!(session.insert(1, 10));
+            assert!(session.move_entry(1, 2));
+            assert_eq!(session.get(2), Some(10));
+            assert!(session.delete(2));
+            assert_eq!(session.len(), 0);
+        }
+    }
+
+    #[test]
+    fn seq_wal_is_rejected_explicitly() {
+        let err = Backend::build("seq+wal", StmConfig::ctl()).unwrap_err();
+        assert!(err.name.contains("seq+wal"), "{err}");
+        // Unknown bases keep their +wal suffix in the error.
+        let err = Backend::build("btree+wal", StmConfig::ctl()).unwrap_err();
+        assert_eq!(err.name, "btree+wal");
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub struct WorkloadResult {
     /// phase is excluded by resetting the counters), aggregated over every
     /// STM instance of the backend.
     pub stm: StatsSnapshot,
+    /// WAL (durability) work during the measured phase: the delta of the
+    /// process-wide [`sf_persist::stats`] counters across the run. All
+    /// zeros when the backend is not a `+wal` variant.
+    pub wal: sf_persist::WalStats,
 }
 
 impl WorkloadResult {
@@ -199,6 +203,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         "at least one worker thread is required"
     );
     backend.reset_stats();
+    let wal_before = sf_persist::stats::snapshot();
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(config.threads + 1);
     let run = config.run;
@@ -236,6 +241,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         seed: config.seed,
         elapsed,
         stm: backend.stats(),
+        wal: sf_persist::stats::snapshot().delta_since(&wal_before),
     };
     for r in reports {
         result.total_ops += r.ops;
@@ -377,6 +383,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wal_backend_runs_the_smoke_workload_and_reports_wal_work() {
+        let backend = Backend::build("sftree-opt+wal", StmConfig::ctl()).unwrap();
+        let config = WorkloadConfig::smoke_test()
+            .with_threads(1)
+            .with_run(RunLength::Ops(300));
+        let result = populate_and_run_backend(&backend, &config);
+        assert_eq!(result.structure, "OptSFtree+wal");
+        assert_eq!(result.total_ops, 300);
+        assert!(
+            result.wal.records >= result.effective_updates,
+            "every effective update logs at least one record ({} < {})",
+            result.wal.records,
+            result.effective_updates
+        );
+        assert!(result.wal.bytes > 0);
+        assert!(result.wal.batches > 0);
+        // The recovered contents equal the live contents: every mutation was
+        // acknowledged durable before the workload moved on.
+        let mut session = backend.session();
+        let live = session.range_collect(0, u64::MAX);
+        let dir = std::env::temp_dir().join(format!("sf-wal-{}", std::process::id()));
+        // Find this backend's directory: the label-named subdir with the
+        // highest build counter that recovers to the live contents.
+        let mut matched = false;
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if !entry
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with("sftree-opt+wal-")
+                {
+                    continue;
+                }
+                if let Ok(recovered) = sf_persist::recover(entry.path()) {
+                    if recovered.entries == live {
+                        matched = true;
+                    }
+                }
+            }
+        }
+        assert!(
+            matched,
+            "some sftree-opt+wal dir must recover to the live contents"
+        );
     }
 
     #[test]

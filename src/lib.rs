@@ -76,10 +76,32 @@
 //! assert_eq!(TxMap::len(&tree, &mut handle), 3);
 //! ```
 //!
+//! ## Durability
+//!
+//! [`DurableMap`](persist::DurableMap) wraps any versioned backend in a
+//! commit-ordered write-ahead log with group commit, checkpoints, and crash
+//! recovery — a mutation is durable when it returns:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use speculation_friendly_tree::prelude::*;
+//! use speculation_friendly_tree::persist::recover;
+//!
+//! let dir = TempDir::new("umbrella-durability");
+//! let stm = Stm::new(StmConfig::ctl());
+//! let tree = Arc::new(OptSpecFriendlyTree::new());
+//! let (map, _) = DurableMap::open(tree, &stm, dir.path(), WalOptions::default()).unwrap();
+//! let mut handle = map.register(stm.register());
+//! map.insert(&mut handle, 7, 700);            // on disk when this returns
+//! let recovered = recover(dir.path()).unwrap(); // what a restart would see
+//! assert_eq!(recovered.entries, vec![(7, 700)]);
+//! ```
+//!
 //! Benchmarks and applications resolve backends by name through the
 //! [`workloads::backend`] registry (`rbtree`, `avl`, `nrtree`, `sftree`,
-//! `sftree-opt`, `sftree-opt-sharded<N>`, ...), which is what the
-//! `SF_STRUCTURES` environment variable of the harnesses feeds into:
+//! `sftree-opt`, `sftree-opt-sharded<N>`, any of them with a `+wal`
+//! suffix for durability, ...), which is what the `SF_STRUCTURES`
+//! environment variable of the harnesses feeds into:
 //!
 //! ```
 //! use speculation_friendly_tree::stm::StmConfig;
@@ -95,6 +117,7 @@
 #![deny(unsafe_code)]
 
 pub use sf_baselines as baselines;
+pub use sf_persist as persist;
 pub use sf_stm as stm;
 pub use sf_tree as tree;
 pub use sf_vacation as vacation;
@@ -103,10 +126,11 @@ pub use sf_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+    pub use sf_persist::{DurableMap, Recovery, TempDir, WalOptions};
     pub use sf_stm::{Stm, StmConfig, TCell, ThreadCtx, Transaction, TxKind, TxResult};
     pub use sf_tree::{
         MaintenanceConfig, OptSpecFriendlyTree, ScanOrder, ShardedHandle, ShardedMap,
-        SpecFriendlyTree, TxMap, TxMapInTx, TxOrderedMapInTx,
+        SpecFriendlyTree, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx,
     };
     pub use sf_vacation::{Manager, ReservationKind, VacationParams};
     pub use sf_workloads::{RunLength, WorkloadConfig};

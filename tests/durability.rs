@@ -1,0 +1,485 @@
+//! Durability subsystem integration tests.
+//!
+//! The central property (the PR's acceptance oracle): for a random operation
+//! sequence on any `+wal` backend — both speculation-friendly trees, the
+//! red-black/AVL/no-restructuring baselines, and the sharded composition —
+//! **crash-at-any-point recovery equals the `BTreeMap` oracle of all
+//! committed operations**. Because every mutation is acknowledged durable
+//! before it returns, "crash after op `i`" is simulated exactly by running
+//! `recover` on the live directory after op `i`; the torn-tail tests then
+//! cover crashes *inside* a log write by truncating and bit-flipping real
+//! segment bytes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sf_persist::{
+    checkpoint_sharded, recover, recover_sharded, sharded_optimized, DurableHandle, DurableMap,
+    TempDir, WalOptions,
+};
+use sf_stm::{Stm, StmConfig};
+use sf_tree::maintenance::MaintenanceHandle;
+use sf_tree::{TxMap, TxMapVersioned};
+use speculation_friendly_tree::baselines::{AvlTree, NoRestructureTree, RedBlackTree};
+use speculation_friendly_tree::tree::{OptSpecFriendlyTree, SpecFriendlyTree};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u8, u8),
+    Delete(u8),
+    DeleteIf(u8, u8),
+    Move(u8, u8),
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        any::<u8>().prop_map(Op::Delete),
+        (any::<u8>(), any::<u8>()).prop_map(|(k, v)| Op::DeleteIf(k, v)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Move(a, b)),
+        (0u8..1).prop_map(|_| Op::Checkpoint),
+    ]
+}
+
+/// Apply `op` to the oracle with exactly the `TxMap` semantics.
+fn apply_to_oracle(op: Op, oracle: &mut BTreeMap<u64, u64>) {
+    match op {
+        Op::Insert(k, v) => {
+            oracle.entry(k as u64).or_insert(v as u64);
+        }
+        Op::Delete(k) => {
+            oracle.remove(&(k as u64));
+        }
+        Op::DeleteIf(k, v) => {
+            if oracle.get(&(k as u64)) == Some(&(v as u64)) {
+                oracle.remove(&(k as u64));
+            }
+        }
+        Op::Move(from, to) => {
+            let (from, to) = (from as u64, to as u64);
+            if from != to && oracle.contains_key(&from) && !oracle.contains_key(&to) {
+                let v = oracle.remove(&from).unwrap();
+                oracle.insert(to, v);
+            }
+        }
+        Op::Checkpoint => {}
+    }
+}
+
+fn oracle_entries(oracle: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    oracle.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+/// Everything a plain (non-sharded) durable backend needs for one case.
+struct PlainCase<M: TxMapVersioned + 'static> {
+    _dir: TempDir,
+    dir_path: std::path::PathBuf,
+    map: DurableMap<M>,
+    handle: DurableHandle<M>,
+    _maintenance: Option<MaintenanceHandle>,
+    _stm: Arc<Stm>,
+}
+
+fn plain_case<M: TxMapVersioned + 'static>(
+    label: &str,
+    make: impl FnOnce(&Arc<Stm>) -> (Arc<M>, Option<MaintenanceHandle>),
+) -> PlainCase<M> {
+    let dir = TempDir::new(label);
+    let stm = Stm::new(StmConfig::ctl());
+    let (inner, maintenance) = make(&stm);
+    let (map, _) =
+        DurableMap::open(inner, &stm, dir.path(), WalOptions::default()).expect("open WAL");
+    let handle = map.register(stm.register());
+    let dir_path = dir.path().to_path_buf();
+    PlainCase {
+        _dir: dir,
+        dir_path,
+        map,
+        handle,
+        _maintenance: maintenance,
+        _stm: stm,
+    }
+}
+
+/// Drive `ops` through a plain durable backend, recovering the directory
+/// after **every** op and comparing against the oracle.
+fn check_plain<M: TxMapVersioned + 'static>(
+    label: &str,
+    ops: &[Op],
+    make: impl FnOnce(&Arc<Stm>) -> (Arc<M>, Option<MaintenanceHandle>),
+) {
+    let mut case = plain_case(label, make);
+    let mut oracle = BTreeMap::new();
+    for (i, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(k, v) => {
+                case.map.insert(&mut case.handle, k as u64, v as u64);
+            }
+            Op::Delete(k) => {
+                case.map.delete(&mut case.handle, k as u64);
+            }
+            Op::DeleteIf(k, v) => {
+                case.map.delete_if(&mut case.handle, k as u64, v as u64);
+            }
+            Op::Move(from, to) => {
+                case.map
+                    .move_entry(&mut case.handle, from as u64, to as u64);
+            }
+            Op::Checkpoint => {
+                case.map.checkpoint(&mut case.handle).expect("checkpoint");
+            }
+        }
+        apply_to_oracle(op, &mut oracle);
+        let recovered = recover(&case.dir_path).expect("recover");
+        assert_eq!(
+            recovered.entries,
+            oracle_entries(&oracle),
+            "{label}: crash after op {i} ({op:?}) diverges from the oracle"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    #[test]
+    fn crash_at_any_point_recovery_matches_the_oracle_on_every_wal_backend(
+        ops in proptest::collection::vec(op_strategy(), 1..36),
+    ) {
+        check_plain("dur-rbtree", &ops, |_| (Arc::new(RedBlackTree::new()), None));
+        check_plain("dur-avl", &ops, |_| (Arc::new(AvlTree::new()), None));
+        check_plain("dur-nrtree", &ops, |_| (Arc::new(NoRestructureTree::new()), None));
+        check_plain("dur-sftree", &ops, |stm| {
+            let map = Arc::new(SpecFriendlyTree::new());
+            let maintenance = map.start_maintenance(stm.register());
+            (map, Some(maintenance))
+        });
+        check_plain("dur-sftree-opt", &ops, |stm| {
+            let map = Arc::new(OptSpecFriendlyTree::new());
+            let maintenance = map.start_maintenance(stm.register());
+            (map, Some(maintenance))
+        });
+
+        // The sharded composition: one log per shard, merged recovery.
+        let dir = TempDir::new("dur-sharded");
+        let (map, _) = sharded_optimized(2, StmConfig::ctl(), dir.path(), WalOptions::default())
+            .expect("open sharded WAL");
+        let mut handle = map.register_sharded();
+        let mut oracle = BTreeMap::new();
+        for (i, &op) in ops.iter().enumerate() {
+            match op {
+                Op::Insert(k, v) => { map.insert(&mut handle, k as u64, v as u64); }
+                Op::Delete(k) => { map.delete(&mut handle, k as u64); }
+                Op::DeleteIf(k, v) => { map.delete_if(&mut handle, k as u64, v as u64); }
+                Op::Move(from, to) => { map.move_entry(&mut handle, from as u64, to as u64); }
+                Op::Checkpoint => { checkpoint_sharded(&map, &mut handle).expect("checkpoint"); }
+            }
+            apply_to_oracle(op, &mut oracle);
+            let recovered = recover_sharded(dir.path(), 2).expect("recover sharded");
+            prop_assert_eq!(
+                &recovered.entries,
+                &oracle_entries(&oracle),
+                "sharded: crash after op {} ({:?}) diverges from the oracle",
+                i,
+                op
+            );
+        }
+    }
+}
+
+/// Crash *inside* a log write: truncate and bit-flip a real segment. The
+/// recovered state must always be a state the committed history passed
+/// through (a prefix of the single-threaded op sequence), never a panic and
+/// never a half-applied move.
+#[test]
+fn torn_tail_recovers_cleanly_to_a_committed_prefix() {
+    let mut case = plain_case("dur-torn", |stm| {
+        let map = Arc::new(OptSpecFriendlyTree::new());
+        let maintenance = map.start_maintenance(stm.register());
+        (map, Some(maintenance))
+    });
+    // A fixed history whose every prefix is distinct, including moves (whose
+    // single-record encoding the truncations exercise).
+    let ops = [
+        Op::Insert(1, 10),
+        Op::Insert(2, 20),
+        Op::Move(1, 3),
+        Op::Insert(1, 11),
+        Op::Delete(2),
+        Op::Move(3, 2),
+        Op::Insert(4, 40),
+        Op::DeleteIf(1, 11),
+    ];
+    let mut oracle = BTreeMap::new();
+    let mut snapshots: Vec<Vec<(u64, u64)>> = vec![Vec::new()];
+    for &op in &ops {
+        match op {
+            Op::Insert(k, v) => {
+                assert!(case.map.insert(&mut case.handle, k as u64, v as u64));
+            }
+            Op::Delete(k) => {
+                assert!(case.map.delete(&mut case.handle, k as u64));
+            }
+            Op::DeleteIf(k, v) => {
+                assert!(case.map.delete_if(&mut case.handle, k as u64, v as u64));
+            }
+            Op::Move(from, to) => {
+                assert!(case
+                    .map
+                    .move_entry(&mut case.handle, from as u64, to as u64));
+            }
+            Op::Checkpoint => unreachable!(),
+        }
+        apply_to_oracle(op, &mut oracle);
+        snapshots.push(oracle_entries(&oracle));
+    }
+    let segment = case.dir_path.join("segment-00000001.wal");
+    let bytes = std::fs::read(&segment).expect("read segment");
+
+    let recovers_to_snapshot = |mutated: &[u8], what: &str| {
+        let crash_dir = TempDir::new("dur-torn-crash");
+        std::fs::write(crash_dir.path().join("segment-00000001.wal"), mutated)
+            .expect("write mutated segment");
+        let recovered = recover(crash_dir.path()).expect("recovery must not fail");
+        assert!(
+            snapshots.contains(&recovered.entries),
+            "{what}: recovered {:?} is not a committed prefix state",
+            recovered.entries
+        );
+        recovered
+    };
+
+    // Every truncation point (short write at crash).
+    let mut shorter_than_full = 0u32;
+    for cut in 0..bytes.len() {
+        let recovered = recovers_to_snapshot(&bytes[..cut], "truncate");
+        if recovered.entries != *snapshots.last().unwrap() {
+            shorter_than_full += 1;
+        }
+    }
+    assert!(
+        shorter_than_full > 0,
+        "some truncation must actually lose a suffix"
+    );
+
+    // Bit flips sprinkled through the file (media corruption): recovery
+    // stops cleanly at the last valid record before the flip.
+    for offset in (0..bytes.len()).step_by(7) {
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= 0x20;
+        recovers_to_snapshot(&mutated, "bit-flip");
+    }
+}
+
+/// Checkpoint + truncate racing live writers: no committed record may be
+/// lost between the snapshot and the log truncation. Every mutation is
+/// acknowledged durable, so whatever interleaving the scheduler picks, the
+/// final recovery must equal the final live contents exactly.
+#[test]
+fn checkpoint_truncate_races_concurrent_writers_losslessly() {
+    let dir = TempDir::new("dur-ckpt-race");
+    let stm = Stm::new(StmConfig::ctl());
+    let tree = Arc::new(OptSpecFriendlyTree::new());
+    let maintenance = tree.start_maintenance(stm.register());
+    let (map, _) = DurableMap::open(
+        Arc::clone(&tree),
+        &stm,
+        dir.path(),
+        WalOptions {
+            group: 32,
+            auto_checkpoint: 0,
+        },
+    )
+    .expect("open WAL");
+    let map = Arc::new(map);
+
+    // Memory note: 1-core host — keep this at 2 writers with modest op
+    // counts; the interleaving pressure comes from the checkpoint loop.
+    let checkpoints = std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                let mut handle = map.register(stm.register());
+                scope.spawn(move || {
+                    let mut state = 0x0dd_b1a5 + t;
+                    for _ in 0..250 {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        let key = state % 64;
+                        if state % 3 == 0 {
+                            map.delete(&mut handle, key);
+                        } else {
+                            map.insert(&mut handle, key, state);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut ckpt_handle = map.register(stm.register());
+        let mut checkpoints = 0u32;
+        while writers.iter().any(|w| !w.is_finished()) {
+            map.checkpoint(&mut ckpt_handle).expect("checkpoint");
+            checkpoints += 1;
+            std::thread::yield_now();
+        }
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        checkpoints
+    });
+    assert!(checkpoints > 0);
+
+    let mut handle = map.register(stm.register());
+    let live = map.range_collect(&mut handle, 0..=u64::MAX);
+    let recovered = recover(dir.path()).expect("recover");
+    assert_eq!(
+        recovered.entries, live,
+        "a committed record was lost between snapshot and truncation"
+    );
+    assert!(
+        recovered.checkpoint_version > 0,
+        "at least one checkpoint must have been installed"
+    );
+    maintenance.stop();
+}
+
+/// Automatic checkpoints (SF_WAL_CKPT-style threshold) keep the log short
+/// without losing anything.
+#[test]
+fn auto_checkpoint_truncates_the_log_and_loses_nothing() {
+    let dir = TempDir::new("dur-auto-ckpt");
+    let stm = Stm::new(StmConfig::ctl());
+    let (map, _) = DurableMap::open(
+        Arc::new(RedBlackTree::new()),
+        &stm,
+        dir.path(),
+        WalOptions {
+            group: 16,
+            auto_checkpoint: 25,
+        },
+    )
+    .expect("open WAL");
+    let mut handle = map.register(stm.register());
+    let mut oracle = BTreeMap::new();
+    for k in 0..120u64 {
+        map.insert(&mut handle, k % 40, k);
+        oracle.entry(k % 40).or_insert(k);
+    }
+    let recovered = recover(dir.path()).expect("recover");
+    assert_eq!(recovered.entries, oracle_entries(&oracle));
+    assert!(
+        recovered.checkpoint_version > 0,
+        "the threshold must have fired at least once"
+    );
+    assert!(
+        map.records_since_checkpoint() < 120,
+        "auto-checkpoints must reset the record counter"
+    );
+}
+
+/// Crash–restart–crash: a torn tail left by the first crash must be
+/// *durably* discarded when the directory is reopened, otherwise the second
+/// recovery would stumble over the stale corruption and throw away every
+/// segment — and every acknowledged write — of the restarted incarnation.
+#[test]
+fn reopen_repairs_the_torn_tail_so_later_acks_survive_a_second_crash() {
+    let dir = TempDir::new("dur-torn-reopen");
+
+    // Incarnation 1 writes two records, then "crashes" mid-append: we chop
+    // bytes off the live segment to fabricate the torn tail.
+    {
+        let stm = Stm::new(StmConfig::ctl());
+        let (map, _) = DurableMap::open(
+            Arc::new(RedBlackTree::new()),
+            &stm,
+            dir.path(),
+            WalOptions::default(),
+        )
+        .expect("open");
+        let mut handle = map.register(stm.register());
+        map.insert(&mut handle, 1, 10);
+        map.insert(&mut handle, 2, 20);
+    }
+    let segment = dir.path().join("segment-00000001.wal");
+    let bytes = std::fs::read(&segment).expect("read segment");
+    std::fs::write(&segment, &bytes[..bytes.len() - 5]).expect("tear the tail");
+
+    // Incarnation 2: the reopen must repair the tear (key 2's record is
+    // gone for good) and resume appending; its mutations are acknowledged.
+    {
+        let stm = Stm::new(StmConfig::ctl());
+        let (map, resumed) = DurableMap::open(
+            Arc::new(RedBlackTree::new()),
+            &stm,
+            dir.path(),
+            WalOptions::default(),
+        )
+        .expect("reopen");
+        assert_eq!(resumed.entries, vec![(1, 10)]);
+        assert!(resumed.torn_bytes > 0);
+        let mut handle = map.register(stm.register());
+        assert!(map.insert(&mut handle, 3, 30));
+    }
+
+    // Second crash (drop without checkpoint). Recovery must see incarnation
+    // 2's acknowledged insert — before the repair fix, the stale torn frame
+    // in segment 1 made recovery discard segment 2 wholesale.
+    let after = recover(dir.path()).expect("recover after second crash");
+    assert_eq!(after.entries, vec![(1, 10), (3, 30)]);
+    assert_eq!(after.torn_bytes, 0, "the tear was repaired on reopen");
+}
+
+/// A restart continues where the crash left off: recovered contents are
+/// loaded, the clock resumes above every logged version (so post-restart
+/// mutations replay *after* pre-restart ones), and a second recovery sees
+/// the union.
+#[test]
+fn reopen_resumes_versions_and_contents_across_restarts() {
+    let dir = TempDir::new("dur-reopen");
+
+    // Incarnation 1: a few mutations, a checkpoint, one post-checkpoint op.
+    {
+        let stm = Stm::new(StmConfig::ctl());
+        let tree = Arc::new(OptSpecFriendlyTree::new());
+        let maintenance = tree.start_maintenance(stm.register());
+        let (map, first) =
+            DurableMap::open(tree, &stm, dir.path(), WalOptions::default()).expect("open");
+        assert_eq!(first.entries.len(), 0, "fresh directory recovers empty");
+        let mut handle = map.register(stm.register());
+        map.insert(&mut handle, 1, 10);
+        map.insert(&mut handle, 2, 20);
+        map.checkpoint(&mut handle).expect("checkpoint");
+        map.delete(&mut handle, 2);
+        maintenance.stop();
+    } // clean shutdown: the WAL flushes on drop
+
+    let before = recover(dir.path()).expect("recover");
+    assert_eq!(before.entries, vec![(1, 10)]);
+    let v1 = before.last_version;
+    assert!(v1 > 0);
+
+    // Incarnation 2: reopen over a *fresh* tree and STM.
+    let stm = Stm::new(StmConfig::ctl());
+    let tree = Arc::new(OptSpecFriendlyTree::new());
+    let maintenance = tree.start_maintenance(stm.register());
+    let (map, resumed) =
+        DurableMap::open(tree, &stm, dir.path(), WalOptions::default()).expect("reopen");
+    assert_eq!(resumed.entries, vec![(1, 10)]);
+    assert!(
+        stm.clock().now() >= v1,
+        "the clock must resume above every recovered version"
+    );
+    let mut handle = map.register(stm.register());
+    assert_eq!(map.get(&mut handle, 1), Some(10), "recovered into the tree");
+    // This delete must serialize (and log) above v1, or replay would
+    // resurrect key 1.
+    assert!(map.delete(&mut handle, 1));
+    assert!(map.insert(&mut handle, 9, 90));
+    let after = recover(dir.path()).expect("recover again");
+    assert_eq!(after.entries, vec![(9, 90)]);
+    assert!(after.last_version > v1);
+    maintenance.stop();
+}
