@@ -17,6 +17,16 @@
 //! verify every acknowledged key survived. Exits non-zero on any loss —
 //! this is the "commit returned, then the machine died" contract, tested
 //! with an actual killed process.
+//!
+//! The smoke's second phase is the **cross-shard move hammer**
+//! (`SF_RECOVERY_ROLE=mover`): the child ping-pongs unique values between
+//! key pairs that hash to *different* shards of a `sharded2+wal` backend,
+//! acknowledging each durable move; the parent SIGKILLs it mid-hammer and
+//! verifies after `recover_sharded` that every value sits at **exactly one**
+//! of its pair's keys — a crash landing between the two shard logs' appends
+//! must never surface a duplicated or vanished entry. This drill is the
+//! regression proof for the two-phase move-intent protocol: without intents
+//! it reliably catches the duplicate window within a few rounds.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
@@ -25,9 +35,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sf_bench::json_enabled;
-use sf_persist::{recover, recover_sharded, DurableMap, TempDir, WalOptions};
+use sf_persist::{
+    recover, recover_sharded, sharded_optimized, sharded_portable, DurableMap, TempDir, WalOptions,
+};
 use sf_stm::{Stm, StmConfig};
-use sf_tree::{OptSpecFriendlyTree, TxMap};
+use sf_tree::{OptSpecFriendlyTree, ShardedMap, TxMap, TxMapVersioned};
 use sf_workloads::Backend;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -40,6 +52,7 @@ fn env_u64(name: &str, default: u64) -> u64 {
 fn main() {
     match std::env::var("SF_RECOVERY_ROLE").as_deref() {
         Ok("writer") => writer_child(),
+        Ok("mover") => mover_child(),
         _ if std::env::var("SF_RECOVERY_SMOKE").as_deref() == Ok("1") => crash_smoke(),
         _ => replay_sweep(),
     }
@@ -120,7 +133,8 @@ fn replay_sweep() {
                     "\"records_replayed\":{},\"checkpoint_entries\":{},\"entries\":{},",
                     "\"replay_us\":{},\"records_per_us\":{:.6},\"ckpt_halfway\":{},",
                     "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
-                    "\"wal_checkpoints\":{},\"wal_replayed\":{}}}"
+                    "\"wal_checkpoints\":{},\"wal_replayed\":{},",
+                    "\"wal_move_intents\":{},\"wal_moves_resolved\":{}}}"
                 ),
                 target,
                 recovery.segments,
@@ -135,6 +149,8 @@ fn replay_sweep() {
                 wal.batches,
                 wal.checkpoints,
                 wal.replayed,
+                wal.move_intents,
+                wal.moves_resolved,
             );
         }
     }
@@ -158,6 +174,183 @@ fn writer_child() {
         writeln!(out, "ACK {key}").expect("parent closed the ack pipe");
         out.flush().expect("parent closed the ack pipe");
     }
+}
+
+/// Number of cross-shard key pairs the move hammer ping-pongs over.
+const MOVE_PAIRS: usize = 8;
+
+/// The unique value carried by pair `i` of the move hammer.
+fn mover_value(pair: usize) -> u64 {
+    1_000_000 + pair as u64
+}
+
+/// First key of the hammer's filler-insert range (disjoint from the pair
+/// keys); a filler key always maps to itself. The fillers keep the
+/// auto-checkpoint threshold firing *during* the hammer — a purely
+/// move-driven workload never auto-checkpoints (the move scopes hold the
+/// checkpoint locks), so without them the drill would sample zero
+/// checkpoint/move interleavings.
+const FILLER_BASE: u64 = 10_000_000;
+
+/// Child process of the cross-shard move hammer: build a 2-shard durable
+/// map directly (the drill needs `shard_of` to pick genuinely cross-shard
+/// pairs), pre-insert one unique value per pair, then ping-pong each value
+/// between its pair's keys forever, acknowledging every durable move on
+/// stdout. Runs until killed.
+fn mover_child() {
+    let backend = std::env::var("SF_RECOVERY_BACKEND").unwrap_or_else(|_| "sftree-opt".into());
+    let base =
+        PathBuf::from(std::env::var("SF_RECOVERY_DIR").expect("mover needs SF_RECOVERY_DIR"));
+    let options = WalOptions {
+        group: 64,
+        auto_checkpoint: 50,
+    };
+    match backend.as_str() {
+        "sftree" => {
+            let (map, _) =
+                sharded_portable(2, StmConfig::ctl(), &base, options).expect("open sharded WAL");
+            mover_hammer(map);
+        }
+        _ => {
+            let (map, _) =
+                sharded_optimized(2, StmConfig::ctl(), &base, options).expect("open sharded WAL");
+            mover_hammer(map);
+        }
+    }
+}
+
+fn mover_hammer<M>(map: ShardedMap<DurableMap<M>>)
+where
+    M: TxMapVersioned + 'static,
+    M::Handle: Send,
+{
+    let mut handle = map.register_sharded();
+    // Pick MOVE_PAIRS disjoint key pairs whose halves hash to different
+    // shards, so every hammered move crosses a shard-log boundary.
+    let mut pairs: Vec<(u64, u64)> = Vec::new();
+    let mut next_key = 1u64;
+    while pairs.len() < MOVE_PAIRS {
+        let a = next_key;
+        let mut b = a + 1;
+        while map.shard_of(b) == map.shard_of(a) {
+            b += 1;
+        }
+        next_key = b + 1;
+        pairs.push((a, b));
+    }
+    let stdout = std::io::stdout();
+    {
+        let mut out = stdout.lock();
+        for (i, &(a, b)) in pairs.iter().enumerate() {
+            assert!(map.insert(&mut handle, a, mover_value(i)));
+            writeln!(out, "PAIR {i} {a} {b}").expect("parent closed the ack pipe");
+        }
+        writeln!(out, "READY").expect("parent closed the ack pipe");
+        out.flush().expect("parent closed the ack pipe");
+    }
+    // pos[i] = 0 when value i sits at pairs[i].0, 1 when at pairs[i].1.
+    let mut pos = [0u8; MOVE_PAIRS];
+    let mut filler = FILLER_BASE;
+    loop {
+        for i in 0..MOVE_PAIRS {
+            let (a, b) = pairs[i];
+            let (from, to) = if pos[i] == 0 { (a, b) } else { (b, a) };
+            assert!(
+                map.move_entry(&mut handle, from, to),
+                "single-threaded hammer moves always succeed"
+            );
+            pos[i] ^= 1;
+            // The move returned => both halves are durable. Acknowledge.
+            let mut out = stdout.lock();
+            writeln!(out, "MOVE {i} {}", pos[i]).expect("parent closed the ack pipe");
+            out.flush().expect("parent closed the ack pipe");
+        }
+        // Two filler inserts per pass keep the auto-checkpoint threshold
+        // advancing, so kills also land while checkpoints race the moves.
+        for _ in 0..2 {
+            assert!(map.insert(&mut handle, filler, filler));
+            filler += 1;
+        }
+    }
+}
+
+/// One round of the cross-shard move hammer: spawn the mover child against
+/// a fresh directory, SIGKILL it after `target_acks` acknowledged moves,
+/// recover both shard logs, and check conservation: every pair's value at
+/// exactly one of its two keys, and no stray keys. Returns
+/// `(acked, resolved, ok)` where `resolved` counts the orphaned move
+/// intents the recovery's cross-log join had to complete or roll back.
+fn mover_round(backend: &str, target_acks: u64) -> (u64, u64, bool) {
+    let base = TempDir::new(&format!("recovery-mover-{backend}"));
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut child = std::process::Command::new(exe)
+        .env("SF_RECOVERY_ROLE", "mover")
+        .env("SF_RECOVERY_BACKEND", backend)
+        .env("SF_RECOVERY_DIR", base.path())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn mover child");
+    let mut pairs: Vec<(u64, u64)> = vec![(0, 0); MOVE_PAIRS];
+    let mut acked = 0u64;
+    {
+        let stdout = child.stdout.take().expect("child stdout");
+        let reader = std::io::BufReader::new(stdout);
+        for line in reader.lines() {
+            let line = line.expect("read ack");
+            let mut tokens = line.split_whitespace();
+            match tokens.next() {
+                Some("PAIR") => {
+                    let i: usize = tokens
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .expect("pair idx");
+                    let a: u64 = tokens.next().and_then(|t| t.parse().ok()).expect("pair a");
+                    let b: u64 = tokens.next().and_then(|t| t.parse().ok()).expect("pair b");
+                    pairs[i] = (a, b);
+                }
+                Some("MOVE") => acked += 1,
+                _ => {}
+            }
+            if acked >= target_acks {
+                break;
+            }
+        }
+    }
+    // The child is mid-move (possibly between the two shard logs' appends):
+    // kill it dead.
+    child.kill().expect("kill mover child");
+    let _ = child.wait();
+
+    let recovery = recover_sharded(base.path(), 2).expect("recover sharded");
+    let recovered: BTreeMap<u64, u64> = recovery.entries.iter().copied().collect();
+    let mut ok = true;
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        let value = mover_value(i);
+        let at_a = recovered.get(&a) == Some(&value);
+        let at_b = recovered.get(&b) == Some(&value);
+        if at_a && at_b {
+            ok = false;
+            eprintln!("{backend}: pair {i} value {value} DUPLICATED at keys {a} and {b}");
+        }
+        if !at_a && !at_b {
+            ok = false;
+            eprintln!("{backend}: pair {i} value {value} LOST (at neither {a} nor {b})");
+        }
+    }
+    // Every recovered key must belong to a pair (holding that pair's
+    // value) or be a self-valued filler insert.
+    for (&key, &value) in &recovered {
+        let legit = (key >= FILLER_BASE && value == key)
+            || pairs
+                .iter()
+                .enumerate()
+                .any(|(i, &(a, b))| (key == a || key == b) && value == mover_value(i));
+        if !legit {
+            ok = false;
+            eprintln!("{backend}: stray recovered entry {key} -> {value}");
+        }
+    }
+    (acked, recovery.moves_resolved, ok)
 }
 
 /// Parent of the crash smoke: spawn, ack-count, SIGKILL, recover, verify.
@@ -233,6 +426,37 @@ fn crash_smoke() {
             failures += 1;
         }
     }
+
+    // Phase 2: the cross-shard move hammer (see the module docs) — several
+    // kill-recover rounds per sharded backend so the SIGKILL samples many
+    // points of the move protocol, including between the two shard logs.
+    let move_rounds = env_u64("SF_RECOVERY_MOVE_ROUNDS", 3);
+    let move_acks = env_u64("SF_RECOVERY_MOVE_ACKS", 120);
+    for backend in ["sftree-opt", "sftree"] {
+        let mut total_acked = 0u64;
+        let mut total_resolved = 0u64;
+        let mut ok = true;
+        for round in 0..move_rounds {
+            // Vary the kill point across rounds.
+            let (acked, resolved, round_ok) = mover_round(backend, move_acks + round * 17);
+            total_acked += acked;
+            total_resolved += resolved;
+            ok &= round_ok;
+        }
+        println!(
+            "crash-smoke cross-move backend={backend}-sharded2+wal rounds={move_rounds} acked={total_acked} moves_resolved={total_resolved} => {}",
+            if ok { "PASS" } else { "FAIL" }
+        );
+        if json_enabled() {
+            println!(
+                "{{\"bin\":\"recovery-smoke\",\"phase\":\"cross-move\",\"backend\":\"{backend}-sharded2+wal\",\"rounds\":{move_rounds},\"acked\":{total_acked},\"moves_resolved\":{total_resolved},\"pass\":{ok}}}"
+            );
+        }
+        if !ok {
+            failures += 1;
+        }
+    }
+
     if failures > 0 {
         std::process::exit(1);
     }

@@ -184,7 +184,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
             "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{},",
             "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
-            "\"wal_checkpoints\":{},\"wal_replayed\":{}"
+            "\"wal_checkpoints\":{},\"wal_replayed\":{},",
+            "\"wal_move_intents\":{},\"wal_moves_resolved\":{}"
         ),
         json_escape(label),
         json_escape(&result.structure),
@@ -217,6 +218,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.wal.batches,
         result.wal.checkpoints,
         result.wal.replayed,
+        result.wal.move_intents,
+        result.wal.moves_resolved,
     );
     if !extra.is_empty() {
         line.push(',');
@@ -305,6 +308,8 @@ mod tests {
         assert!(line.contains("\"scan_commits\":"));
         assert!(line.contains("\"wal_records\":"));
         assert!(line.contains("\"wal_checkpoints\":"));
+        assert!(line.contains("\"wal_move_intents\":"));
+        assert!(line.contains("\"wal_moves_resolved\":"));
         // Balanced quotes => even count; cheap smoke check of JSON shape.
         assert_eq!(line.matches('"').count() % 2, 0);
     }

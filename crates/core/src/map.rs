@@ -251,6 +251,69 @@ pub trait TxMap: Send + Sync {
     /// Atomically move `from` to `to`; `true` when the map changed.
     fn move_entry(&self, handle: &mut Self::Handle, from: Key, to: Key) -> bool;
 
+    // --- Cross-shard move protocol hooks -------------------------------
+    //
+    // A cross-shard move (see `crate::sharded`) decomposes into an insert
+    // on the destination shard and a compare-and-delete on the source
+    // shard; these hooks let a layer wrapped around each shard (the
+    // `sf-persist` durability decorator) observe the decomposition and
+    // make it atomically recoverable: the source scope durably declares
+    // the move *before* either half commits, the stamped insert/delete
+    // tie each half to the declaration, and both scopes fence the shard's
+    // log against checkpoint truncation while the move is in flight. The
+    // defaults are passthroughs, so purely in-memory maps pay nothing.
+
+    /// Run `body` — the whole cross-shard completion — in the **source**
+    /// shard's move scope. A durable map overrides this to write a move
+    /// intent (`move_id`, the destination shard index `peer`, and the
+    /// `from`/`to`/`value` triple) to its log before `body` runs and a
+    /// resolution marker after it returns.
+    fn move_source_scope(
+        &self,
+        _move_id: u64,
+        _peer: usize,
+        _from: Key,
+        _to: Key,
+        _value: Value,
+        body: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        body()
+    }
+
+    /// Run `body` — the two stamped halves — in the **destination** shard's
+    /// move scope. A durable map overrides this to fence its log against
+    /// checkpoint truncation while the move is in flight.
+    fn move_peer_scope(&self, _move_id: u64, body: &mut dyn FnMut() -> bool) -> bool {
+        body()
+    }
+
+    /// The destination half of cross-shard move `move_id`: insert
+    /// `key -> value`, stamped so a durable map's log ties the record to
+    /// the move's intent. Defaults to [`TxMap::insert`].
+    fn move_insert(
+        &self,
+        handle: &mut Self::Handle,
+        _move_id: u64,
+        key: Key,
+        value: Value,
+    ) -> bool {
+        self.insert(handle, key, value)
+    }
+
+    /// The source half (or rollback retraction) of cross-shard move
+    /// `move_id`: compare-and-delete `key` when it still holds `expected`,
+    /// stamped like [`TxMap::move_insert`]. Defaults to
+    /// [`TxMap::delete_if`].
+    fn move_delete_if(
+        &self,
+        handle: &mut Self::Handle,
+        _move_id: u64,
+        key: Key,
+        expected: Value,
+    ) -> bool {
+        self.delete_if(handle, key, expected)
+    }
+
     /// Collect the live entries whose keys fall in `range`, in ascending key
     /// order, as one atomic read-only scan transaction
     /// ([`sf_stm::TxKind::ReadOnly`] — no write-set bookkeeping). Structures

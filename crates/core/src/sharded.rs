@@ -43,6 +43,20 @@
 //! because no single transaction can span two STM instances — use the
 //! top-level [`TxMap::move_entry`] instead.
 //!
+//! **Durability.** Steps 2 and 3 are driven through the [`TxMap`] move
+//! hooks ([`TxMap::move_source_scope`], [`TxMap::move_peer_scope`],
+//! [`TxMap::move_insert`], [`TxMap::move_delete_if`]) with a fresh
+//! process-unique move id. On plain in-memory shards the hooks are
+//! passthroughs; when the shards are durable (`sf-persist`'s
+//! `ShardedMap<DurableMap<_>>` composition), they implement a two-phase
+//! intent protocol — a *move intent* is fsynced to the source shard's log
+//! before either half commits, both halves are logged stamped with the
+//! move id, and recovery joins the two shards' logs to deterministically
+//! complete or roll back a move interrupted by a crash. A crash can
+//! therefore never surface the in-flight transient (value at both keys or
+//! at neither) after recovery, even though concurrent *readers* of the
+//! live map may still observe it.
+//!
 //! ## Range scans: the consistency contract
 //!
 //! An ordered scan ([`TxMap::range_collect`] / [`TxMap::len`]) cannot run as
@@ -69,7 +83,8 @@
 //!   per-shard-atomic contract above.
 
 use std::ops::RangeInclusive;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
 use sf_stm::{StatsSnapshot, Stm, StmConfig, ThreadCtx, Transaction, TxResult};
@@ -131,6 +146,37 @@ impl<M: TxMap> ShardedHandle<M> {
     pub fn shard_handle_mut(&mut self, index: usize) -> &mut M::Handle {
         &mut self.handles[index]
     }
+}
+
+/// The process-wide cross-shard move-id counter, seeded from the wall
+/// clock and the pid so two incarnations are unlikely to collide even
+/// before [`advance_move_ids`] makes it certain.
+fn move_id_counter() -> &'static AtomicU64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    NEXT.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        AtomicU64::new((nanos ^ ((std::process::id() as u64) << 48)) | 1)
+    })
+}
+
+/// Allocate a cross-shard move id: unique within the process, and unique
+/// against everything a recovered log contains once the durable layer has
+/// called [`advance_move_ids`] with its recovery's floor.
+fn next_move_id() -> u64 {
+    move_id_counter().fetch_add(1, Ordering::Relaxed)
+}
+
+/// Raise the move-id counter to at least `floor`. The durable layer calls
+/// this after recovery with one past the highest move id found in any
+/// shard log, making id reuse across restarts of a log directory
+/// *impossible* rather than merely improbable — recovery's cross-log join
+/// matches protocol records by id, so a reissued id could mis-join a stale
+/// record left by a previous incarnation.
+pub fn advance_move_ids(floor: u64) {
+    move_id_counter().fetch_max(floor, Ordering::Relaxed);
 }
 
 /// K-way merge of per-shard range results. Each input is sorted ascending
@@ -407,27 +453,44 @@ where
             (handle_hi, handle_lo)
         };
 
-        let value = match self.shards[src].map.get(handle_src, from) {
+        let src_map = &self.shards[src].map;
+        let dst_map = &self.shards[dst].map;
+        let value = match src_map.get(handle_src, from) {
             Some(value) => value,
             None => return false,
         };
-        if !self.shards[dst].map.insert(handle_dst, to, value) {
-            // Destination occupied: nothing was changed.
-            return false;
-        }
-        // Compare-and-delete: a concurrent delete+reinsert may have replaced
-        // the source with a different value since the read above; deleting
-        // blindly would destroy that committed update.
-        if !self.shards[src].map.delete_if(handle_src, from, value) {
-            // The source no longer holds the value that was copied: undo the
-            // destination insert (again value-checked — a concurrent delete
-            // may already have consumed the transient copy, and a later
-            // insert at `to` must not be destroyed) so the outcome
-            // linearizes as "their update first, this move found no source".
-            self.shards[dst].map.delete_if(handle_dst, to, value);
-            return false;
-        }
-        true
+
+        // Two-phase protocol, driven through the move hooks so a durable
+        // wrapper can (a) fsync a move intent to the source shard's log
+        // before either half commits, (b) stamp both halves with the shared
+        // move id, and (c) fence both shards' logs against checkpoint
+        // truncation until the resolution marker lands. On plain in-memory
+        // maps every hook is a passthrough and this is exactly the old
+        // insert / compare-and-delete / rollback sequence.
+        let move_id = next_move_id();
+        src_map.move_source_scope(move_id, dst, from, to, value, &mut || {
+            dst_map.move_peer_scope(move_id, &mut || {
+                if !dst_map.move_insert(handle_dst, move_id, to, value) {
+                    // Destination occupied: nothing was changed.
+                    return false;
+                }
+                // Compare-and-delete: a concurrent delete+reinsert may have
+                // replaced the source with a different value since the read
+                // above; deleting blindly would destroy that committed
+                // update.
+                if !src_map.move_delete_if(handle_src, move_id, from, value) {
+                    // The source no longer holds the value that was copied:
+                    // undo the destination insert (again value-checked — a
+                    // concurrent delete may already have consumed the
+                    // transient copy, and a later insert at `to` must not be
+                    // destroyed) so the outcome linearizes as "their update
+                    // first, this move found no source".
+                    dst_map.move_delete_if(handle_dst, move_id, to, value);
+                    return false;
+                }
+                true
+            })
+        })
     }
 
     /// Per-shard-atomic range scan (see the [module docs](self)): one atomic

@@ -38,6 +38,21 @@
 //! checkpoints every shard under
 //! [`sf_tree::ShardedMap::pause_maintenance`], and
 //! [`crate::recovery::recover_sharded`] merges the per-shard recoveries.
+//!
+//! A **cross-shard move** spans two shard logs, so neither log alone can
+//! make it atomic. The composition closes the crash window with a
+//! two-phase intent protocol driven through the [`TxMap`] move hooks: the
+//! source shard fsyncs a `MoveIntent` before either half commits, both
+//! halves are logged stamped with a shared move id (`MoveInsert` /
+//! `MoveDelete`), and a `MoveCommit` marks the move resolved; recovery
+//! joins the logs by move id and deterministically completes or rolls back
+//! an interrupted move ([`crate::recovery`]). While a move is in flight,
+//! both shards' checkpoint locks are held so a checkpoint can never
+//! truncate an unresolved intent or half out of a log — a consequence is
+//! that *automatic* checkpoints never fire from inside the move protocol
+//! itself, so a purely move-driven durable workload should checkpoint
+//! explicitly (any mix of inserts/deletes triggers the threshold as
+//! usual).
 
 use std::io;
 use std::ops::RangeInclusive;
@@ -46,7 +61,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-use sf_stm::{Stm, StmConfig, ThreadCtx};
+use sf_stm::{Stm, StmConfig, ThreadCtx, Transaction, TxResult};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
 use sf_tree::{
     intern_label, Key, OptSpecFriendlyTree, ShardParts, ShardedHandle, ShardedMap,
@@ -55,7 +70,8 @@ use sf_tree::{
 
 use crate::log::{Wal, WalOptions};
 use crate::record::{WalOp, WalRecord};
-use crate::recovery::{recover, shard_dir, Recovery};
+use crate::recovery::{recover, recover_sharded_parts, shard_dir, Recovery};
+use crate::stats;
 
 /// Per-thread handle of a [`DurableMap`]: the inner backend's handle plus a
 /// slot the commit hook uses to hand the enqueued record's sequence number
@@ -114,7 +130,31 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
     ) -> io::Result<(DurableMap<M>, Recovery)> {
         let dir = dir.into();
         let recovery = recover(&dir)?;
-        crate::recovery::repair_torn_tail(&dir, &recovery)?;
+        let map = DurableMap::open_recovered(inner, stm, dir, options, &recovery, Vec::new())?;
+        Ok((map, recovery))
+    }
+
+    /// [`DurableMap::open`] with a precomputed (possibly cross-shard
+    /// resolved) recovery, plus `resolution` records to append durably to
+    /// the fresh segment *before* any new mutation can be logged — this is
+    /// how [`sharded_with`] persists the outcome of the cross-log move
+    /// resolution so a later crash replays to the same state.
+    fn open_recovered(
+        inner: Arc<M>,
+        stm: &Arc<Stm>,
+        dir: PathBuf,
+        options: WalOptions,
+        recovery: &Recovery,
+        resolution: Vec<WalRecord>,
+    ) -> io::Result<DurableMap<M>> {
+        crate::recovery::repair_torn_tail(&dir, recovery)?;
+        let wal = Wal::open(dir, recovery.last_segment + 1, options.group)?;
+        if !resolution.is_empty() {
+            for record in resolution {
+                wal.enqueue(record);
+            }
+            wal.flush()?;
+        }
         if !recovery.entries.is_empty() {
             // Batch the bootstrap: one transaction per chunk, not per entry —
             // restart time is exactly what checkpoints exist to bound.
@@ -129,18 +169,23 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
             }
         }
         stm.clock().advance_to(recovery.last_version);
-        let wal = Wal::open(dir, recovery.last_segment + 1, options.group)?;
         let label = intern_label(format!("{}+wal", inner.name()));
-        Ok((
-            DurableMap {
-                inner,
-                wal: Arc::new(wal),
-                options,
-                checkpoint_lock: Mutex::new(()),
-                label,
-            },
-            recovery,
-        ))
+        Ok(DurableMap {
+            inner,
+            wal: Arc::new(wal),
+            options,
+            checkpoint_lock: Mutex::new(()),
+            label,
+        })
+    }
+
+    /// Durably append protocol control records (recovery-resolution commit
+    /// markers) outside any mutation path.
+    pub(crate) fn append_control(&self, records: Vec<WalRecord>) -> io::Result<()> {
+        for record in records {
+            self.wal.enqueue(record);
+        }
+        self.wal.flush()
     }
 
     /// The wrapped backend.
@@ -187,6 +232,37 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         })
     }
 
+    /// Run one logged mutation: execute `body` as the inner map's versioned
+    /// transaction and, when it reports an effective change, enqueue `op`
+    /// stamped with the winning attempt's commit version from its commit
+    /// hook, then wait for the record's durability (via
+    /// [`DurableMap::finish_mutation`]).
+    fn logged_mutation(
+        &self,
+        handle: &mut DurableHandle<M>,
+        op: WalOp,
+        mut body: impl for<'t> FnMut(&'t M, &mut Transaction<'t>) -> TxResult<bool>,
+    ) -> bool {
+        let wal = Arc::clone(&self.wal);
+        let ticket = Arc::clone(&handle.ticket);
+        let (changed, _version) =
+            self.inner
+                .atomically_versioned(&mut handle.inner, move |map, tx| {
+                    let changed = body(map, tx)?;
+                    if changed {
+                        let wal = Arc::clone(&wal);
+                        let ticket = Arc::clone(&ticket);
+                        tx.on_commit_versioned(move |version| {
+                            let seq = wal.enqueue(WalRecord { version, op });
+                            ticket.store(seq, Ordering::Relaxed);
+                        });
+                    }
+                    Ok(changed)
+                });
+        self.finish_mutation(handle);
+        changed
+    }
+
     /// After a logged mutation: wait for its record's durability, then
     /// trigger an automatic checkpoint when the threshold is crossed (and
     /// no other thread is already checkpointing).
@@ -226,75 +302,21 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
     }
 
     fn insert(&self, handle: &mut DurableHandle<M>, key: Key, value: Value) -> bool {
-        let wal = Arc::clone(&self.wal);
-        let ticket = Arc::clone(&handle.ticket);
-        let (changed, _version) =
-            self.inner
-                .atomically_versioned(&mut handle.inner, move |map, tx| {
-                    let changed = map.tx_insert(tx, key, value)?;
-                    if changed {
-                        let wal = Arc::clone(&wal);
-                        let ticket = Arc::clone(&ticket);
-                        tx.on_commit_versioned(move |version| {
-                            let seq = wal.enqueue(WalRecord {
-                                version,
-                                op: WalOp::Insert { key, value },
-                            });
-                            ticket.store(seq, Ordering::Relaxed);
-                        });
-                    }
-                    Ok(changed)
-                });
-        self.finish_mutation(handle);
-        changed
+        self.logged_mutation(handle, WalOp::Insert { key, value }, move |map, tx| {
+            map.tx_insert(tx, key, value)
+        })
     }
 
     fn delete(&self, handle: &mut DurableHandle<M>, key: Key) -> bool {
-        let wal = Arc::clone(&self.wal);
-        let ticket = Arc::clone(&handle.ticket);
-        let (changed, _version) =
-            self.inner
-                .atomically_versioned(&mut handle.inner, move |map, tx| {
-                    let changed = map.tx_delete(tx, key)?;
-                    if changed {
-                        let wal = Arc::clone(&wal);
-                        let ticket = Arc::clone(&ticket);
-                        tx.on_commit_versioned(move |version| {
-                            let seq = wal.enqueue(WalRecord {
-                                version,
-                                op: WalOp::Delete { key },
-                            });
-                            ticket.store(seq, Ordering::Relaxed);
-                        });
-                    }
-                    Ok(changed)
-                });
-        self.finish_mutation(handle);
-        changed
+        self.logged_mutation(handle, WalOp::Delete { key }, move |map, tx| {
+            map.tx_delete(tx, key)
+        })
     }
 
     fn delete_if(&self, handle: &mut DurableHandle<M>, key: Key, expected: Value) -> bool {
-        let wal = Arc::clone(&self.wal);
-        let ticket = Arc::clone(&handle.ticket);
-        let (changed, _version) =
-            self.inner
-                .atomically_versioned(&mut handle.inner, move |map, tx| {
-                    let changed = map.tx_delete_if(tx, key, expected)?;
-                    if changed {
-                        let wal = Arc::clone(&wal);
-                        let ticket = Arc::clone(&ticket);
-                        tx.on_commit_versioned(move |version| {
-                            let seq = wal.enqueue(WalRecord {
-                                version,
-                                op: WalOp::Delete { key },
-                            });
-                            ticket.store(seq, Ordering::Relaxed);
-                        });
-                    }
-                    Ok(changed)
-                });
-        self.finish_mutation(handle);
-        changed
+        self.logged_mutation(handle, WalOp::Delete { key }, move |map, tx| {
+            map.tx_delete_if(tx, key, expected)
+        })
     }
 
     fn move_entry(&self, handle: &mut DurableHandle<M>, from: Key, to: Key) -> bool {
@@ -331,6 +353,100 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
         moved
     }
 
+    /// Source-shard scope of a cross-shard move: fsync a
+    /// [`WalOp::MoveIntent`] *before* either half commits, run the
+    /// completion, then fsync the [`WalOp::MoveCommit`] resolution marker.
+    /// The checkpoint lock is held throughout so no checkpoint can truncate
+    /// the intent out of the log while the move is unresolved (checkpoints
+    /// that would fire from inside the scope use `try_lock` and simply
+    /// skip). In buffered mode (`group == 0`) the intent is only buffered:
+    /// the log forfeits per-operation durability there, and with it the
+    /// cross-shard crash-atomicity guarantee — the recovery join relies on
+    /// the protocol's fsync ordering, which buffered mode does not perform.
+    fn move_source_scope(
+        &self,
+        move_id: u64,
+        peer: usize,
+        from: Key,
+        to: Key,
+        value: Value,
+        body: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        let _guard = self
+            .checkpoint_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let seq = self.wal.enqueue(WalRecord {
+            version: 0,
+            op: WalOp::MoveIntent {
+                move_id,
+                peer_shard: peer as u64,
+                from,
+                to,
+                value,
+            },
+        });
+        self.wal.sync_to(seq);
+        stats::note_move_intent();
+        let moved = body();
+        // The marker carries the maximum version so the group-commit
+        // writer's within-batch version sort can never place it ahead of
+        // the move's own stamped halves in the file: a torn batch write
+        // (buffered mode puts the whole move in one batch) that kept the
+        // marker but lost the delete half would otherwise commit a
+        // duplicate forever. Recovery ignores marker versions entirely.
+        let seq = self.wal.enqueue(WalRecord {
+            version: u64::MAX,
+            op: WalOp::MoveCommit { move_id },
+        });
+        self.wal.sync_to(seq);
+        moved
+    }
+
+    /// Destination-shard scope of a cross-shard move: hold the checkpoint
+    /// lock so the stamped insert half cannot be checkpoint-truncated out
+    /// of this log while the source's intent is still unresolved.
+    fn move_peer_scope(&self, _move_id: u64, body: &mut dyn FnMut() -> bool) -> bool {
+        let _guard = self
+            .checkpoint_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        body()
+    }
+
+    /// The destination half: like [`TxMap::insert`] but logged as a
+    /// [`WalOp::MoveInsert`] stamped with the move id.
+    fn move_insert(
+        &self,
+        handle: &mut DurableHandle<M>,
+        move_id: u64,
+        key: Key,
+        value: Value,
+    ) -> bool {
+        let op = WalOp::MoveInsert {
+            move_id,
+            key,
+            value,
+        };
+        self.logged_mutation(handle, op, move |map, tx| map.tx_insert(tx, key, value))
+    }
+
+    /// The source half (or rollback retraction): like [`TxMap::delete_if`]
+    /// but logged as a [`WalOp::MoveDelete`] stamped with the move id.
+    fn move_delete_if(
+        &self,
+        handle: &mut DurableHandle<M>,
+        move_id: u64,
+        key: Key,
+        expected: Value,
+    ) -> bool {
+        self.logged_mutation(
+            handle,
+            WalOp::MoveDelete { move_id, key },
+            move |map, tx| map.tx_delete_if(tx, key, expected),
+        )
+    }
+
     fn range_collect(
         &self,
         handle: &mut DurableHandle<M>,
@@ -355,7 +471,11 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
 /// Build a sharded durable map: `shards` inner maps produced by `make`
 /// (returning each shard's STM, map, and optional maintenance thread), each
 /// wrapped in a [`DurableMap`] logging to `base/shard-<i>`, recovering any
-/// existing state. Returns the composed map and the merged recovery report.
+/// existing state. Recovery validates the on-disk shard count, runs the
+/// cross-log move resolution over all shard logs
+/// ([`crate::recovery::recover_sharded`]'s join), and durably appends each
+/// resolution to the affected logs before any new mutation can be logged.
+/// Returns the composed map and the merged recovery report.
 pub fn sharded_with<M>(
     shards: usize,
     base: &Path,
@@ -366,17 +486,57 @@ where
     M: TxMapVersioned + 'static,
     M::Handle: Send,
 {
+    let (per, mut plan) = recover_sharded_parts(base, shards)?;
+    // Durably declare the layout before any shard state exists: a crash at
+    // any later point of this open (even between the shard-directory
+    // creations) leaves an unambiguous marker, so the next open validates
+    // against the declaration instead of guessing from partial directories.
+    crate::recovery::write_layout_marker(base, shards)?;
+    // Make move-id reuse against the recovered logs impossible: stale
+    // protocol records (e.g. a destination-half insert whose intent was
+    // long checkpointed away) are matched by id in the recovery join, so a
+    // fresh incarnation must allocate strictly above everything on disk.
+    let max_move_id = per.iter().map(|r| r.max_move_id).max().unwrap_or(0);
+    sf_tree::sharded::advance_move_ids(max_move_id.saturating_add(1));
+    // Create every shard directory before opening any: a crash during the
+    // very first open then leaves at worst a set of empty directories,
+    // which the layout validation treats as absent.
+    for shard in 0..shards {
+        std::fs::create_dir_all(shard_dir(base, shard))?;
+    }
     let mut merged = Recovery::default();
     let mut parts: Vec<Option<ShardParts<DurableMap<M>>>> = Vec::with_capacity(shards);
-    for shard in 0..shards {
+    for (shard, one) in per.into_iter().enumerate() {
         let (stm, map, maintenance) = make(shard);
-        let (durable, one) = DurableMap::open(map, &stm, shard_dir(base, shard), options)?;
+        let state_fixes = std::mem::take(&mut plan.state[shard]);
+        let durable = DurableMap::open_recovered(
+            map,
+            &stm,
+            shard_dir(base, shard),
+            options,
+            &one,
+            state_fixes,
+        )?;
         merged.absorb(one);
         parts.push(Some(ShardParts {
             stm,
             map: Arc::new(durable),
             maintenance,
         }));
+    }
+    // Only now, with every shard's state fixes durable, neutralize the
+    // resolved intents (the plan's ordering contract): a commit marker that
+    // became durable *before* a cross-shard state fix would make a later
+    // recovery skip the join while the fix is still unapplied. Crashing
+    // between the two phases is safe — the next open re-runs the join,
+    // which short-circuits on the now-durable stamped deletes.
+    for (part, markers) in parts.iter().zip(plan.commits) {
+        if !markers.is_empty() {
+            part.as_ref()
+                .expect("shard was just built")
+                .map
+                .append_control(markers)?;
+        }
     }
     merged.entries.sort_unstable();
     let map = ShardedMap::new_with(shards, |shard| {

@@ -62,6 +62,6 @@ pub use durable::{
 };
 pub use log::{Wal, WalOptions};
 pub use record::{WalOp, WalRecord};
-pub use recovery::{recover, recover_sharded, shard_dir, Recovery};
+pub use recovery::{recover, recover_sharded, shard_dir, MoveIntentInfo, Recovery};
 pub use stats::WalStats;
 pub use tempdir::TempDir;

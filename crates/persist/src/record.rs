@@ -25,8 +25,8 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// Upper bound accepted for one frame's payload; anything larger is treated
-/// as corruption. Log records are 25 bytes; checkpoint images hold the whole
-/// map, so the bound is generous.
+/// as corruption. Log records are 17–49 bytes; checkpoint images hold the
+/// whole map, so the bound is generous.
 pub const MAX_FRAME_LEN: usize = 1 << 30;
 
 /// Hand-rolled FNV-1a 64 checksum of `bytes`.
@@ -56,12 +56,12 @@ pub enum WalOp {
         /// The removed key.
         key: Key,
     },
-    /// `value` moved from `from` to `to` (§5.4's composed move). Encoded as
-    /// **one** record so a torn tail can never separate the delete half
-    /// from the insert half — recovery applies it atomically. (A
-    /// *cross-shard* move spans two logs and decomposes into
-    /// `Insert` + `Delete`; it inherits the sharded map's documented
-    /// transient-visibility relaxation.)
+    /// `value` moved from `from` to `to` (§5.4's composed move) within one
+    /// transactional domain. Encoded as **one** record so a torn tail can
+    /// never separate the delete half from the insert half — recovery
+    /// applies it atomically. A *cross-shard* move spans two logs and
+    /// cannot be one record; it is covered by the two-phase
+    /// [`MoveIntent`](WalOp::MoveIntent) protocol instead.
     Move {
         /// The vacated key.
         from: Key,
@@ -69,6 +69,52 @@ pub enum WalOp {
         to: Key,
         /// The moved value.
         value: Value,
+    },
+    /// Declaration, fsynced to the **source** shard's log before either half
+    /// of a cross-shard move commits: "move `move_id` will insert
+    /// `(to, value)` into shard `peer_shard` and then delete `from` here".
+    /// No map effect on replay — recovery joins it against both logs'
+    /// move-stamped records and deterministically completes or rolls back
+    /// an interrupted move (see `sf_persist::recovery`).
+    MoveIntent {
+        /// Process-unique id shared by every record of one cross-shard move.
+        move_id: u64,
+        /// Index of the destination shard (whose log holds the insert half).
+        peer_shard: u64,
+        /// The key being vacated on this (the source) shard.
+        from: Key,
+        /// The destination key on the peer shard.
+        to: Key,
+        /// The value in flight.
+        value: Value,
+    },
+    /// Resolution marker on the source shard's log: move `move_id` finished
+    /// (committed *or* rolled back) and the two logs are self-consistent —
+    /// recovery skips the cross-log join for it. No map effect on replay.
+    MoveCommit {
+        /// The resolved move.
+        move_id: u64,
+    },
+    /// The destination half of cross-shard move `move_id`: replayed exactly
+    /// like [`Insert`](WalOp::Insert), but carrying the move id so recovery
+    /// can tell whether the half became durable.
+    MoveInsert {
+        /// The move this insert belongs to.
+        move_id: u64,
+        /// The inserted key.
+        key: Key,
+        /// The moved value.
+        value: Value,
+    },
+    /// The source half (or a rollback retraction) of cross-shard move
+    /// `move_id`: replayed exactly like [`Delete`](WalOp::Delete), but
+    /// carrying the move id so recovery can tell whether the half became
+    /// durable.
+    MoveDelete {
+        /// The move this delete belongs to.
+        move_id: u64,
+        /// The removed key.
+        key: Key,
     },
 }
 
@@ -89,17 +135,29 @@ pub struct WalRecord {
 const TAG_INSERT: u8 = 1;
 const TAG_DELETE: u8 = 2;
 const TAG_MOVE: u8 = 3;
+const TAG_MOVE_INTENT: u8 = 4;
+const TAG_MOVE_COMMIT: u8 = 5;
+const TAG_MOVE_INSERT: u8 = 6;
+const TAG_MOVE_DELETE: u8 = 7;
 /// version (8) + tag (1) + key (8) + value (8).
 pub(crate) const RECORD_PAYLOAD_LEN: usize = 25;
 /// version (8) + tag (1) + from (8) + to (8) + value (8).
 pub(crate) const MOVE_PAYLOAD_LEN: usize = 33;
+/// version (8) + tag (1) + move_id (8) + peer (8) + from (8) + to (8) + value (8).
+pub(crate) const MOVE_INTENT_PAYLOAD_LEN: usize = 49;
+/// version (8) + tag (1) + move_id (8).
+pub(crate) const MOVE_COMMIT_PAYLOAD_LEN: usize = 17;
+/// version (8) + tag (1) + move_id (8) + key (8) + value (8).
+pub(crate) const MOVE_INSERT_PAYLOAD_LEN: usize = 41;
+/// version (8) + tag (1) + move_id (8) + key (8).
+pub(crate) const MOVE_DELETE_PAYLOAD_LEN: usize = 33;
 /// len (4) + checksum (8).
 pub(crate) const FRAME_HEADER_LEN: usize = 12;
 
 impl WalRecord {
     /// Serialize this record's frame (header + payload) into `out`.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        let mut payload = [0u8; MOVE_PAYLOAD_LEN];
+        let mut payload = [0u8; MOVE_INTENT_PAYLOAD_LEN];
         payload[0..8].copy_from_slice(&self.version.to_le_bytes());
         let len = match self.op {
             WalOp::Insert { key, value } => {
@@ -120,25 +178,85 @@ impl WalRecord {
                 payload[25..33].copy_from_slice(&value.to_le_bytes());
                 MOVE_PAYLOAD_LEN
             }
+            WalOp::MoveIntent {
+                move_id,
+                peer_shard,
+                from,
+                to,
+                value,
+            } => {
+                payload[8] = TAG_MOVE_INTENT;
+                payload[9..17].copy_from_slice(&move_id.to_le_bytes());
+                payload[17..25].copy_from_slice(&peer_shard.to_le_bytes());
+                payload[25..33].copy_from_slice(&from.to_le_bytes());
+                payload[33..41].copy_from_slice(&to.to_le_bytes());
+                payload[41..49].copy_from_slice(&value.to_le_bytes());
+                MOVE_INTENT_PAYLOAD_LEN
+            }
+            WalOp::MoveCommit { move_id } => {
+                payload[8] = TAG_MOVE_COMMIT;
+                payload[9..17].copy_from_slice(&move_id.to_le_bytes());
+                MOVE_COMMIT_PAYLOAD_LEN
+            }
+            WalOp::MoveInsert {
+                move_id,
+                key,
+                value,
+            } => {
+                payload[8] = TAG_MOVE_INSERT;
+                payload[9..17].copy_from_slice(&move_id.to_le_bytes());
+                payload[17..25].copy_from_slice(&key.to_le_bytes());
+                payload[25..33].copy_from_slice(&value.to_le_bytes());
+                MOVE_INSERT_PAYLOAD_LEN
+            }
+            WalOp::MoveDelete { move_id, key } => {
+                payload[8] = TAG_MOVE_DELETE;
+                payload[9..17].copy_from_slice(&move_id.to_le_bytes());
+                payload[17..25].copy_from_slice(&key.to_le_bytes());
+                MOVE_DELETE_PAYLOAD_LEN
+            }
         };
         write_frame(out, &payload[..len]);
     }
 
     /// Decode one record from a frame payload.
     fn decode(payload: &[u8]) -> Option<WalRecord> {
-        if payload.len() < RECORD_PAYLOAD_LEN {
+        if payload.len() < MOVE_COMMIT_PAYLOAD_LEN {
             return None;
         }
         let version = u64::from_le_bytes(payload[0..8].try_into().ok()?);
-        let key = u64::from_le_bytes(payload[9..17].try_into().ok()?);
-        let value = u64::from_le_bytes(payload[17..25].try_into().ok()?);
+        let word = |at: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(
+                payload.get(at..at + 8)?.try_into().ok()?,
+            ))
+        };
         let op = match (payload[8], payload.len()) {
-            (TAG_INSERT, RECORD_PAYLOAD_LEN) => WalOp::Insert { key, value },
-            (TAG_DELETE, RECORD_PAYLOAD_LEN) => WalOp::Delete { key },
+            (TAG_INSERT, RECORD_PAYLOAD_LEN) => WalOp::Insert {
+                key: word(9)?,
+                value: word(17)?,
+            },
+            (TAG_DELETE, RECORD_PAYLOAD_LEN) => WalOp::Delete { key: word(9)? },
             (TAG_MOVE, MOVE_PAYLOAD_LEN) => WalOp::Move {
-                from: key,
-                to: value,
-                value: u64::from_le_bytes(payload[25..33].try_into().ok()?),
+                from: word(9)?,
+                to: word(17)?,
+                value: word(25)?,
+            },
+            (TAG_MOVE_INTENT, MOVE_INTENT_PAYLOAD_LEN) => WalOp::MoveIntent {
+                move_id: word(9)?,
+                peer_shard: word(17)?,
+                from: word(25)?,
+                to: word(33)?,
+                value: word(41)?,
+            },
+            (TAG_MOVE_COMMIT, MOVE_COMMIT_PAYLOAD_LEN) => WalOp::MoveCommit { move_id: word(9)? },
+            (TAG_MOVE_INSERT, MOVE_INSERT_PAYLOAD_LEN) => WalOp::MoveInsert {
+                move_id: word(9)?,
+                key: word(17)?,
+                value: word(25)?,
+            },
+            (TAG_MOVE_DELETE, MOVE_DELETE_PAYLOAD_LEN) => WalOp::MoveDelete {
+                move_id: word(9)?,
+                key: word(17)?,
             },
             _ => return None,
         };
@@ -248,6 +366,63 @@ mod tests {
         for cut in 1..bytes.len() {
             let scan = scan_segment(&bytes[..cut]);
             assert!(scan.records.is_empty(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn move_protocol_records_roundtrip_and_tear_whole() {
+        let records = vec![
+            WalRecord {
+                version: 0,
+                op: WalOp::MoveIntent {
+                    move_id: 0xdead_beef,
+                    peer_shard: 1,
+                    from: 3,
+                    to: 4,
+                    value: 77,
+                },
+            },
+            WalRecord {
+                version: 11,
+                op: WalOp::MoveInsert {
+                    move_id: 0xdead_beef,
+                    key: 4,
+                    value: 77,
+                },
+            },
+            WalRecord {
+                version: 12,
+                op: WalOp::MoveDelete {
+                    move_id: 0xdead_beef,
+                    key: 3,
+                },
+            },
+            WalRecord {
+                version: 0,
+                op: WalOp::MoveCommit {
+                    move_id: 0xdead_beef,
+                },
+            },
+        ];
+        let mut bytes = Vec::new();
+        for r in &records {
+            r.encode_into(&mut bytes);
+        }
+        let scan = scan_segment(&bytes);
+        assert_eq!(scan.records, records);
+        assert_eq!(scan.torn_bytes, 0);
+        // Any truncation recovers a whole-record prefix: a frame is never
+        // split into a partial protocol record.
+        let mut boundaries = vec![0usize];
+        let mut offset = 0;
+        while let Some((_, next)) = read_frame(&bytes, offset) {
+            boundaries.push(next);
+            offset = next;
+        }
+        for cut in 0..bytes.len() {
+            let scan = scan_segment(&bytes[..cut]);
+            let whole = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(scan.records, records[..whole], "cut={cut}");
         }
     }
 

@@ -17,8 +17,36 @@
 //! minus at most the operations whose `TxMap` call had not yet returned
 //! (their records never became durable). See `EXPERIMENTS.md` for the full
 //! durability contract.
+//!
+//! ## Cross-shard move resolution
+//!
+//! [`recover_sharded`] adds a **cross-log join** on top of the per-shard
+//! recoveries. A cross-shard move spans two shard logs; its source shard
+//! durably logs a [`WalOp::MoveIntent`] before either half commits, the
+//! two halves are logged as [`WalOp::MoveInsert`] / [`WalOp::MoveDelete`]
+//! stamped with the shared move id, and a [`WalOp::MoveCommit`] on the
+//! source log marks the move resolved. For every intent *without* a commit
+//! marker (the crash interrupted the move), resolution decides
+//! deterministically, in the ARIES redo/undo tradition:
+//!
+//! * source delete durable → the move completed; nothing to fix (the
+//!   fsync ordering guarantees the destination insert is durable too);
+//! * destination insert durable but the source still holds the moved
+//!   value → **roll forward**: complete the move by deleting the source
+//!   entry;
+//! * destination insert durable and the source was concurrently updated
+//!   (the live move would have rolled back) → **roll back**: retract the
+//!   in-flight destination copy if it is still the moved value;
+//! * destination insert not durable → the move never happened; nothing to
+//!   fix.
+//!
+//! A reopen ([`crate::sharded_with`]) makes every resolution durable by
+//! appending the equivalent stamped records plus a `MoveCommit` to the
+//! affected logs before accepting new mutations, so a later crash replays
+//! to the same state instead of re-judging a stale intent against a log
+//! that has moved on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -28,6 +56,21 @@ use sf_tree::{Key, Value};
 use crate::log::{parse_segment_name, CHECKPOINT_FILE};
 use crate::record::{read_frame, scan_segment, WalOp, WalRecord};
 use crate::stats;
+
+/// One [`WalOp::MoveIntent`] found while scanning a log, in file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoveIntentInfo {
+    /// The move's process-unique id.
+    pub move_id: u64,
+    /// The destination shard index recorded in the intent.
+    pub peer_shard: u64,
+    /// The source key.
+    pub from: Key,
+    /// The destination key.
+    pub to: Key,
+    /// The value in flight.
+    pub value: Value,
+}
 
 /// The outcome of recovering one log directory.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +100,26 @@ pub struct Recovery {
     /// the byte offset of its last valid frame boundary. [`repair_torn_tail`]
     /// uses this to make the discard durable before appending resumes.
     pub torn_at: Option<(u64, u64)>,
+    /// Every [`WalOp::MoveIntent`] scanned in this directory's log, in file
+    /// order (the cross-log join's left-hand side).
+    pub intents: Vec<MoveIntentInfo>,
+    /// Move ids with a [`WalOp::MoveCommit`] marker in this log: their
+    /// intents are resolved and skip the join.
+    pub move_commits: Vec<u64>,
+    /// Move ids whose destination-half [`WalOp::MoveInsert`] survived in
+    /// this log.
+    pub move_inserts: Vec<u64>,
+    /// Move ids whose source-half (or retraction) [`WalOp::MoveDelete`]
+    /// survived in this log.
+    pub move_deletes: Vec<u64>,
+    /// Orphaned intents the cross-log resolution pass completed or rolled
+    /// back (only [`recover_sharded`] sets this).
+    pub moves_resolved: u64,
+    /// The highest move id stamped on any scanned protocol record (`0`
+    /// when none): a reopen advances the process-wide move-id allocator
+    /// past it so a fresh incarnation can never reissue an id a stale log
+    /// record still carries.
+    pub max_move_id: u64,
 }
 
 impl Recovery {
@@ -74,6 +137,27 @@ impl Recovery {
         self.records_replayed += other.records_replayed;
         self.torn_bytes += other.torn_bytes;
         self.torn_at = self.torn_at.or(other.torn_at);
+        self.intents.extend(other.intents);
+        self.move_commits.extend(other.move_commits);
+        self.move_inserts.extend(other.move_inserts);
+        self.move_deletes.extend(other.move_deletes);
+        self.moves_resolved += other.moves_resolved;
+        self.max_move_id = self.max_move_id.max(other.max_move_id);
+    }
+
+    /// The recovered value at `key`, if any (entries are sorted by key).
+    fn entry(&self, key: Key) -> Option<Value> {
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+
+    /// Remove `key` from the recovered entries, if present.
+    fn remove_entry(&mut self, key: Key) {
+        if let Ok(i) = self.entries.binary_search_by_key(&key, |&(k, _)| k) {
+            self.entries.remove(i);
+        }
     }
 }
 
@@ -152,9 +236,47 @@ pub fn recover(dir: impl AsRef<Path>) -> io::Result<Recovery> {
     }
     recovery.records_scanned = records.len() as u64;
 
-    // Version stamps are the ground truth for replay order.
+    // Version stamps are the ground truth for replay order. Move-protocol
+    // bookkeeping (intents, commit markers, half ids) is collected from
+    // every scanned record regardless of the checkpoint filter: a half may
+    // be covered by a checkpoint image while its move is still unresolved.
+    // Intent/marker versions are ordering pins (0 and `u64::MAX`), not STM
+    // versions, so they are excluded from `last_version`.
     records.sort_by_key(|r| r.version);
     for record in &records {
+        match record.op {
+            WalOp::MoveIntent {
+                move_id,
+                peer_shard,
+                from,
+                to,
+                value,
+            } => {
+                recovery.max_move_id = recovery.max_move_id.max(move_id);
+                recovery.intents.push(MoveIntentInfo {
+                    move_id,
+                    peer_shard,
+                    from,
+                    to,
+                    value,
+                });
+                continue;
+            }
+            WalOp::MoveCommit { move_id } => {
+                recovery.max_move_id = recovery.max_move_id.max(move_id);
+                recovery.move_commits.push(move_id);
+                continue;
+            }
+            WalOp::MoveInsert { move_id, .. } => {
+                recovery.max_move_id = recovery.max_move_id.max(move_id);
+                recovery.move_inserts.push(move_id);
+            }
+            WalOp::MoveDelete { move_id, .. } => {
+                recovery.max_move_id = recovery.max_move_id.max(move_id);
+                recovery.move_deletes.push(move_id);
+            }
+            _ => {}
+        }
         recovery.last_version = recovery.last_version.max(record.version);
         if record.version <= recovery.checkpoint_version {
             // Already reflected in the checkpoint image.
@@ -162,16 +284,17 @@ pub fn recover(dir: impl AsRef<Path>) -> io::Result<Recovery> {
         }
         recovery.records_replayed += 1;
         match record.op {
-            WalOp::Insert { key, value } => {
+            WalOp::Insert { key, value } | WalOp::MoveInsert { key, value, .. } => {
                 map.insert(key, value);
             }
-            WalOp::Delete { key } => {
+            WalOp::Delete { key } | WalOp::MoveDelete { key, .. } => {
                 map.remove(&key);
             }
             WalOp::Move { from, to, value } => {
                 map.remove(&from);
                 map.insert(to, value);
             }
+            WalOp::MoveIntent { .. } | WalOp::MoveCommit { .. } => unreachable!(),
         }
     }
     stats::note_replayed(recovery.records_replayed);
@@ -208,14 +331,266 @@ pub fn repair_torn_tail(dir: impl AsRef<Path>, recovery: &Recovery) -> io::Resul
     Ok(())
 }
 
+/// Name of the shard-layout marker in a sharded base directory: the shard
+/// count, written durably (tmp + rename) by the first open *before* any
+/// shard directory exists, so the layout is never ambiguous — not even
+/// after a crash in the middle of the very first open.
+pub const LAYOUT_FILE: &str = "shards.layout";
+
+/// Read the layout marker, if present.
+fn read_layout_marker(base: &Path) -> io::Result<Option<usize>> {
+    match fs::read_to_string(base.join(LAYOUT_FILE)) {
+        Ok(text) => text.trim().parse::<usize>().map(Some).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "corrupt shard-layout marker {}",
+                    base.join(LAYOUT_FILE).display()
+                ),
+            )
+        }),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Durably declare `shards` as the base directory's layout (idempotent).
+pub(crate) fn write_layout_marker(base: &Path, shards: usize) -> io::Result<()> {
+    use std::io::Write;
+    fs::create_dir_all(base)?;
+    let tmp = base.join("shards.layout.tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        write!(file, "{shards}")?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, base.join(LAYOUT_FILE))?;
+    if let Ok(handle) = fs::File::open(base) {
+        let _ = handle.sync_all();
+    }
+    Ok(())
+}
+
+/// Fail loudly when the on-disk shard layout does not match the requested
+/// shard count: recovering a subset (or spreading old shards over a larger
+/// count, which re-hashes every key) would silently drop entries. The
+/// [`LAYOUT_FILE`] marker is authoritative when present; directories
+/// written before the marker existed fall back to comparing the `shard-<i>`
+/// directory set. A base directory with neither is a fresh map and passes
+/// for any count.
+fn validate_shard_layout(base: &Path, shards: usize) -> io::Result<()> {
+    if !base.exists() {
+        return Ok(());
+    }
+    if let Some(declared) = read_layout_marker(base)? {
+        if declared != shards {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "sharded log directory {} is declared as {declared} shard(s) but {shards} \
+                     were requested; recovering with a mismatched shard count would silently \
+                     lose or misroute keys",
+                    base.display()
+                ),
+            ));
+        }
+        return Ok(());
+    }
+    let mut found: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(base)? {
+        let entry = entry?;
+        if let Some(index) = entry
+            .file_name()
+            .to_str()
+            .and_then(|name| name.strip_prefix("shard-"))
+            .and_then(|rest| rest.parse::<u64>().ok())
+        {
+            // An *empty* shard directory carries no state and is treated as
+            // absent: a real shard dir always holds at least its live
+            // segment file, while a crash between the creation of the
+            // shard dirs on a very first open can leave empty ones behind —
+            // those must not brick every later open.
+            let path = entry.path();
+            if path.is_dir() && fs::read_dir(&path)?.next().is_some() {
+                found.push(index);
+            }
+        }
+    }
+    if found.is_empty() {
+        return Ok(());
+    }
+    found.sort_unstable();
+    let expected: Vec<u64> = (0..shards as u64).collect();
+    if found != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "sharded log directory {} holds shard dirs {found:?} but {shards} shard(s) were \
+                 requested; recovering with a mismatched shard count would silently lose or \
+                 misroute keys",
+                base.display()
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// What a reopen must durably append so a cross-log resolution survives the
+/// next crash. The two phases carry an **ordering contract**: every
+/// [`MoveResolutionPlan::state`] record (the stamped deletes that apply a
+/// roll-forward or roll-back) must be durable on its shard *before* any
+/// [`MoveResolutionPlan::commits`] marker is written — a commit marker makes
+/// recovery skip the join for that move, so committing ahead of a
+/// cross-shard state fix would strand the unapplied fix forever if another
+/// crash hits in between. (Re-running the join instead is safe: it
+/// re-judges the same logs to the same verdict, or short-circuits on the
+/// now-durable stamped delete.)
+pub(crate) struct MoveResolutionPlan {
+    /// Per shard: stamped `MoveDelete` records applying the resolution's
+    /// state fixes.
+    pub state: Vec<Vec<WalRecord>>,
+    /// Per (source) shard: `MoveCommit` markers neutralizing the resolved
+    /// intents.
+    pub commits: Vec<Vec<WalRecord>>,
+}
+
+impl MoveResolutionPlan {
+    fn empty(shards: usize) -> MoveResolutionPlan {
+        MoveResolutionPlan {
+            state: vec![Vec::new(); shards],
+            commits: vec![Vec::new(); shards],
+        }
+    }
+}
+
+/// The cross-log join (see the [module docs](self)): for every intent in
+/// shard `s`'s log without a commit marker there, decide the interrupted
+/// move's fate from both logs' stamped halves and fix the recovered entries
+/// in place. Returns the append plan a reopen must persist; version stamps
+/// for state-changing appends are drawn above the owning shard's
+/// `last_version`, which is bumped accordingly.
+fn resolve_cross_shard_moves(per: &mut [Recovery]) -> io::Result<MoveResolutionPlan> {
+    let shards = per.len();
+    let mut plan = MoveResolutionPlan::empty(shards);
+    let inserts: Vec<HashSet<u64>> = per
+        .iter()
+        .map(|r| r.move_inserts.iter().copied().collect())
+        .collect();
+    let deletes: Vec<HashSet<u64>> = per
+        .iter()
+        .map(|r| r.move_deletes.iter().copied().collect())
+        .collect();
+    let mut resolved = 0u64;
+    for s in 0..shards {
+        let commits: HashSet<u64> = per[s].move_commits.iter().copied().collect();
+        let orphans: Vec<MoveIntentInfo> = per[s]
+            .intents
+            .iter()
+            .filter(|i| !commits.contains(&i.move_id))
+            .copied()
+            .collect();
+        for intent in orphans {
+            let d = intent.peer_shard as usize;
+            if d >= shards || d == s {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "move intent {} in shard {s} names peer shard {} (of {shards}); the log \
+                         belongs to a different shard layout",
+                        intent.move_id, intent.peer_shard
+                    ),
+                ));
+            }
+            let delete_done = deletes[s].contains(&intent.move_id);
+            // A stamped delete in the *destination* log is the rollback
+            // retraction: the live move already failed and undid its
+            // transient copy. Without this check, a client who durably
+            // re-inserted the same value at `to` after the retraction would
+            // have their acknowledged insert judged as "the in-flight copy"
+            // and destroyed.
+            let retract_done = deletes[d].contains(&intent.move_id);
+            let insert_done = inserts[d].contains(&intent.move_id);
+            if !delete_done && !retract_done && insert_done {
+                // The destination half is durable but the source half is
+                // not — the crash landed between the two shard logs.
+                if per[s].entry(intent.from) == Some(intent.value) {
+                    // Roll forward: the source still holds the moved value,
+                    // so completing the delete yields exactly the state the
+                    // finished move would have left.
+                    per[s].remove_entry(intent.from);
+                    let version = per[s].last_version + 1;
+                    per[s].last_version = version;
+                    plan.state[s].push(WalRecord {
+                        version,
+                        op: WalOp::MoveDelete {
+                            move_id: intent.move_id,
+                            key: intent.from,
+                        },
+                    });
+                } else if per[d].entry(intent.to) == Some(intent.value) {
+                    // Roll back: a concurrent committed update consumed or
+                    // replaced the source, so the live move would have
+                    // failed and retracted its transient destination copy.
+                    per[d].remove_entry(intent.to);
+                    let version = per[d].last_version + 1;
+                    per[d].last_version = version;
+                    plan.state[d].push(WalRecord {
+                        version,
+                        op: WalOp::MoveDelete {
+                            move_id: intent.move_id,
+                            key: intent.to,
+                        },
+                    });
+                }
+                // Neither branch: both halves were already superseded by
+                // later committed operations — nothing to fix.
+            }
+            // delete_done / retract_done → the move completed or rolled
+            // back in the logs; !insert_done → it never reached the
+            // destination log. Either way the state is consistent; only
+            // the commit marker is missing.
+            plan.commits[s].push(WalRecord {
+                version: u64::MAX, // ordering pin, like the live protocol's markers
+                op: WalOp::MoveCommit {
+                    move_id: intent.move_id,
+                },
+            });
+            per[s].moves_resolved += 1;
+            resolved += 1;
+        }
+    }
+    stats::note_moves_resolved(resolved);
+    Ok(plan)
+}
+
+/// Per-shard recovery of a sharded durable map: validate the shard layout,
+/// recover every `shard-<i>` subdirectory, and run the cross-log move
+/// resolution. Returns the resolved per-shard recoveries plus the append
+/// plan a reopen must persist (respecting its ordering contract).
+pub(crate) fn recover_sharded_parts(
+    base: &Path,
+    shards: usize,
+) -> io::Result<(Vec<Recovery>, MoveResolutionPlan)> {
+    validate_shard_layout(base, shards)?;
+    let mut per = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        per.push(recover(shard_dir(base, shard))?);
+    }
+    let plan = resolve_cross_shard_moves(&mut per)?;
+    Ok((per, plan))
+}
+
 /// Recover a sharded durable map's base directory: the union of the
 /// `shard-<i>` subdirectory recoveries (keys are hash-partitioned, so the
-/// shards are disjoint). `last_version` is the maximum over the shards.
+/// shards are disjoint) after the cross-log move resolution pass (see the
+/// [module docs](self)). `last_version` is the maximum over the shards.
+/// Fails loudly when the requested shard count does not match the on-disk
+/// shard directories.
 pub fn recover_sharded(base: impl AsRef<Path>, shards: usize) -> io::Result<Recovery> {
-    let base = base.as_ref();
+    let (per, _appends) = recover_sharded_parts(base.as_ref(), shards)?;
     let mut merged = Recovery::default();
-    for shard in 0..shards {
-        merged.absorb(recover(shard_dir(base, shard))?);
+    for one in per {
+        merged.absorb(one);
     }
     merged.entries.sort_unstable();
     Ok(merged)
@@ -333,5 +708,232 @@ mod tests {
         let recovery = recover_sharded(dir.path(), 2).unwrap();
         assert_eq!(recovery.entries, vec![(0, 1), (100, 1)]);
         assert_eq!(recovery.last_version, 2);
+    }
+
+    #[test]
+    fn sharded_recovery_rejects_a_mismatched_shard_count() {
+        let dir = TempDir::new("rec-shardcount");
+        for shard in 0..4usize {
+            let wal = Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap();
+            wal.enqueue(insert(1, shard as u64, 1));
+            wal.flush().unwrap();
+        }
+        // Fewer shards than on disk: silent subset recovery is the footgun.
+        let err = recover_sharded(dir.path(), 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // More shards than on disk: keys would re-hash across empty shards.
+        let err = recover_sharded(dir.path(), 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // The matching count recovers.
+        let recovery = recover_sharded(dir.path(), 4).unwrap();
+        assert_eq!(recovery.entries.len(), 4);
+        // A missing base (fresh map) passes for any count.
+        assert!(recover_sharded(dir.join("fresh"), 3).is_ok());
+    }
+
+    /// Write one shard's records directly and return its `Wal` for more.
+    fn shard_wal(dir: &TempDir, shard: usize) -> Wal {
+        Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap()
+    }
+
+    fn intent(move_id: u64, peer: u64, from: Key, to: Key, value: Value) -> WalRecord {
+        WalRecord {
+            version: 0,
+            op: WalOp::MoveIntent {
+                move_id,
+                peer_shard: peer,
+                from,
+                to,
+                value,
+            },
+        }
+    }
+
+    fn move_insert(version: u64, move_id: u64, key: Key, value: Value) -> WalRecord {
+        WalRecord {
+            version,
+            op: WalOp::MoveInsert {
+                move_id,
+                key,
+                value,
+            },
+        }
+    }
+
+    fn move_delete(version: u64, move_id: u64, key: Key) -> WalRecord {
+        WalRecord {
+            version,
+            op: WalOp::MoveDelete { move_id, key },
+        }
+    }
+
+    fn move_commit(move_id: u64) -> WalRecord {
+        WalRecord {
+            version: u64::MAX, // the live protocol's ordering pin
+            op: WalOp::MoveCommit { move_id },
+        }
+    }
+
+    #[test]
+    fn orphaned_intent_with_durable_insert_rolls_forward() {
+        // Crash landed between the two shard logs: the destination insert
+        // is durable, the source delete is not — the classic duplicate
+        // window. Resolution must complete the move.
+        let dir = TempDir::new("rec-rollfwd");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(insert(1, 10, 77)); // key 10 -> 77 lives on shard 0
+        src.enqueue(intent(900, 1, 10, 20, 77));
+        src.flush().unwrap();
+        let dst = shard_wal(&dir, 1);
+        dst.enqueue(move_insert(1, 900, 20, 77));
+        dst.flush().unwrap();
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(recovery.entries, vec![(20, 77)], "exactly one copy");
+        assert_eq!(recovery.moves_resolved, 1);
+    }
+
+    #[test]
+    fn orphaned_intent_with_superseded_source_rolls_back() {
+        // The source key was concurrently deleted and re-inserted with a
+        // different value before the crash: the live move would have failed
+        // its compare-and-delete and retracted the destination copy.
+        let dir = TempDir::new("rec-rollback");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(insert(1, 10, 77));
+        src.enqueue(intent(901, 1, 10, 20, 77));
+        src.enqueue(delete(2, 10)); // concurrent committed delete...
+        src.enqueue(insert(3, 10, 88)); // ...and re-insert of a new value
+        src.flush().unwrap();
+        let dst = shard_wal(&dir, 1);
+        dst.enqueue(move_insert(1, 901, 20, 77));
+        dst.flush().unwrap();
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(
+            recovery.entries,
+            vec![(10, 88)],
+            "the transient destination copy is retracted, the concurrent \
+             update survives"
+        );
+        assert_eq!(recovery.moves_resolved, 1);
+    }
+
+    #[test]
+    fn orphaned_intent_without_durable_insert_is_a_noop() {
+        // Crash before the destination insert became durable: the move
+        // never happened; the source entry simply stays.
+        let dir = TempDir::new("rec-noopintent");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(insert(1, 10, 77));
+        src.enqueue(intent(902, 1, 10, 20, 77));
+        src.flush().unwrap();
+        shard_wal(&dir, 1); // empty destination log
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(recovery.entries, vec![(10, 77)]);
+        assert_eq!(recovery.moves_resolved, 1, "still neutralized");
+    }
+
+    #[test]
+    fn completed_move_with_torn_commit_marker_is_left_alone() {
+        // Both halves durable, only the commit marker torn away: the state
+        // is already consistent; resolution must not undo the delete.
+        let dir = TempDir::new("rec-complete");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(insert(1, 10, 77));
+        src.enqueue(intent(903, 1, 10, 20, 77));
+        src.enqueue(move_delete(2, 903, 10));
+        src.flush().unwrap();
+        let dst = shard_wal(&dir, 1);
+        dst.enqueue(move_insert(1, 903, 20, 77));
+        dst.flush().unwrap();
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(recovery.entries, vec![(20, 77)]);
+        assert_eq!(recovery.moves_resolved, 1);
+    }
+
+    #[test]
+    fn committed_intents_skip_the_join() {
+        let dir = TempDir::new("rec-committed");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(intent(904, 1, 10, 20, 77));
+        src.enqueue(move_delete(2, 904, 10));
+        src.enqueue(move_commit(904));
+        // Key 10 was later legitimately re-inserted: a naive re-resolution
+        // of the (already committed) intent would wrongly delete it.
+        src.enqueue(insert(3, 10, 99));
+        src.flush().unwrap();
+        let dst = shard_wal(&dir, 1);
+        dst.enqueue(move_insert(1, 904, 20, 77));
+        dst.flush().unwrap();
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(recovery.entries, vec![(10, 99), (20, 77)]);
+        assert_eq!(recovery.moves_resolved, 0);
+        assert_eq!(
+            recovery.last_version, 3,
+            "protocol markers' ordering-pin versions (0 / u64::MAX) must \
+             not leak into last_version"
+        );
+        assert_eq!(recovery.max_move_id, 904);
+    }
+
+    #[test]
+    fn durable_retraction_protects_a_reinserted_destination_value() {
+        // The live move rolled back: its retraction MoveDelete is durable in
+        // the destination log, but the commit marker never made it to the
+        // source log. A client then durably re-inserted the *same value* at
+        // the destination key. The join must honor the stamped retraction
+        // and leave the acknowledged insert alone — judging by value alone
+        // would destroy it.
+        let dir = TempDir::new("rec-retract");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(insert(1, 10, 77));
+        src.enqueue(intent(906, 1, 10, 20, 77));
+        src.enqueue(delete(2, 10)); // the concurrent update that failed the move
+        src.flush().unwrap();
+        let dst = shard_wal(&dir, 1);
+        dst.enqueue(move_insert(1, 906, 20, 77));
+        dst.enqueue(move_delete(2, 906, 20)); // durable rollback retraction
+        dst.enqueue(insert(3, 20, 77)); // acknowledged client re-insert
+        dst.flush().unwrap();
+
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert_eq!(
+            recovery.entries,
+            vec![(20, 77)],
+            "the re-inserted value survives the join"
+        );
+        assert_eq!(recovery.moves_resolved, 1);
+    }
+
+    #[test]
+    fn empty_shard_directories_do_not_brick_the_layout_validation() {
+        // A crash between the shard-directory creations of a very first
+        // open leaves empty dirs; they carry no state and must be treated
+        // as absent rather than rejecting every later open.
+        let dir = TempDir::new("rec-emptyshard");
+        fs::create_dir_all(shard_dir(dir.path(), 0)).unwrap();
+        let recovery = recover_sharded(dir.path(), 2).unwrap();
+        assert!(recovery.entries.is_empty());
+        // A *populated* mismatch still fails loudly.
+        let wal = shard_wal(&dir, 0);
+        wal.enqueue(insert(1, 1, 1));
+        wal.flush().unwrap();
+        drop(wal);
+        assert!(recover_sharded(dir.path(), 2).is_err());
+    }
+
+    #[test]
+    fn resolution_rejects_an_out_of_range_peer_shard() {
+        let dir = TempDir::new("rec-badpeer");
+        let src = shard_wal(&dir, 0);
+        src.enqueue(intent(905, 7, 10, 20, 77)); // peer 7 of 2 shards
+        src.flush().unwrap();
+        shard_wal(&dir, 1);
+        let err = recover_sharded(dir.path(), 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

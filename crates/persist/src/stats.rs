@@ -13,6 +13,8 @@ static BYTES: AtomicU64 = AtomicU64::new(0);
 static BATCHES: AtomicU64 = AtomicU64::new(0);
 static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
 static REPLAYED: AtomicU64 = AtomicU64::new(0);
+static MOVE_INTENTS: AtomicU64 = AtomicU64::new(0);
+static MOVES_RESOLVED: AtomicU64 = AtomicU64::new(0);
 
 /// Immutable view of the process-wide WAL counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -27,6 +29,12 @@ pub struct WalStats {
     pub checkpoints: u64,
     /// Records applied by recovery replays.
     pub replayed: u64,
+    /// Cross-shard move intents durably logged (the two-phase protocol's
+    /// first fsync).
+    pub move_intents: u64,
+    /// Orphaned move intents the cross-log recovery resolution completed or
+    /// rolled back.
+    pub moves_resolved: u64,
 }
 
 impl WalStats {
@@ -39,6 +47,8 @@ impl WalStats {
             batches: self.batches.saturating_sub(earlier.batches),
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             replayed: self.replayed.saturating_sub(earlier.replayed),
+            move_intents: self.move_intents.saturating_sub(earlier.move_intents),
+            moves_resolved: self.moves_resolved.saturating_sub(earlier.moves_resolved),
         }
     }
 }
@@ -51,6 +61,8 @@ pub fn snapshot() -> WalStats {
         batches: BATCHES.load(Ordering::Relaxed),
         checkpoints: CHECKPOINTS.load(Ordering::Relaxed),
         replayed: REPLAYED.load(Ordering::Relaxed),
+        move_intents: MOVE_INTENTS.load(Ordering::Relaxed),
+        moves_resolved: MOVES_RESOLVED.load(Ordering::Relaxed),
     }
 }
 
@@ -61,6 +73,8 @@ pub fn reset() {
     BATCHES.store(0, Ordering::Relaxed);
     CHECKPOINTS.store(0, Ordering::Relaxed);
     REPLAYED.store(0, Ordering::Relaxed);
+    MOVE_INTENTS.store(0, Ordering::Relaxed);
+    MOVES_RESOLVED.store(0, Ordering::Relaxed);
 }
 
 pub(crate) fn note_batch(records: u64, bytes: u64) {
@@ -77,6 +91,14 @@ pub(crate) fn note_replayed(records: u64) {
     REPLAYED.fetch_add(records, Ordering::Relaxed);
 }
 
+pub(crate) fn note_move_intent() {
+    MOVE_INTENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_moves_resolved(moves: u64) {
+    MOVES_RESOLVED.fetch_add(moves, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +111,8 @@ mod tests {
             batches: 2,
             checkpoints: 1,
             replayed: 7,
+            move_intents: 1,
+            moves_resolved: 0,
         };
         let later = WalStats {
             records: 9,
@@ -96,6 +120,8 @@ mod tests {
             batches: 3,
             checkpoints: 1,
             replayed: 4, // e.g. a reset raced the later snapshot
+            move_intents: 3,
+            moves_resolved: 1,
         };
         let delta = later.delta_since(&earlier);
         assert_eq!(delta.records, 4);
@@ -103,5 +129,7 @@ mod tests {
         assert_eq!(delta.batches, 1);
         assert_eq!(delta.checkpoints, 0);
         assert_eq!(delta.replayed, 0, "saturates instead of underflowing");
+        assert_eq!(delta.move_intents, 2);
+        assert_eq!(delta.moves_resolved, 1);
     }
 }

@@ -38,7 +38,14 @@
 //! Setting `SF_WAL=1` applies the wrapper to every requested structure
 //! without renaming (`seq` is exempt rather than an error under the blanket
 //! switch). Sharded variants get **one log per shard** (`shard-<i>`
-//! subdirectories).
+//! subdirectories); a cross-shard `move_entry` is made crash-atomic by the
+//! two-phase move-intent protocol the durable shards interpose on the
+//! sharded map's move hooks — recovery joins the shard logs and completes
+//! or rolls back an interrupted move, so a crash never surfaces a
+//! duplicated or vanished entry (see `sf_persist` and the durability
+//! contract in `EXPERIMENTS.md`). Reopening a sharded log directory with a
+//! different shard count fails loudly instead of silently recovering a
+//! subset.
 //!
 //! | variable | meaning | default |
 //! |---|---|---|

@@ -14,9 +14,10 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use sf_persist::record::{read_frame, scan_segment, WalOp};
 use sf_persist::{
-    checkpoint_sharded, recover, recover_sharded, sharded_optimized, DurableHandle, DurableMap,
-    TempDir, WalOptions,
+    checkpoint_sharded, recover, recover_sharded, shard_dir, sharded_optimized, DurableHandle,
+    DurableMap, TempDir, WalOptions,
 };
 use sf_stm::{Stm, StmConfig};
 use sf_tree::maintenance::MaintenanceHandle;
@@ -185,6 +186,12 @@ proptest! {
                 i,
                 op
             );
+            // The cross-log move resolution is read-only on committed
+            // histories and idempotent: a second recovery sees the same
+            // state (completed moves carry their commit markers, so the
+            // join never re-judges them).
+            let again = recover_sharded(dir.path(), 2).expect("recover sharded again");
+            prop_assert_eq!(&again.entries, &recovered.entries);
         }
     }
 }
@@ -482,4 +489,402 @@ fn reopen_resumes_versions_and_contents_across_restarts() {
     assert_eq!(after.entries, vec![(9, 90)]);
     assert!(after.last_version > v1);
     maintenance.stop();
+}
+
+/// A committed cross-shard move fixture: two shard logs captured right
+/// after `insert(anchors); insert(a, 7777); move_entry(a, b)` on a fresh
+/// 2-shard durable map, with `a` and `b` on different shards.
+struct CrossMoveFixture {
+    src_shard: usize,
+    dst_shard: usize,
+    a: u64,
+    b: u64,
+    anchor_src: u64,
+    anchor_dst: u64,
+    src_bytes: Vec<u8>,
+    dst_bytes: Vec<u8>,
+}
+
+const MOVED_VALUE: u64 = 7777;
+const ANCHOR_VALUE: u64 = 4242;
+
+fn cross_move_fixture() -> CrossMoveFixture {
+    let dir = TempDir::new("dur-xmove-fixture");
+    let (map, _) = sharded_optimized(2, StmConfig::ctl(), dir.path(), WalOptions::default())
+        .expect("open sharded WAL");
+    let mut handle = map.register_sharded();
+    let a = 1u64;
+    let b = (2..1000u64)
+        .find(|&k| map.shard_of(k) != map.shard_of(a))
+        .expect("some key lands on the other shard");
+    let anchor_src = (b + 1..2000u64)
+        .find(|&k| map.shard_of(k) == map.shard_of(a))
+        .unwrap();
+    let anchor_dst = (b + 1..2000u64)
+        .find(|&k| map.shard_of(k) == map.shard_of(b))
+        .unwrap();
+    // Anchors first, so every interesting cut point keeps them.
+    assert!(map.insert(&mut handle, anchor_src, ANCHOR_VALUE));
+    assert!(map.insert(&mut handle, anchor_dst, ANCHOR_VALUE));
+    assert!(map.insert(&mut handle, a, MOVED_VALUE));
+    assert!(map.move_entry(&mut handle, a, b));
+    let (src_shard, dst_shard) = (map.shard_of(a), map.shard_of(b));
+    drop(handle);
+    drop(map);
+    let read_segment = |shard: usize| {
+        std::fs::read(shard_dir(dir.path(), shard).join("segment-00000001.wal"))
+            .expect("read shard segment")
+    };
+    CrossMoveFixture {
+        src_shard,
+        dst_shard,
+        a,
+        b,
+        anchor_src,
+        anchor_dst,
+        src_bytes: read_segment(src_shard),
+        dst_bytes: read_segment(dst_shard),
+    }
+}
+
+/// Frame-boundary offsets of a segment (0, end-of-frame-1, ...).
+fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut boundaries = vec![0usize];
+    let mut offset = 0;
+    while let Some((_, next)) = read_frame(bytes, offset) {
+        boundaries.push(next);
+        offset = next;
+    }
+    boundaries
+}
+
+/// Write a fabricated two-shard log state and recover it.
+fn recover_fabricated(
+    fixture: &CrossMoveFixture,
+    src_cut: &[u8],
+    dst_cut: &[u8],
+) -> std::io::Result<sf_persist::Recovery> {
+    let crash = TempDir::new("dur-xmove-crash");
+    for (shard, bytes) in [(fixture.src_shard, src_cut), (fixture.dst_shard, dst_cut)] {
+        let dir = shard_dir(crash.path(), shard);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("segment-00000001.wal"), bytes).unwrap();
+    }
+    recover_sharded(crash.path(), 2)
+}
+
+/// Crash at any pair of points in the two shard logs: for every
+/// *crash-consistent* combination of a source-log cut and a destination-log
+/// cut (the protocol fsyncs intent → destination insert → source delete, so
+/// a real crash can never keep a later record while losing an earlier one
+/// across the logs), the recovered state must hold the moved value at
+/// **exactly one** of the two keys — never duplicated, never vanished —
+/// and must keep every unrelated committed entry whose record survived.
+#[test]
+fn cross_shard_move_crash_cuts_recover_exactly_one_copy() {
+    let fixture = cross_move_fixture();
+    let src_frames = frame_boundaries(&fixture.src_bytes);
+    let dst_frames = frame_boundaries(&fixture.dst_bytes);
+
+    // Survival probes for the protocol records of one cut.
+    let survived = |bytes: &[u8]| {
+        let scan = scan_segment(bytes);
+        let mut intent = false;
+        let mut insert_half = false;
+        let mut delete_half = false;
+        for r in &scan.records {
+            match r.op {
+                WalOp::MoveIntent { .. } => intent = true,
+                WalOp::MoveInsert { .. } => insert_half = true,
+                WalOp::MoveDelete { .. } => delete_half = true,
+                _ => {}
+            }
+        }
+        (intent, insert_half, delete_half)
+    };
+
+    // Byte-granular cuts on the source log (torn tails land mid-frame too)
+    // against frame-boundary cuts of the destination log, and vice versa.
+    let mut cases = 0u32;
+    let mut duplicate_window_hit = 0u32;
+    let mut check = |src_cut: usize, dst_cut: usize| {
+        let src = &fixture.src_bytes[..src_cut];
+        let dst = &fixture.dst_bytes[..dst_cut];
+        let (src_intent, _, src_delete) = survived(src);
+        let (_, dst_insert, _) = survived(dst);
+        // Crash consistency: the fsync ordering makes these implications
+        // physical law; other combinations cannot come out of a crash.
+        if (dst_insert && !src_intent) || (src_delete && !dst_insert) {
+            return;
+        }
+        cases += 1;
+        if dst_insert && !src_delete {
+            duplicate_window_hit += 1;
+        }
+        let recovery = recover_fabricated(&fixture, src, dst)
+            .unwrap_or_else(|e| panic!("recovery failed at cut ({src_cut},{dst_cut}): {e}"));
+        let entries: BTreeMap<u64, u64> = recovery.entries.iter().copied().collect();
+        let at_a = entries.get(&fixture.a) == Some(&MOVED_VALUE);
+        let at_b = entries.get(&fixture.b) == Some(&MOVED_VALUE);
+        // A cut so early that even the original `insert(a)` record is gone
+        // simulates a crash before that insert was acknowledged: the value
+        // then legitimately exists nowhere. From the moment the insert is
+        // durable, the move protocol owes us exactly one copy.
+        let insert_a_durable = scan_segment(src)
+            .records
+            .iter()
+            .any(|r| matches!(r.op, WalOp::Insert { key, .. } if key == fixture.a));
+        if insert_a_durable || dst_insert {
+            assert!(
+                at_a ^ at_b,
+                "cut ({src_cut},{dst_cut}): moved value at {} of its keys",
+                if at_a && at_b { "both" } else { "neither" },
+            );
+        } else {
+            assert!(!at_a && !at_b, "cut ({src_cut},{dst_cut}): ghost value");
+        }
+        // Unrelated committed entries survive cuts that kept their records.
+        if scan_segment(src)
+            .records
+            .iter()
+            .any(|r| matches!(r.op, WalOp::Insert { key, .. } if key == fixture.anchor_src))
+        {
+            assert_eq!(entries.get(&fixture.anchor_src), Some(&ANCHOR_VALUE));
+        }
+        if scan_segment(dst)
+            .records
+            .iter()
+            .any(|r| matches!(r.op, WalOp::Insert { key, .. } if key == fixture.anchor_dst))
+        {
+            assert_eq!(entries.get(&fixture.anchor_dst), Some(&ANCHOR_VALUE));
+        }
+    };
+    for src_cut in 0..=fixture.src_bytes.len() {
+        for &dst_cut in &dst_frames {
+            check(src_cut, dst_cut);
+        }
+    }
+    for &src_cut in &src_frames {
+        for dst_cut in 0..=fixture.dst_bytes.len() {
+            check(src_cut, dst_cut);
+        }
+    }
+    assert!(cases > 0, "the sweep must exercise real cut pairs");
+    assert!(
+        duplicate_window_hit > 0,
+        "the sweep must hit the insert-durable/delete-lost window the \
+         intent protocol exists for"
+    );
+}
+
+/// Media corruption (bit flips) anywhere in either log — including inside
+/// the `MoveIntent` / `MoveCommit` frames — must never make sharded
+/// recovery panic or error: the checksum stops the scan at the corrupted
+/// frame and the resolution join copes with whatever prefix survives.
+#[test]
+fn cross_shard_move_bit_flips_recover_cleanly() {
+    let fixture = cross_move_fixture();
+    for offset in 0..fixture.src_bytes.len() {
+        let mut mutated = fixture.src_bytes.clone();
+        mutated[offset] ^= 0x10;
+        let recovery = recover_fabricated(&fixture, &mutated, &fixture.dst_bytes)
+            .unwrap_or_else(|e| panic!("src flip at {offset}: {e}"));
+        // The per-log prefix contract still bounds the result.
+        assert!(recovery.entries.len() <= 4);
+    }
+    for offset in 0..fixture.dst_bytes.len() {
+        let mut mutated = fixture.dst_bytes.clone();
+        mutated[offset] ^= 0x10;
+        recover_fabricated(&fixture, &fixture.src_bytes, &mutated)
+            .unwrap_or_else(|e| panic!("dst flip at {offset}: {e}"));
+    }
+}
+
+/// Reopening a sharded durable map after a crash mid-cross-shard-move must
+/// *durably* neutralize the orphaned intent: the resolution's records are
+/// appended to the logs before new mutations, so a later crash — after the
+/// moved keys have been legitimately rewritten — replays to the resolved
+/// state instead of re-judging the stale intent against a log that moved on
+/// (which would destroy the completed move's destination entry).
+#[test]
+fn reopen_durably_neutralizes_an_interrupted_cross_shard_move() {
+    let fixture = cross_move_fixture();
+    let base = TempDir::new("dur-xmove-reopen");
+    // Fabricate the duplicate window on disk: the source log ends right
+    // after the intent (its delete half and commit marker never became
+    // durable), the destination log holds the stamped insert.
+    let src_frames = frame_boundaries(&fixture.src_bytes);
+    // Source frames: anchor insert, insert(a), intent, delete half, commit.
+    let cut_after_intent = src_frames[3];
+    {
+        let scan = scan_segment(&fixture.src_bytes[..cut_after_intent]);
+        assert!(
+            matches!(scan.records.last().unwrap().op, WalOp::MoveIntent { .. }),
+            "fixture layout: the third frame is the move intent"
+        );
+    }
+    for (shard, bytes) in [
+        (fixture.src_shard, &fixture.src_bytes[..cut_after_intent]),
+        (fixture.dst_shard, &fixture.dst_bytes[..]),
+    ] {
+        let dir = shard_dir(base.path(), shard);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("segment-00000001.wal"), bytes).unwrap();
+    }
+
+    // Incarnation 2: the reopen resolves the orphan (rolling the move
+    // forward — the source still held the value) and appends the fix.
+    {
+        let (map, resumed) =
+            sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+                .expect("reopen sharded");
+        assert_eq!(resumed.moves_resolved, 1);
+        let recovered: BTreeMap<u64, u64> = resumed.entries.iter().copied().collect();
+        assert_eq!(recovered.get(&fixture.b), Some(&MOVED_VALUE));
+        assert!(!recovered.contains_key(&fixture.a), "rolled forward");
+        // New committed work touches the very key the stale intent names.
+        let mut handle = map.register_sharded();
+        assert!(map.insert(&mut handle, fixture.a, 8888));
+    } // drop = clean shutdown; every record is already fsynced anyway
+
+    // Second crash. Without durable neutralization the stale intent would
+    // now judge `a != 7777` as "roll back" and delete the completed move's
+    // destination copy.
+    let after = recover_sharded(base.path(), 2).expect("recover after second crash");
+    assert_eq!(after.moves_resolved, 0, "the intent is committed on disk");
+    let entries: BTreeMap<u64, u64> = after.entries.iter().copied().collect();
+    assert_eq!(entries.get(&fixture.a), Some(&8888));
+    assert_eq!(entries.get(&fixture.b), Some(&MOVED_VALUE));
+}
+
+/// A rolled-back move whose retraction is durable but whose commit marker
+/// is not — with the destination key since re-occupied by an acknowledged
+/// client insert of the *same value*. The reopen's join must honor the
+/// stamped retraction (not re-judge by value), and its own commit marker
+/// must be crash-safe: losing the marker to a second crash just makes the
+/// next join short-circuit on the durable retraction again.
+#[test]
+fn reopen_honors_a_durable_rollback_retraction() {
+    use sf_persist::{Wal, WalOp, WalRecord};
+    use sf_tree::ShardedMap;
+
+    // Shard routing is a pure function of the key and shard count; a
+    // throwaway in-memory map computes it.
+    let probe = ShardedMap::optimized(2, StmConfig::ctl());
+    let a = 1u64;
+    let b = (2..1000u64)
+        .find(|&k| probe.shard_of(k) != probe.shard_of(a))
+        .unwrap();
+    let (s, d) = (probe.shard_of(a), probe.shard_of(b));
+    drop(probe);
+
+    let base = TempDir::new("dur-xmove-retract");
+    let record = |version, op| WalRecord { version, op };
+    {
+        let src = Wal::open(shard_dir(base.path(), s), 1, 8).unwrap();
+        src.enqueue(record(1, WalOp::Insert { key: a, value: 77 }));
+        src.enqueue(record(
+            0,
+            WalOp::MoveIntent {
+                move_id: 999,
+                peer_shard: d as u64,
+                from: a,
+                to: b,
+                value: 77,
+            },
+        ));
+        // The concurrent committed delete that failed the live move.
+        src.enqueue(record(2, WalOp::Delete { key: a }));
+        src.flush().unwrap();
+        let dst = Wal::open(shard_dir(base.path(), d), 1, 8).unwrap();
+        dst.enqueue(record(
+            1,
+            WalOp::MoveInsert {
+                move_id: 999,
+                key: b,
+                value: 77,
+            },
+        ));
+        // The live rollback's retraction, durable before the crash...
+        dst.enqueue(record(
+            2,
+            WalOp::MoveDelete {
+                move_id: 999,
+                key: b,
+            },
+        ));
+        // ...and an acknowledged client re-insert of the same value.
+        dst.enqueue(record(3, WalOp::Insert { key: b, value: 77 }));
+        dst.flush().unwrap();
+    }
+
+    let expected = vec![(b, 77)];
+    {
+        let (_map, resumed) =
+            sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+                .expect("reopen sharded");
+        assert_eq!(resumed.moves_resolved, 1);
+        assert_eq!(resumed.entries, expected, "the client insert survives");
+    }
+
+    // Second crash that additionally loses the reopen's commit marker (the
+    // source shard's fresh segment holds nothing else): the join re-runs
+    // and must short-circuit on the durable retraction, converging to the
+    // same state.
+    let marker_segment = shard_dir(base.path(), s).join("segment-00000002.wal");
+    assert!(marker_segment.exists());
+    std::fs::remove_file(&marker_segment).unwrap();
+    let again = recover_sharded(base.path(), 2).expect("recover after marker loss");
+    assert_eq!(again.entries, expected);
+    assert_eq!(again.moves_resolved, 1, "re-resolved, not re-judged");
+}
+
+/// A crash during the very first sharded open — after the layout marker
+/// and some (but not all) shard directories exist — must not brick the
+/// directory: the marker declares the layout, so the matching count
+/// reopens (missing shards recover empty) while a mismatched count still
+/// fails loudly.
+#[test]
+fn crashed_first_open_does_not_brick_the_directory() {
+    let base = TempDir::new("dur-first-crash");
+    {
+        let _ = sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+            .expect("first open");
+    }
+    // Simulate the crash having hit before shard 1 was created (its empty
+    // segment file and directory never made it to disk).
+    std::fs::remove_dir_all(shard_dir(base.path(), 1)).unwrap();
+    let (_map, resumed) =
+        sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+            .expect("the declared layout reopens");
+    assert!(resumed.entries.is_empty());
+    assert!(
+        sharded_optimized(4, StmConfig::ctl(), base.path(), WalOptions::default()).is_err(),
+        "the marker keeps count mismatches loud"
+    );
+}
+
+/// The shard-count validation at the composition level: a 2-shard base
+/// refuses to open (or recover) as anything but 2 shards.
+#[test]
+fn sharded_open_rejects_a_mismatched_shard_count() {
+    let base = TempDir::new("dur-shardcount");
+    {
+        let (map, _) = sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+            .expect("open sharded WAL");
+        let mut handle = map.register_sharded();
+        for key in 0..32u64 {
+            map.insert(&mut handle, key, key);
+        }
+    }
+    let err = recover_sharded(base.path(), 1).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(
+        sharded_optimized(3, StmConfig::ctl(), base.path(), WalOptions::default()).is_err(),
+        "reopening with a different shard count must fail loudly"
+    );
+    let (map, resumed) = sharded_optimized(2, StmConfig::ctl(), base.path(), WalOptions::default())
+        .expect("matching count reopens");
+    assert_eq!(resumed.entries.len(), 32);
+    drop(map);
 }
