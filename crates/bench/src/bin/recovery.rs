@@ -81,6 +81,7 @@ fn replay_sweep() {
         let options = WalOptions {
             group: 0,
             auto_checkpoint: 0,
+            ..WalOptions::default()
         };
         let (map, _) = DurableMap::open(tree, &stm, dir.path(), options).expect("open WAL");
         let mut handle = map.register(stm.register());
@@ -204,6 +205,7 @@ fn mover_child() {
     let options = WalOptions {
         group: 64,
         auto_checkpoint: 50,
+        ..WalOptions::default()
     };
     match backend.as_str() {
         "sftree" => {

@@ -28,11 +28,19 @@
 //! | `SF_WAL_DIR` | base directory for write-ahead logs | `$TMPDIR/sf-wal-<pid>` |
 //! | `SF_WAL_GROUP` | records per group-commit fsync batch (`0` = buffered) | `128` |
 //! | `SF_WAL_CKPT` | records between automatic checkpoints (`0` = manual) | `0` |
+//! | `SF_WAL_WRITER` | `thread` (dedicated writer) or `leader` (fallback) | `thread` |
+//! | `SF_WAL_WINDOW_US` | writer-thread batching window (µs) | `100` |
+//! | `SF_WAL_RING` | submission-ring capacity (records) | `1024` |
+//! | `SF_WAL_CKPT_MS` | time-based checkpoint trigger (ms, `0` = off) | off |
 //!
 //! Every harness's JSON line carries the WAL counters of its measured phase
-//! (`wal_records`, `wal_bytes`, `wal_batches`, `wal_checkpoints`,
-//! `wal_replayed` — all zero for non-durable backends), and the dedicated
-//! `recovery` binary measures replay throughput against log length.
+//! (`wal_records`, `wal_bytes`, `wal_batches`, `wal_writer_batches`,
+//! `wal_max_ring_depth`, `wal_checkpoints`, `wal_replayed` — all zero for
+//! non-durable backends) plus the STM's `combined_commits`, and the
+//! dedicated `recovery` binary measures replay throughput against log
+//! length. The `baseline` binary sweeps the fig3/fig5b/fig7 shapes over the
+//! flagship backends and writes the checked-in `BENCH_baseline.json`
+//! trajectory file (see EXPERIMENTS.md, "Perf trajectory").
 
 #![warn(missing_docs)]
 
@@ -179,11 +187,12 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"total_ops\":{},\"elapsed_us\":{},\"throughput_ops_per_us\":{:.6},",
             "\"effective_updates\":{},\"attempted_updates\":{},\"effective_moves\":{},",
             "\"successful_lookups\":{},\"scans\":{},\"scanned_entries\":{},",
-            "\"commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
+            "\"commits\":{},\"combined_commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
             "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
             "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
             "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{},",
             "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
+            "\"wal_writer_batches\":{},\"wal_max_ring_depth\":{},",
             "\"wal_checkpoints\":{},\"wal_replayed\":{},",
             "\"wal_move_intents\":{},\"wal_moves_resolved\":{}"
         ),
@@ -201,6 +210,7 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.scans,
         result.scanned_entries,
         result.stm.commits,
+        result.stm.combined_commits,
         result.stm.aborts,
         result.abort_ratio(),
         result.stm.tx_reads,
@@ -216,6 +226,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.wal.records,
         result.wal.bytes,
         result.wal.batches,
+        result.wal.writer_batches,
+        result.wal.max_ring_depth,
         result.wal.checkpoints,
         result.wal.replayed,
         result.wal.move_intents,
@@ -306,7 +318,10 @@ mod tests {
         assert!(line.contains("\"seed\":42"), "smoke-test seed: {line}");
         assert!(line.contains("\"scans\":"));
         assert!(line.contains("\"scan_commits\":"));
+        assert!(line.contains("\"combined_commits\":"));
         assert!(line.contains("\"wal_records\":"));
+        assert!(line.contains("\"wal_writer_batches\":"));
+        assert!(line.contains("\"wal_max_ring_depth\":"));
         assert!(line.contains("\"wal_checkpoints\":"));
         assert!(line.contains("\"wal_move_intents\":"));
         assert!(line.contains("\"wal_moves_resolved\":"));

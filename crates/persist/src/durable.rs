@@ -48,11 +48,23 @@
 //! joins the logs by move id and deterministically completes or rolls back
 //! an interrupted move ([`crate::recovery`]). While a move is in flight,
 //! both shards' checkpoint locks are held so a checkpoint can never
-//! truncate an unresolved intent or half out of a log — a consequence is
-//! that *automatic* checkpoints never fire from inside the move protocol
-//! itself, so a purely move-driven durable workload should checkpoint
-//! explicitly (any mix of inserts/deletes triggers the threshold as
-//! usual).
+//! truncate an unresolved intent or half out of a log. Automatic
+//! checkpoints therefore cannot fire from *inside* the move protocol — but
+//! they are not lost: in writer-thread mode the trigger stays **deferred**
+//! in the log's writer thread, which retries with a `try_lock` on every
+//! wakeup and checkpoints the moment the move scope releases the lock, so
+//! even a purely move-driven durable workload checkpoints automatically.
+//!
+//! ## Checkpoint triggers
+//!
+//! With `SF_WAL_WRITER=thread` (the default), the auto-checkpoint triggers
+//! — a size threshold ([`WalOptions::auto_checkpoint`], `SF_WAL_CKPT`) and
+//! a time interval ([`WalOptions::checkpoint_interval`], `SF_WAL_CKPT_MS`)
+//! — are evaluated by the log's writer thread between flush batches, via a
+//! hook installed at open. Mutators never run a checkpoint inline; the
+//! whole snapshot + install happens off the hot path. Under the leader
+//! fallback (and in buffered mode) the pre-writer behavior remains: the
+//! size trigger is checked inline after each durable mutation.
 
 use std::io;
 use std::ops::RangeInclusive;
@@ -68,7 +80,7 @@ use sf_tree::{
     SpecFriendlyTree, TxMap, TxMapVersioned, Value,
 };
 
-use crate::log::{Wal, WalOptions};
+use crate::log::{Wal, WalOptions, WriterMode};
 use crate::record::{WalOp, WalRecord};
 use crate::recovery::{recover, recover_sharded_parts, shard_dir, Recovery};
 use crate::stats;
@@ -106,9 +118,25 @@ pub struct DurableMap<M: TxMap> {
     inner: Arc<M>,
     wal: Arc<Wal>,
     options: WalOptions,
-    /// Serializes checkpoints (explicit and automatic).
-    checkpoint_lock: Mutex<()>,
+    /// Serializes checkpoints (explicit, inline automatic, and the writer
+    /// thread's trigger hook — which `try_lock`s it, so a held lock defers
+    /// rather than blocks the writer). Shared with the hook, hence `Arc`.
+    checkpoint_lock: Arc<Mutex<()>>,
     label: &'static str,
+}
+
+/// One-time loud warning that buffered mode (`group == 0`) forfeits the
+/// durability contract in a context that visibly relies on it (crash drills,
+/// the cross-shard move protocol's fsync ordering).
+fn warn_buffered_once(context: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "sf-persist: WARNING: WAL group=0 (buffered mode) provides NO per-operation \
+             durability, but {context}; a crash loses the buffered tail. \
+             Set SF_WAL_GROUP>0 if this run is meant to test durability."
+        );
+    });
 }
 
 impl<M: TxMapVersioned + 'static> DurableMap<M> {
@@ -148,7 +176,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         resolution: Vec<WalRecord>,
     ) -> io::Result<DurableMap<M>> {
         crate::recovery::repair_torn_tail(&dir, recovery)?;
-        let wal = Wal::open(dir, recovery.last_segment + 1, options.group)?;
+        let wal = Wal::open(dir, recovery.last_segment + 1, options)?;
         if !resolution.is_empty() {
             for record in resolution {
                 wal.enqueue(record);
@@ -170,11 +198,54 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         }
         stm.clock().advance_to(recovery.last_version);
         let label = intern_label(format!("{}+wal", inner.name()));
+        let checkpoint_lock = Arc::new(Mutex::new(()));
+        if options.group == 0 && std::env::var_os("SF_RECOVERY_SMOKE").is_some() {
+            warn_buffered_once("SF_RECOVERY_SMOKE is set (a crash drill is running)");
+        }
+        let triggers_in_writer = options.group > 0
+            && options.writer == WriterMode::Thread
+            && (options.auto_checkpoint > 0 || options.checkpoint_interval.is_some());
+        if triggers_in_writer {
+            // The writer thread evaluates the size/time triggers and calls
+            // this hook between batches. The hook owns its own backend
+            // handle and shares only the checkpoint lock with the map — it
+            // must NOT capture the Wal (the writer thread holding an
+            // `Arc<Wal>` would keep its own shutdown from ever running).
+            let hook_inner = Arc::clone(&inner);
+            let mut hook_handle = hook_inner.register(stm.register());
+            let hook_lock = Arc::clone(&checkpoint_lock);
+            wal.set_checkpoint_hook(Box::new(move |shared| {
+                let guard = match hook_lock.try_lock() {
+                    Ok(guard) => guard,
+                    Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
+                    // Held by a move scope or an explicit checkpoint:
+                    // stay deferred, the writer retries on its next wakeup.
+                    Err(std::sync::TryLockError::WouldBlock) => return false,
+                };
+                // rotate() drains inline on the writer thread; the snapshot
+                // is a read-only STM transaction (no log records, no
+                // sync_to), so the hook can never wait on the writer itself.
+                let result: io::Result<()> = (|| {
+                    let sealed = shared.rotate()?;
+                    let (entries, version) = hook_inner.snapshot_versioned(&mut hook_handle);
+                    shared.install_checkpoint(version, &entries, sealed)?;
+                    Ok(())
+                })();
+                drop(guard);
+                if let Err(error) = result {
+                    // Never panic here — a dead writer thread would hang
+                    // every parked sync_to waiter. The log itself still
+                    // holds the records; only truncation is lost.
+                    eprintln!("sf-persist: trigger-driven checkpoint failed: {error}");
+                }
+                true
+            }));
+        }
         Ok(DurableMap {
             inner,
             wal: Arc::new(wal),
             options,
-            checkpoint_lock: Mutex::new(()),
+            checkpoint_lock,
             label,
         })
     }
@@ -263,16 +334,21 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         changed
     }
 
-    /// After a logged mutation: wait for its record's durability, then
-    /// trigger an automatic checkpoint when the threshold is crossed (and
-    /// no other thread is already checkpointing).
+    /// After a logged mutation: wait for its record's durability. Under the
+    /// leader fallback (and buffered mode) this also runs the inline
+    /// size-triggered automatic checkpoint; in writer-thread mode the
+    /// triggers live in the writer thread instead, so the mutator returns
+    /// the moment its record is durable.
     fn finish_mutation(&self, handle: &mut DurableHandle<M>) {
         let seq = handle.ticket.swap(0, Ordering::Relaxed);
         if seq == 0 {
             return;
         }
         self.wal.sync_to(seq);
-        if self.options.auto_checkpoint > 0
+        let triggers_in_writer =
+            self.options.group > 0 && self.options.writer == WriterMode::Thread;
+        if !triggers_in_writer
+            && self.options.auto_checkpoint > 0
             && self.wal.records_since_checkpoint() >= self.options.auto_checkpoint
         {
             if let Ok(_guard) = self.checkpoint_lock.try_lock() {
@@ -372,6 +448,11 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
         value: Value,
         body: &mut dyn FnMut() -> bool,
     ) -> bool {
+        if self.options.group == 0 {
+            warn_buffered_once(
+                "a cross-shard move is running, whose crash atomicity relies on fsync ordering",
+            );
+        }
         let _guard = self
             .checkpoint_lock
             .lock()

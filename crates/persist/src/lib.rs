@@ -60,7 +60,7 @@ pub use durable::{
     checkpoint_sharded, sharded_optimized, sharded_portable, sharded_with, CheckpointReport,
     DurableHandle, DurableMap,
 };
-pub use log::{Wal, WalOptions};
+pub use log::{Wal, WalOptions, WalShared, WriterMode};
 pub use record::{WalOp, WalRecord};
 pub use recovery::{recover, recover_sharded, shard_dir, MoveIntentInfo, Recovery};
 pub use stats::WalStats;

@@ -604,7 +604,7 @@ pub fn shard_dir(base: &Path, shard: usize) -> std::path::PathBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::log::{segment_path, Wal};
+    use crate::log::{segment_path, Wal, WalOptions};
     use crate::tempdir::TempDir;
 
     fn insert(version: u64, key: Key, value: Value) -> WalRecord {
@@ -633,7 +633,15 @@ mod tests {
     #[test]
     fn log_only_recovery_replays_in_version_order() {
         let dir = TempDir::new("rec-log");
-        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        let wal = Wal::open(
+            dir.path(),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         // Enqueue out of order: replay must still apply 1, 2, 3.
         wal.enqueue(insert(2, 7, 70));
         wal.enqueue(insert(1, 7, 7));
@@ -650,7 +658,15 @@ mod tests {
     #[test]
     fn checkpoint_filters_older_records() {
         let dir = TempDir::new("rec-ckpt");
-        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        let wal = Wal::open(
+            dir.path(),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         wal.enqueue(insert(1, 1, 10));
         wal.enqueue(insert(2, 2, 20));
         wal.flush().unwrap();
@@ -671,7 +687,15 @@ mod tests {
     #[test]
     fn torn_tail_discards_later_segments_too() {
         let dir = TempDir::new("rec-torn");
-        let wal = Wal::open(dir.path(), 1, 8).unwrap();
+        let wal = Wal::open(
+            dir.path(),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         wal.enqueue(insert(1, 1, 10));
         wal.enqueue(insert(2, 2, 20));
         wal.flush().unwrap();
@@ -701,7 +725,15 @@ mod tests {
     fn sharded_recovery_merges_disjoint_shards() {
         let dir = TempDir::new("rec-sharded");
         for shard in 0..2usize {
-            let wal = Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap();
+            let wal = Wal::open(
+                shard_dir(dir.path(), shard),
+                1,
+                WalOptions {
+                    group: 8,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap();
             wal.enqueue(insert(shard as u64 + 1, shard as u64 * 100, 1));
             wal.flush().unwrap();
         }
@@ -714,7 +746,15 @@ mod tests {
     fn sharded_recovery_rejects_a_mismatched_shard_count() {
         let dir = TempDir::new("rec-shardcount");
         for shard in 0..4usize {
-            let wal = Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap();
+            let wal = Wal::open(
+                shard_dir(dir.path(), shard),
+                1,
+                WalOptions {
+                    group: 8,
+                    ..WalOptions::default()
+                },
+            )
+            .unwrap();
             wal.enqueue(insert(1, shard as u64, 1));
             wal.flush().unwrap();
         }
@@ -733,7 +773,15 @@ mod tests {
 
     /// Write one shard's records directly and return its `Wal` for more.
     fn shard_wal(dir: &TempDir, shard: usize) -> Wal {
-        Wal::open(shard_dir(dir.path(), shard), 1, 8).unwrap()
+        Wal::open(
+            shard_dir(dir.path(), shard),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap()
     }
 
     fn intent(move_id: u64, peer: u64, from: Key, to: Key, value: Value) -> WalRecord {

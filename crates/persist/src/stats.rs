@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 static RECORDS: AtomicU64 = AtomicU64::new(0);
 static BYTES: AtomicU64 = AtomicU64::new(0);
 static BATCHES: AtomicU64 = AtomicU64::new(0);
+static WRITER_BATCHES: AtomicU64 = AtomicU64::new(0);
+static MAX_RING_DEPTH: AtomicU64 = AtomicU64::new(0);
 static CHECKPOINTS: AtomicU64 = AtomicU64::new(0);
 static REPLAYED: AtomicU64 = AtomicU64::new(0);
 static MOVE_INTENTS: AtomicU64 = AtomicU64::new(0);
@@ -23,8 +25,17 @@ pub struct WalStats {
     pub records: u64,
     /// Bytes written to any log segment (frames, excluding checkpoints).
     pub bytes: u64,
-    /// Group-commit flush batches (one write syscall + optional sync each).
+    /// Group-commit flush batches (one write syscall + optional sync each),
+    /// regardless of who flushed them.
     pub batches: u64,
+    /// The subset of `batches` flushed by a dedicated writer thread (the
+    /// `SF_WAL_WRITER=thread` path). Zero under the leader fallback and in
+    /// buffered mode.
+    pub writer_batches: u64,
+    /// High-water mark of the submission ring's depth (records queued behind
+    /// the writer at an enqueue). A gauge, not a counter: `delta_since`
+    /// keeps the later snapshot's value.
+    pub max_ring_depth: u64,
     /// Completed checkpoints.
     pub checkpoints: u64,
     /// Records applied by recovery replays.
@@ -39,12 +50,15 @@ pub struct WalStats {
 
 impl WalStats {
     /// Counter-wise difference against an earlier snapshot (saturating, so a
-    /// concurrent [`reset`] cannot underflow).
+    /// concurrent [`reset`] cannot underflow). `max_ring_depth` is a gauge
+    /// and keeps the later snapshot's high-water mark.
     pub fn delta_since(&self, earlier: &WalStats) -> WalStats {
         WalStats {
             records: self.records.saturating_sub(earlier.records),
             bytes: self.bytes.saturating_sub(earlier.bytes),
             batches: self.batches.saturating_sub(earlier.batches),
+            writer_batches: self.writer_batches.saturating_sub(earlier.writer_batches),
+            max_ring_depth: self.max_ring_depth,
             checkpoints: self.checkpoints.saturating_sub(earlier.checkpoints),
             replayed: self.replayed.saturating_sub(earlier.replayed),
             move_intents: self.move_intents.saturating_sub(earlier.move_intents),
@@ -59,6 +73,8 @@ pub fn snapshot() -> WalStats {
         records: RECORDS.load(Ordering::Relaxed),
         bytes: BYTES.load(Ordering::Relaxed),
         batches: BATCHES.load(Ordering::Relaxed),
+        writer_batches: WRITER_BATCHES.load(Ordering::Relaxed),
+        max_ring_depth: MAX_RING_DEPTH.load(Ordering::Relaxed),
         checkpoints: CHECKPOINTS.load(Ordering::Relaxed),
         replayed: REPLAYED.load(Ordering::Relaxed),
         move_intents: MOVE_INTENTS.load(Ordering::Relaxed),
@@ -71,16 +87,25 @@ pub fn reset() {
     RECORDS.store(0, Ordering::Relaxed);
     BYTES.store(0, Ordering::Relaxed);
     BATCHES.store(0, Ordering::Relaxed);
+    WRITER_BATCHES.store(0, Ordering::Relaxed);
+    MAX_RING_DEPTH.store(0, Ordering::Relaxed);
     CHECKPOINTS.store(0, Ordering::Relaxed);
     REPLAYED.store(0, Ordering::Relaxed);
     MOVE_INTENTS.store(0, Ordering::Relaxed);
     MOVES_RESOLVED.store(0, Ordering::Relaxed);
 }
 
-pub(crate) fn note_batch(records: u64, bytes: u64) {
+pub(crate) fn note_batch(records: u64, bytes: u64, by_writer_thread: bool) {
     RECORDS.fetch_add(records, Ordering::Relaxed);
     BYTES.fetch_add(bytes, Ordering::Relaxed);
     BATCHES.fetch_add(1, Ordering::Relaxed);
+    if by_writer_thread {
+        WRITER_BATCHES.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn note_ring_depth(depth: u64) {
+    MAX_RING_DEPTH.fetch_max(depth, Ordering::Relaxed);
 }
 
 pub(crate) fn note_checkpoint() {
@@ -109,6 +134,8 @@ mod tests {
             records: 5,
             bytes: 100,
             batches: 2,
+            writer_batches: 1,
+            max_ring_depth: 8,
             checkpoints: 1,
             replayed: 7,
             move_intents: 1,
@@ -118,6 +145,8 @@ mod tests {
             records: 9,
             bytes: 150,
             batches: 3,
+            writer_batches: 2,
+            max_ring_depth: 5,
             checkpoints: 1,
             replayed: 4, // e.g. a reset raced the later snapshot
             move_intents: 3,
@@ -127,6 +156,8 @@ mod tests {
         assert_eq!(delta.records, 4);
         assert_eq!(delta.bytes, 50);
         assert_eq!(delta.batches, 1);
+        assert_eq!(delta.writer_batches, 1);
+        assert_eq!(delta.max_ring_depth, 5, "gauge keeps the later HWM");
         assert_eq!(delta.checkpoints, 0);
         assert_eq!(delta.replayed, 0, "saturates instead of underflowing");
         assert_eq!(delta.move_intents, 2);

@@ -18,6 +18,9 @@ use parking_lot::Mutex;
 pub struct ThreadStats {
     /// Committed transactions.
     pub commits: AtomicU64,
+    /// Committed transactions that published through the flat-combining
+    /// slot (the contended small-write-set fast path).
+    pub combined_commits: AtomicU64,
     /// Aborted attempts (all causes).
     pub aborts: AtomicU64,
     /// Aborts requested explicitly by user code.
@@ -49,6 +52,7 @@ pub struct ThreadStats {
 impl ThreadStats {
     fn reset(&self) {
         self.commits.store(0, Ordering::Relaxed);
+        self.combined_commits.store(0, Ordering::Relaxed);
         self.aborts.store(0, Ordering::Relaxed);
         self.explicit_aborts.store(0, Ordering::Relaxed);
         self.tx_reads.store(0, Ordering::Relaxed);
@@ -87,6 +91,8 @@ impl ThreadStats {
 pub struct StatsSnapshot {
     /// Committed transactions across all threads.
     pub commits: u64,
+    /// Flat-combined commits across all threads.
+    pub combined_commits: u64,
     /// Aborted attempts across all threads.
     pub aborts: u64,
     /// Explicit aborts across all threads.
@@ -119,6 +125,7 @@ impl StatsSnapshot {
     /// instances (e.g. the per-shard instances of a sharded map).
     pub fn merge(&mut self, other: &StatsSnapshot) {
         self.commits += other.commits;
+        self.combined_commits += other.combined_commits;
         self.aborts += other.aborts;
         self.explicit_aborts += other.explicit_aborts;
         self.tx_reads += other.tx_reads;
@@ -162,6 +169,7 @@ impl StatsRegistry {
         let mut s = StatsSnapshot::default();
         for t in threads.iter() {
             s.commits += t.commits.load(Ordering::Relaxed);
+            s.combined_commits += t.combined_commits.load(Ordering::Relaxed);
             s.aborts += t.aborts.load(Ordering::Relaxed);
             s.explicit_aborts += t.explicit_aborts.load(Ordering::Relaxed);
             s.tx_reads += t.tx_reads.load(Ordering::Relaxed);

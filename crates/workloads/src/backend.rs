@@ -78,7 +78,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
-use sf_persist::{DurableMap, WalOptions};
+use sf_persist::{DurableMap, WalOptions, WriterMode};
 use sf_stm::{StatsSnapshot, Stm, StmConfig};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
 use sf_tree::{OptSpecFriendlyTree, ShardedMap, SpecFriendlyTree, TxMap, TxMapVersioned};
@@ -293,18 +293,32 @@ fn wal_env_enabled() -> bool {
     std::env::var("SF_WAL").is_ok_and(|v| v == "1")
 }
 
-/// WAL tuning from `SF_WAL_GROUP` / `SF_WAL_CKPT`.
+/// WAL tuning from `SF_WAL_GROUP` / `SF_WAL_CKPT` / `SF_WAL_WRITER` /
+/// `SF_WAL_WINDOW_US` / `SF_WAL_RING` / `SF_WAL_CKPT_MS`.
 fn wal_options_from_env() -> WalOptions {
+    fn parsed<T: std::str::FromStr>(var: &str) -> Option<T> {
+        std::env::var(var).ok().and_then(|s| s.parse().ok())
+    }
     let defaults = WalOptions::default();
     WalOptions {
-        group: std::env::var("SF_WAL_GROUP")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(defaults.group),
-        auto_checkpoint: std::env::var("SF_WAL_CKPT")
-            .ok()
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(defaults.auto_checkpoint),
+        group: parsed("SF_WAL_GROUP").unwrap_or(defaults.group),
+        auto_checkpoint: parsed("SF_WAL_CKPT").unwrap_or(defaults.auto_checkpoint),
+        writer: match std::env::var("SF_WAL_WRITER").as_deref() {
+            Ok("leader") => WriterMode::Leader,
+            Ok("thread") => WriterMode::Thread,
+            _ => defaults.writer,
+        },
+        window: parsed::<u64>("SF_WAL_WINDOW_US")
+            .map(Duration::from_micros)
+            .unwrap_or(defaults.window),
+        ring_capacity: parsed::<usize>("SF_WAL_RING")
+            .filter(|&n| n > 0)
+            .unwrap_or(defaults.ring_capacity),
+        checkpoint_interval: match parsed::<u64>("SF_WAL_CKPT_MS") {
+            Some(0) => None,
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => defaults.checkpoint_interval,
+        },
     }
 }
 

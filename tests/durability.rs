@@ -297,6 +297,7 @@ fn checkpoint_truncate_races_concurrent_writers_losslessly() {
         WalOptions {
             group: 32,
             auto_checkpoint: 0,
+            ..WalOptions::default()
         },
     )
     .expect("open WAL");
@@ -366,6 +367,7 @@ fn auto_checkpoint_truncates_the_log_and_loses_nothing() {
         WalOptions {
             group: 16,
             auto_checkpoint: 25,
+            ..WalOptions::default()
         },
     )
     .expect("open WAL");
@@ -375,6 +377,12 @@ fn auto_checkpoint_truncates_the_log_and_loses_nothing() {
         map.insert(&mut handle, k % 40, k);
         oracle.entry(k % 40).or_insert(k);
     }
+    // The trigger runs in the log's writer thread; wait for it to quiesce
+    // (counter back under the threshold means the last install completed)
+    // before reading the directory underneath the live map.
+    wait_until("the size trigger quiesces", || {
+        map.records_since_checkpoint() < 25
+    });
     let recovered = recover(dir.path()).expect("recover");
     assert_eq!(recovered.entries, oracle_entries(&oracle));
     assert!(
@@ -385,6 +393,57 @@ fn auto_checkpoint_truncates_the_log_and_loses_nothing() {
         map.records_since_checkpoint() < 120,
         "auto-checkpoints must reset the record counter"
     );
+}
+
+/// Poll `condition` for a few seconds, panicking with `what` on timeout.
+/// Used for assertions about the asynchronous writer-thread triggers.
+fn wait_until(what: &str, mut condition: impl FnMut() -> bool) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !condition() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting until {what}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Regression for the PR 5 liveness note: a **pure `move_entry` workload**
+/// past the auto-checkpoint threshold must still checkpoint. The move
+/// protocol holds both shards' checkpoint locks for the whole move, so the
+/// trigger can never run inside it — but the writer thread keeps the
+/// trigger *deferred* and retries with a `try_lock` on every wakeup, so the
+/// checkpoint fires as soon as the move scope releases the lock.
+#[test]
+fn pure_move_workload_auto_checkpoints_via_the_deferred_trigger() {
+    let dir = TempDir::new("dur-move-auto-ckpt");
+    let options = WalOptions {
+        group: 8,
+        auto_checkpoint: 12,
+        ..WalOptions::default()
+    };
+    let (map, _) =
+        sharded_optimized(2, StmConfig::ctl(), dir.path(), options).expect("open sharded WAL");
+    let mut handle = map.register_sharded();
+    let a = 1u64;
+    let b = (2..1000u64)
+        .find(|&k| map.shard_of(k) != map.shard_of(a))
+        .expect("some key lands on the other shard");
+    assert!(map.insert(&mut handle, a, 7));
+    // Pure move traffic from here on: bounce the entry between the shards
+    // until both logs are far past the size threshold (each move logs an
+    // intent + delete + commit marker on the source and an insert on the
+    // destination).
+    for _ in 0..40 {
+        assert!(map.move_entry(&mut handle, a, b));
+        assert!(map.move_entry(&mut handle, b, a));
+    }
+    wait_until("the deferred trigger checkpoints every shard", || {
+        (0..2).all(|s| map.shard_map(s).records_since_checkpoint() < 12)
+    });
+    // The checkpoints truncated the logs without losing the entry.
+    let recovered = recover_sharded(dir.path(), 2).expect("recover");
+    assert_eq!(recovered.entries, vec![(a, 7)]);
 }
 
 /// Crash–restart–crash: a torn tail left by the first crash must be
@@ -781,7 +840,15 @@ fn reopen_honors_a_durable_rollback_retraction() {
     let base = TempDir::new("dur-xmove-retract");
     let record = |version, op| WalRecord { version, op };
     {
-        let src = Wal::open(shard_dir(base.path(), s), 1, 8).unwrap();
+        let src = Wal::open(
+            shard_dir(base.path(), s),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         src.enqueue(record(1, WalOp::Insert { key: a, value: 77 }));
         src.enqueue(record(
             0,
@@ -796,7 +863,15 @@ fn reopen_honors_a_durable_rollback_retraction() {
         // The concurrent committed delete that failed the live move.
         src.enqueue(record(2, WalOp::Delete { key: a }));
         src.flush().unwrap();
-        let dst = Wal::open(shard_dir(base.path(), d), 1, 8).unwrap();
+        let dst = Wal::open(
+            shard_dir(base.path(), d),
+            1,
+            WalOptions {
+                group: 8,
+                ..WalOptions::default()
+            },
+        )
+        .unwrap();
         dst.enqueue(record(
             1,
             WalOp::MoveInsert {
