@@ -13,6 +13,9 @@
 //!   rotation, no physical removal.
 //! * [`SeqMap`] — a sequential reference map used as the single-threaded
 //!   baseline for the vacation speedup (Figure 6) and as a test oracle.
+//! * [`ZipTree`] — a rotation-free randomized zip tree (Tarjan–Levy–Timmel,
+//!   WADS 2019), the rebalance-free control for the hot-key restructuring
+//!   experiments.
 //!
 //! All of them implement [`sf_tree::TxMap`] / [`sf_tree::TxMapInTx`], so the
 //! micro-benchmark harness and the vacation application drive them through
@@ -25,8 +28,10 @@ mod avl;
 mod nrtree;
 mod rbtree;
 mod seq;
+mod zip;
 
 pub use avl::AvlTree;
 pub use nrtree::NoRestructureTree;
 pub use rbtree::RedBlackTree;
 pub use seq::SeqMap;
+pub use zip::ZipTree;

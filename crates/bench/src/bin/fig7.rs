@@ -1,7 +1,8 @@
 //! Figure 7 (repository exhibit, no paper counterpart): ordered range scans.
 //! Throughput of every backend under a mixed point/scan workload — 10%
-//! effective updates, a configurable share of range scans with zipf-ish
-//! clustered origins — exercising the ordered-map subsystem end to end
+//! effective updates, a configurable share of range scans whose origins are
+//! drawn from a bounded Zipf distribution (`SF_ZIPF_THETA`, θ = 0.99 when
+//! unset) — exercising the ordered-map subsystem end to end
 //! (read-only scan transactions on the single-STM structures, shard-merged
 //! per-shard-atomic scans on the sharded ones).
 //!

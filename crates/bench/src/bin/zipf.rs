@@ -1,0 +1,61 @@
+//! Skew sweep (repository exhibit, no paper counterpart): hot-key
+//! self-adjusting restructuring under Zipfian access patterns.
+//!
+//! Lookup-heavy workload (10% effective updates) whose point-operation keys
+//! are drawn from a bounded Zipf distribution over the key range. The sweep
+//! pits the speculation-friendly trees with hot-key restructuring enabled
+//! (`sftree-opt-hot`) against the same tree rotation-only (`sftree-opt`) and
+//! against the rotation-free randomized `ziptree` control, reporting the
+//! maintenance-side `hot_rotations`, the sampled mass-weighted average
+//! access depth, and the depth of the single hottest key.
+//!
+//! Expected shape: under skew the hot-enabled tree lifts the hot keys toward
+//! the root (lower `hot_avg_depth` / `hot_key_depth`, higher throughput than
+//! rotation-only) without adding aborts, while the zip tree's
+//! history-independent shape ignores skew entirely.
+//!
+//! Run with `cargo run -p sf-bench --release --bin zipf`. Pick a single skew
+//! with `SF_ZIPF_THETA` (default: sweep θ ∈ {0.5, 0.9, 1.2}); scale with
+//! `SF_THREADS`, `SF_DURATION_MS`, `SF_SIZE`; select structures with
+//! `SF_STRUCTURES`; `SF_JSON=1` adds one machine-readable line per cell.
+
+use sf_bench::{base_config, emit_json, run_structure, structures, thread_counts, zipf_theta};
+use sf_stm::StmConfig;
+
+fn main() {
+    let names = structures(&["sftree-opt", "sftree-opt-hot", "ziptree"]);
+    let thetas: Vec<f64> = match zipf_theta() {
+        Some(theta) => vec![theta],
+        None => vec![0.5, 0.9, 1.2],
+    };
+    for &theta in &thetas {
+        println!("# Zipf sweep — θ={theta}, 10% updates, point keys rank-ordered (key 0 hottest)");
+        for threads in thread_counts() {
+            for name in &names {
+                let config = base_config(threads, 0.10).with_zipf_theta(Some(theta));
+                let result = run_structure(name, StmConfig::ctl(), &config);
+                let label = format!("zipf{theta} {}", result.structure);
+                println!(
+                    "{label:<26} threads={threads:<3} throughput={:>8.3} ops/us  hot-rotations={:<6} hot-avg-depth={:>6.2} hot-key-depth={:<3} aborts/commit={:>6.3}",
+                    result.ops_per_microsecond(),
+                    result.hot.hot_rotations,
+                    result.hot.avg_depth,
+                    result.hot.hottest_depth,
+                    result.abort_ratio(),
+                );
+                emit_json(
+                    &label,
+                    &result,
+                    &format!("\"figure\":\"zipf\",\"theta\":{theta}"),
+                );
+            }
+        }
+        println!();
+    }
+    println!("Expected shape: skewed lookups concentrate on low keys; the hot-enabled SF tree's maintenance");
+    println!("thread lifts them (hot_rotations > 0, hot-key depth falls toward 1) at zero extra aborts, the");
+    println!("rotation-only tree keeps them at their height-balanced depth, and the zip tree's shape is a");
+    println!(
+        "function of the key set alone — a control that cannot adapt to skew by construction."
+    );
+}

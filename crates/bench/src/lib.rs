@@ -24,6 +24,10 @@
 //! | `SF_SEED` | workload key-stream seed (deterministic streams) | `0x5eed5eed` |
 //! | `SF_SCAN_PCT` | percent of operations that are range scans | `0` |
 //! | `SF_SCAN_WIDTH` | keys spanned by one range scan | `100` |
+//! | `SF_ZIPF_THETA` | Zipf θ for point-operation keys (unset = uniform) | off |
+//! | `SF_HOTSPOT` | hot-rotation benefit ratio (`1` → default 2.0; `0` = off) | off |
+//! | `SF_HOT_DECAY` | maintenance passes between counter halvings (`0` = off) | `0` |
+//! | `SF_HOT_SAMPLE` | access-sampling rate (record 1 in N traversals) | `64` |
 //! | `SF_WAL` | `1` → wrap every backend in the durability (WAL) layer | off |
 //! | `SF_WAL_DIR` | base directory for write-ahead logs | `$TMPDIR/sf-wal-<pid>` |
 //! | `SF_WAL_GROUP` | records per group-commit fsync batch (`0` = buffered) | `128` |
@@ -38,9 +42,13 @@
 //! `wal_max_ring_depth`, `wal_checkpoints`, `wal_replayed` — all zero for
 //! non-durable backends) plus the STM's `combined_commits`, and the
 //! dedicated `recovery` binary measures replay throughput against log
-//! length. The `baseline` binary sweeps the fig3/fig5b/fig7 shapes over the
-//! flagship backends and writes the checked-in `BENCH_baseline.json`
-//! trajectory file (see EXPERIMENTS.md, "Perf trajectory").
+//! length. It also carries the hot-key summary taken quiescently after the
+//! run (`hot_rotations`, `hot_avg_depth`, `hot_key_depth` — zeros for
+//! structures without access sampling). The `baseline` binary sweeps the
+//! fig3/fig5b/fig7/zipf shapes over the flagship backends and writes the
+//! checked-in `BENCH_baseline.json` trajectory file (see EXPERIMENTS.md,
+//! "Perf trajectory"), and the `zipf` binary sweeps skew θ over the
+//! hotspot-enabled trees against the rotation-free `ziptree` control.
 
 #![warn(missing_docs)]
 
@@ -112,6 +120,14 @@ pub fn scan_pct_overridden() -> bool {
     std::env::var("SF_SCAN_PCT").is_ok()
 }
 
+/// Zipfian skew θ for point-operation keys (`SF_ZIPF_THETA`); unset or
+/// unparsable means uniform keys.
+pub fn zipf_theta() -> Option<f64> {
+    std::env::var("SF_ZIPF_THETA")
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
 /// Range-scan width in keys (`SF_SCAN_WIDTH`).
 pub fn scan_width() -> u64 {
     std::env::var("SF_SCAN_WIDTH")
@@ -160,6 +176,7 @@ pub fn base_config(threads: usize, update_ratio: f64) -> WorkloadConfig {
         .with_seed(workload_seed())
         .with_scan_ratio(scan_pct() / 100.0)
         .with_scan_width(scan_width())
+        .with_zipf_theta(zipf_theta())
         .with_run(RunLength::Timed(cell_duration()))
 }
 
@@ -194,7 +211,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"wal_records\":{},\"wal_bytes\":{},\"wal_batches\":{},",
             "\"wal_writer_batches\":{},\"wal_max_ring_depth\":{},",
             "\"wal_checkpoints\":{},\"wal_replayed\":{},",
-            "\"wal_move_intents\":{},\"wal_moves_resolved\":{}"
+            "\"wal_move_intents\":{},\"wal_moves_resolved\":{},",
+            "\"hot_rotations\":{},\"hot_avg_depth\":{:.3},\"hot_key_depth\":{}"
         ),
         json_escape(label),
         json_escape(&result.structure),
@@ -232,6 +250,9 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.wal.replayed,
         result.wal.move_intents,
         result.wal.moves_resolved,
+        result.hot.hot_rotations,
+        result.hot.avg_depth,
+        result.hot.hottest_depth,
     );
     if !extra.is_empty() {
         line.push(',');
@@ -277,6 +298,7 @@ mod tests {
         assert_eq!(config.seed, workload_seed());
         assert_eq!(config.scan_ratio, scan_pct() / 100.0);
         assert_eq!(config.scan_width, scan_width());
+        assert_eq!(config.zipf_theta, zipf_theta());
     }
 
     #[test]
@@ -288,7 +310,9 @@ mod tests {
             "nrtree",
             "sftree",
             "sftree-opt",
+            "sftree-opt-hot",
             "sftree-opt-sharded2",
+            "ziptree",
         ] {
             let result = run_structure(name, StmConfig::ctl(), &config);
             assert!(result.total_ops > 0, "{name} produced no ops");
@@ -325,6 +349,9 @@ mod tests {
         assert!(line.contains("\"wal_checkpoints\":"));
         assert!(line.contains("\"wal_move_intents\":"));
         assert!(line.contains("\"wal_moves_resolved\":"));
+        assert!(line.contains("\"hot_rotations\":"));
+        assert!(line.contains("\"hot_avg_depth\":"));
+        assert!(line.contains("\"hot_key_depth\":"));
         // Balanced quotes => even count; cheap smoke check of JSON shape.
         assert_eq!(line.matches('"').count() % 2, 0);
     }

@@ -8,6 +8,7 @@
 use std::collections::HashSet;
 
 use crate::arena::NodeId;
+use crate::map::HotReport;
 use crate::node::{Key, Value, SENTINEL_KEY};
 use crate::shared::TreeCore;
 
@@ -55,6 +56,65 @@ impl<'a> TreeInspect<'a> {
         }
         let root_left = self.core.node(self.core.root).left.unsync_load();
         rec(self, root_left)
+    }
+
+    /// Depth (1-based number of nodes on the path, excluding the sentinel
+    /// root) at which `key` sits, or `None` when it is not reachable as a
+    /// live entry.
+    pub fn key_depth(&self, key: Key) -> Option<usize> {
+        let mut id = self.core.node(self.core.root).left.unsync_load();
+        let mut depth = 0usize;
+        while !id.is_nil() {
+            depth += 1;
+            let n = self.core.node(id);
+            let k = n.key();
+            if k == key {
+                return (!n.del.unsync_load()).then_some(depth);
+            }
+            id = if key < k {
+                n.left.unsync_load()
+            } else {
+                n.right.unsync_load()
+            };
+        }
+        None
+    }
+
+    /// Summarize the sampled access-frequency counters over the reachable
+    /// tree: total sampled mass, the mass-weighted average depth of accesses,
+    /// and the hottest single node with its depth. `hot_rotations` is left
+    /// zero — the owning tree fills it in from its [`crate::TreeStats`].
+    pub fn hot_summary(&self) -> HotReport {
+        let mut report = HotReport::default();
+        let mut weighted = 0f64;
+        fn rec(
+            inspect: &TreeInspect<'_>,
+            id: NodeId,
+            depth: u64,
+            report: &mut HotReport,
+            weighted: &mut f64,
+        ) {
+            if id.is_nil() {
+                return;
+            }
+            let n = inspect.core.node(id);
+            let mass = n.access_mass();
+            report.sampled_mass += mass;
+            *weighted += mass as f64 * depth as f64;
+            if mass > report.hottest_mass {
+                report.hottest_mass = mass;
+                report.hottest_key = n.key();
+                report.hottest_depth = depth;
+            }
+            rec(inspect, n.left.unsync_load(), depth + 1, report, weighted);
+            rec(inspect, n.right.unsync_load(), depth + 1, report, weighted);
+        }
+        let root_left = self.core.node(self.core.root).left.unsync_load();
+        rec(self, root_left, 1, &mut report, &mut weighted);
+        if report.sampled_mass > 0 {
+            report.avg_depth = weighted / report.sampled_mass as f64;
+        }
+        report
     }
 
     /// Verify the structural invariants that must hold while the tree is

@@ -63,9 +63,11 @@ pub use maintenance::{
     MaintenanceConfig, MaintenanceHandle, MaintenancePause, MaintenanceStyle, MaintenanceWorker,
     PassReport,
 };
-pub use map::{intern_label, ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx};
+pub use map::{
+    intern_label, HotReport, ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx,
+};
 pub use node::{Key, Node, RemState, Side, Value, SENTINEL_KEY};
 pub use optimized::OptSpecFriendlyTree;
 pub use portable::SpecFriendlyTree;
 pub use sharded::{ShardParts, ShardedHandle, ShardedMap};
-pub use shared::{SfHandle, TreeStats};
+pub use shared::{SfHandle, TreeStats, DEFAULT_HOT_SAMPLE};

@@ -16,6 +16,22 @@
 //! Nodes unlinked by removals and clone-based rotations are *retired* and
 //! recycled only once the quiescence condition of §3.4 holds (every abstract
 //! operation that was in flight when the pass started has finished).
+//!
+//! # Hot-key restructuring
+//!
+//! When [`MaintenanceConfig::hotspot_ratio`] is nonzero the pass becomes
+//! *hotness-weighted*: it aggregates the sampled, decaying per-node access
+//! counters (see [`crate::node::Node::record_access`]) into subtree masses
+//! bottom-up, and performs splay-/weighted-AVL-style conditional rotations
+//! that lift a subtree whose access mass dominates the mass the rotation
+//! would push down (`rise > ratio × sink`, with `rise` the pivot plus its
+//! outer subtree and `sink` the rotated node plus its other subtree).
+//! Symmetrically, plain height rotations that would *sink* dominant mass are
+//! deferred until the imbalance exceeds `imbalance_threshold + hot_slack`,
+//! so hot-earned skew is not immediately undone — and because the undo
+//! condition is the exact negation of the lift condition, the two rules
+//! cannot oscillate. Hot rotations reuse the same classic/clone rotation
+//! transactions as height balancing, so mutators see no new abort sources.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -55,6 +71,23 @@ pub struct MaintenanceConfig {
     /// When `false`, the worker never physically removes logically deleted
     /// nodes.
     pub enable_removal: bool,
+    /// Dominance ratio of hot-key restructuring (`SF_HOTSPOT`): a hot
+    /// rotation runs when the access mass it lifts exceeds `ratio ×` the
+    /// mass it sinks. `0.0` (the default) disables hot-key restructuring
+    /// entirely; enabled values are treated as at least `1.0`.
+    pub hotspot_ratio: f64,
+    /// Minimum rising access mass for a hot rotation, so cold noise never
+    /// triggers restructuring.
+    pub hot_min_mass: u64,
+    /// Halve every visited node's access counter once per this many passes
+    /// (`SF_HOT_DECAY`); `0` never decays. Decay makes the counters track a
+    /// shifting workload instead of its whole history.
+    pub hot_decay_passes: u64,
+    /// Extra height imbalance tolerated in favour of hot subtrees: hot
+    /// rotations may skew a subtree up to `imbalance_threshold + hot_slack`
+    /// and height rotations that would sink dominant mass are deferred until
+    /// the imbalance exceeds that same bound.
+    pub hot_slack: i32,
 }
 
 impl Default for MaintenanceConfig {
@@ -64,8 +97,66 @@ impl Default for MaintenanceConfig {
             pass_delay: Duration::from_micros(100),
             enable_rotation: true,
             enable_removal: true,
+            hotspot_ratio: 0.0,
+            hot_min_mass: 64,
+            hot_decay_passes: 0,
+            hot_slack: 2,
         }
     }
+}
+
+impl MaintenanceConfig {
+    /// Whether hot-key restructuring is enabled.
+    pub fn hotspot_enabled(&self) -> bool {
+        self.hotspot_ratio > 0.0
+    }
+
+    /// Apply the `SF_HOTSPOT` / `SF_HOT_DECAY` environment knobs on top of
+    /// this configuration. `SF_HOTSPOT` set to a positive number becomes the
+    /// dominance ratio (any other non-empty, non-`0` value enables the
+    /// default ratio `2.0`); `SF_HOT_DECAY` sets the decay period in passes.
+    /// Unset variables leave the configuration untouched, so a blanket
+    /// `SF_HOTSPOT=1` turns hot restructuring on for every
+    /// speculation-friendly backend a harness builds.
+    pub fn with_hotspot_env(mut self) -> Self {
+        if let Some(ratio) = hotspot_ratio_from_env() {
+            self.hotspot_ratio = ratio;
+        }
+        if let Some(decay) = parsed_env("SF_HOT_DECAY") {
+            self.hot_decay_passes = decay;
+        }
+        self
+    }
+
+    /// Enable hot-key restructuring with its default tuning (dominance ratio
+    /// `2.0`, decay every `64` passes) — used by the registry's `-hot`
+    /// backend variants. Environment overrides still apply on top.
+    pub fn with_hotspot_defaults(mut self) -> Self {
+        self.hotspot_ratio = 2.0;
+        self.hot_decay_passes = 64;
+        self.with_hotspot_env()
+    }
+}
+
+fn parsed_env<T: std::str::FromStr>(var: &str) -> Option<T> {
+    std::env::var(var).ok().and_then(|s| s.trim().parse().ok())
+}
+
+/// `SF_HOTSPOT` as a dominance ratio: unset, empty or `0` → `None`;
+/// a positive number → that ratio; any other value → the default `2.0`.
+fn hotspot_ratio_from_env() -> Option<f64> {
+    let raw = std::env::var("SF_HOTSPOT").ok()?;
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed == "0" {
+        return None;
+    }
+    Some(
+        trimmed
+            .parse::<f64>()
+            .ok()
+            .filter(|ratio| *ratio > 0.0)
+            .unwrap_or(2.0),
+    )
 }
 
 /// Summary of one maintenance traversal.
@@ -81,6 +172,9 @@ pub struct PassReport {
     pub propagations: u64,
     /// Retired nodes recycled into the free list this pass.
     pub recycled: u64,
+    /// Rotations (included in `rotations`) performed because the lifted
+    /// subtree's access mass dominated what the rotation pushed down.
+    pub hot_rotations: u64,
 }
 
 /// The maintenance worker. Drive it manually with [`MaintenanceWorker::run_pass`]
@@ -94,6 +188,8 @@ pub struct MaintenanceWorker {
     ctx: ThreadCtx,
     /// Nodes unlinked from the tree but not yet safe to recycle.
     retired: Vec<NodeId>,
+    /// Completed passes, driving the access-counter decay cadence.
+    passes: u64,
 }
 
 impl MaintenanceWorker {
@@ -109,6 +205,7 @@ impl MaintenanceWorker {
             config,
             ctx,
             retired: Vec::new(),
+            passes: 0,
         }
     }
 
@@ -129,14 +226,18 @@ impl MaintenanceWorker {
         let mut report = PassReport::default();
         let snapshot = self.core.arena.activity_snapshot();
         let retired_before = self.retired.len();
-        self.visit(self.core.root, Side::Left, &mut report);
-        self.visit(self.core.root, Side::Right, &mut report);
+        let decay = self.config.hotspot_enabled()
+            && self.config.hot_decay_passes > 0
+            && (self.passes + 1).is_multiple_of(self.config.hot_decay_passes);
+        self.visit(self.core.root, Side::Left, &mut report, decay);
+        self.visit(self.core.root, Side::Right, &mut report, decay);
         if snapshot.has_drained() {
             for id in self.retired.drain(..retired_before) {
                 self.core.arena.recycle(id);
                 report.recycled += 1;
             }
         }
+        self.passes = self.passes.wrapping_add(1);
         let stats = &self.core.stats;
         stats.maintenance_passes.fetch_add(1, Ordering::Relaxed);
         stats.recycled.fetch_add(report.recycled, Ordering::Relaxed);
@@ -144,12 +245,17 @@ impl MaintenanceWorker {
     }
 
     /// Keep running passes until nothing changes anymore (no rotation, no
-    /// removal, no height update). Useful to bring the tree to its fully
-    /// balanced fixed point in tests and between benchmark phases.
+    /// removal, no height update, and no retired node still draining into
+    /// the free list). Useful to bring the tree to its fully balanced fixed
+    /// point in tests and between benchmark phases.
     pub fn run_until_stable(&mut self, max_passes: usize) -> usize {
         for pass in 0..max_passes {
             let report = self.run_pass();
-            if report.rotations == 0 && report.removals == 0 && report.propagations == 0 {
+            if report.rotations == 0
+                && report.removals == 0
+                && report.propagations == 0
+                && report.recycled == 0
+            {
                 return pass + 1;
             }
         }
@@ -199,14 +305,14 @@ impl MaintenanceWorker {
     }
 
     /// Post-order visit of the child of `parent` on `side`.
-    fn visit(&mut self, parent: NodeId, side: Side, report: &mut PassReport) {
+    fn visit(&mut self, parent: NodeId, side: Side, report: &mut PassReport, decay: bool) {
         let child = self.core.node(parent).child(side).unsync_load();
         if child.is_nil() {
             return;
         }
         report.visited += 1;
-        self.visit(child, Side::Left, report);
-        self.visit(child, Side::Right, report);
+        self.visit(child, Side::Left, report, decay);
+        self.visit(child, Side::Right, report, decay);
         let (is_sentinel, is_deleted, is_removed) = {
             let node = self.core.node(child);
             (
@@ -229,6 +335,20 @@ impl MaintenanceWorker {
             report.propagations += 1;
             self.core.stats.propagations.fetch_add(1, Ordering::Relaxed);
         }
+        let hot = self.config.hotspot_enabled();
+        if hot {
+            // Aggregate subtree access masses bottom-up. The children were
+            // just visited (post-order), so their `hot_sub` values are fresh
+            // from this pass.
+            let node = self.core.node(child);
+            if decay {
+                node.decay_access_mass();
+            }
+            let mass = node.access_mass()
+                + self.subtree_mass_of(node.left.unsync_load())
+                + self.subtree_mass_of(node.right.unsync_load());
+            node.set_subtree_mass(mass);
+        }
         if !self.config.enable_rotation || is_sentinel {
             return;
         }
@@ -236,29 +356,148 @@ impl MaintenanceWorker {
             let node = self.core.node(child);
             node.left_h.unsync_load() - node.right_h.unsync_load()
         };
-        if balance > self.config.imbalance_threshold {
-            if let Some(retired) = self.rotate(parent, side, Side::Right) {
-                if !retired.is_nil() {
-                    self.retired.push(retired);
-                }
-                report.rotations += 1;
-                self.core
-                    .stats
-                    .right_rotations
-                    .fetch_add(1, Ordering::Relaxed);
+        let threshold = self.config.imbalance_threshold;
+        if !hot {
+            if balance > threshold {
+                self.try_rotate(parent, side, Side::Right, report, false);
+            } else if balance < -threshold {
+                self.try_rotate(parent, side, Side::Left, report, false);
             }
-        } else if balance < -self.config.imbalance_threshold {
-            if let Some(retired) = self.rotate(parent, side, Side::Left) {
-                if !retired.is_nil() {
-                    self.retired.push(retired);
-                }
-                report.rotations += 1;
-                self.core
-                    .stats
-                    .left_rotations
-                    .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Hotness-weighted balancing. Beyond the extended threshold, height
+        // wins unconditionally (the logarithmic backstop). Within it, lift a
+        // mass-dominant subtree; otherwise apply the plain height rule unless
+        // the rotation would sink dominant mass — deferred until the skew
+        // reaches the extended threshold. The defer condition is the exact
+        // negation of the lift condition, so the two rules never oscillate.
+        let extended = threshold.saturating_add(self.config.hot_slack.max(0));
+        if balance > extended {
+            self.try_rotate(parent, side, Side::Right, report, false);
+        } else if balance < -extended {
+            self.try_rotate(parent, side, Side::Left, report, false);
+        } else if let Some(direction) = self.hot_rotation_direction(child) {
+            self.try_rotate(parent, side, direction, report, true);
+        } else if balance > threshold && !self.sinks_dominant_mass(child, Side::Right) {
+            self.try_rotate(parent, side, Side::Right, report, false);
+        } else if balance < -threshold && !self.sinks_dominant_mass(child, Side::Left) {
+            self.try_rotate(parent, side, Side::Left, report, false);
+        }
+    }
+
+    /// Perform one rotation and account for it.
+    fn try_rotate(
+        &mut self,
+        parent: NodeId,
+        side: Side,
+        direction: Side,
+        report: &mut PassReport,
+        hot: bool,
+    ) {
+        if let Some(retired) = self.rotate(parent, side, direction) {
+            if !retired.is_nil() {
+                self.retired.push(retired);
+            }
+            report.rotations += 1;
+            let stats = &self.core.stats;
+            match direction {
+                Side::Right => stats.right_rotations.fetch_add(1, Ordering::Relaxed),
+                Side::Left => stats.left_rotations.fetch_add(1, Ordering::Relaxed),
+            };
+            if hot {
+                report.hot_rotations += 1;
+                stats.hot_rotations.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+
+    /// Subtree access mass of `id` as of the last aggregation (`0` for ⊥).
+    fn subtree_mass_of(&self, id: NodeId) -> u64 {
+        if id.is_nil() {
+            0
+        } else {
+            self.core.node(id).subtree_mass()
+        }
+    }
+
+    /// Access masses a rotation of `child` in `direction` would shift, as
+    /// `(rise, sink)`: for a right rotation the pivot (left child) and its
+    /// outer subtree rise one level while `child` and its right subtree sink
+    /// one (mirror for left); the transfer subtree keeps its depth. `None`
+    /// when there is no pivot to lift.
+    fn rotation_mass_shift(&self, child: NodeId, direction: Side) -> Option<(u64, u64)> {
+        let heavy_side = direction.other();
+        let node = self.core.node(child);
+        let pivot_id = node.child(heavy_side).unsync_load();
+        if pivot_id.is_nil() {
+            return None;
+        }
+        let pivot = self.core.node(pivot_id);
+        let rise =
+            pivot.access_mass() + self.subtree_mass_of(pivot.child(heavy_side).unsync_load());
+        let sink =
+            node.access_mass() + self.subtree_mass_of(node.child(heavy_side.other()).unsync_load());
+        Some((rise, sink))
+    }
+
+    /// Direction of a profitable hot rotation at `child`, if any: the rising
+    /// mass must dominate the sinking mass by the configured ratio, clear the
+    /// noise floor, and leave the local heights within the extended
+    /// imbalance bound. At ratio ≥ 1 at most one direction can qualify.
+    fn hot_rotation_direction(&self, child: NodeId) -> Option<Side> {
+        let ratio = self.config.hotspot_ratio.max(1.0);
+        let mut best: Option<(Side, u64)> = None;
+        for direction in [Side::Right, Side::Left] {
+            if let Some((rise, sink)) = self.rotation_mass_shift(child, direction) {
+                if rise >= self.config.hot_min_mass
+                    && rise as f64 > ratio * sink as f64
+                    && self.rotation_stays_balanced(child, direction)
+                {
+                    let gain = rise.saturating_sub(sink);
+                    if best.is_none_or(|(_, g)| gain > g) {
+                        best = Some((direction, gain));
+                    }
+                }
+            }
+        }
+        best.map(|(direction, _)| direction)
+    }
+
+    /// Whether a height rotation of `child` in `direction` would sink access
+    /// mass that dominates what it lifts — in which case it is deferred.
+    fn sinks_dominant_mass(&self, child: NodeId, direction: Side) -> bool {
+        let ratio = self.config.hotspot_ratio.max(1.0);
+        match self.rotation_mass_shift(child, direction) {
+            Some((rise, sink)) => {
+                sink >= self.config.hot_min_mass && sink as f64 > ratio * rise as f64
+            }
+            None => false,
+        }
+    }
+
+    /// Predict (from the stored height estimates) whether rotating `child`
+    /// in `direction` leaves both modified nodes within the extended
+    /// imbalance bound, so the height backstop never undoes a hot rotation.
+    fn rotation_stays_balanced(&self, child: NodeId, direction: Side) -> bool {
+        let extended = self
+            .config
+            .imbalance_threshold
+            .saturating_add(self.config.hot_slack.max(0));
+        let heavy_side = direction.other();
+        let node = self.core.node(child);
+        let pivot_id = node.child(heavy_side).unsync_load();
+        if pivot_id.is_nil() {
+            return false;
+        }
+        let pivot = self.core.node(pivot_id);
+        // Post-rotation, `child` keeps the pivot's inner (transfer) subtree
+        // plus its own outer subtree, and the pivot adopts `child` next to
+        // its outer subtree.
+        let transfer_h = pivot.child_height(heavy_side.other()).unsync_load();
+        let outer_h = node.child_height(heavy_side.other()).unsync_load();
+        let child_after = 1 + transfer_h.max(outer_h);
+        let pivot_outer_h = pivot.child_height(heavy_side).unsync_load();
+        (transfer_h - outer_h).abs() <= extended && (pivot_outer_h - child_after).abs() <= extended
     }
 
     /// Height of a subtree rooted at `id`, read transactionally.
@@ -452,6 +691,9 @@ impl MaintenanceWorker {
             clone.child_height(heavy_side.other()).unsync_store(outer_h);
             let clone_h = 1 + transfer_h.max(outer_h);
             clone.local_h.unsync_store(clone_h);
+            // The clone is the same logical node: carry its access heat so
+            // hot-key bookkeeping survives clone-based restructuring.
+            clone.record_access(n.access_mass());
             let arena = Arc::clone(&core.arena);
             tx.on_abort(move || arena.recycle(clone_id));
             // Publish: the pivot adopts the clone in place of its inner
@@ -676,6 +918,133 @@ mod tests {
         // fixed point the backlog is empty.
         worker.run_until_stable(256);
         assert_eq!(worker.retired_backlog(), 0, "drained after the op finished");
+    }
+
+    #[test]
+    fn hot_passes_lift_a_hammered_key_under_both_styles() {
+        let hot_config = MaintenanceConfig {
+            hotspot_ratio: 2.0,
+            hot_min_mass: 16,
+            ..MaintenanceConfig::default()
+        };
+        for optimized in [false, true] {
+            let stm = Stm::default_config();
+            let (before, after, hot_rotations) = if optimized {
+                let tree = OptSpecFriendlyTree::new();
+                let mut h = tree.register(stm.register());
+                for k in 0..127u64 {
+                    tree.insert(&mut h, k, k);
+                }
+                tree.maintenance_worker(stm.register())
+                    .run_until_stable(256);
+                let deep = (0..127u64)
+                    .max_by_key(|&k| tree.inspect().key_depth(k).unwrap())
+                    .unwrap();
+                let before = tree.inspect().key_depth(deep).unwrap();
+                tree.set_hot_sample(1);
+                for _ in 0..4096 {
+                    tree.get(&mut h, deep);
+                }
+                tree.maintenance_worker_with(stm.register(), hot_config.clone())
+                    .run_until_stable(256);
+                tree.inspect().check_consistency().unwrap();
+                assert_eq!(tree.len_quiescent(), 127);
+                (
+                    before,
+                    tree.inspect().key_depth(deep).unwrap(),
+                    tree.stats().hot_rotations.load(Ordering::Relaxed),
+                )
+            } else {
+                let tree = SpecFriendlyTree::new();
+                let mut h = tree.register(stm.register());
+                for k in 0..127u64 {
+                    tree.insert(&mut h, k, k);
+                }
+                tree.maintenance_worker(stm.register())
+                    .run_until_stable(256);
+                let deep = (0..127u64)
+                    .max_by_key(|&k| tree.inspect().key_depth(k).unwrap())
+                    .unwrap();
+                let before = tree.inspect().key_depth(deep).unwrap();
+                tree.set_hot_sample(1);
+                for _ in 0..4096 {
+                    tree.get(&mut h, deep);
+                }
+                tree.maintenance_worker_with(stm.register(), hot_config.clone())
+                    .run_until_stable(256);
+                tree.inspect().check_consistency().unwrap();
+                assert_eq!(tree.len_quiescent(), 127);
+                (
+                    before,
+                    tree.inspect().key_depth(deep).unwrap(),
+                    tree.stats().hot_rotations.load(Ordering::Relaxed),
+                )
+            };
+            assert!(before >= 5, "127 balanced keys put the deepest at >= 5");
+            assert!(
+                after < before,
+                "hot passes must lift the hammered key (optimized={optimized}): \
+                 depth {before} -> {after}"
+            );
+            assert!(
+                hot_rotations > 0,
+                "lift must be attributed to hot rotations"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_restructuring_with_decay_preserves_entries_and_invariants() {
+        for optimized in [false, true] {
+            let stm = Stm::default_config();
+            let keys: Vec<u64> = (0..200u64).map(|i| (i * 97) % 257).collect();
+            let expected: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+            let config = MaintenanceConfig {
+                hotspot_ratio: 1.5,
+                hot_min_mass: 8,
+                hot_decay_passes: 4,
+                ..MaintenanceConfig::default()
+            };
+            let live: Vec<u64> = if optimized {
+                let tree = OptSpecFriendlyTree::new();
+                let mut h = tree.register(stm.register());
+                tree.set_hot_sample(1);
+                for &k in &keys {
+                    tree.insert(&mut h, k, k + 1);
+                }
+                // Skewed lookups: a handful of keys take most of the mass.
+                for i in 0..8192u64 {
+                    tree.get(&mut h, keys[(i % 13) as usize]);
+                }
+                let mut worker = tree.maintenance_worker_with(stm.register(), config.clone());
+                worker.run_until_stable(512);
+                tree.inspect().check_consistency().unwrap();
+                tree.inspect()
+                    .live_entries()
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect()
+            } else {
+                let tree = SpecFriendlyTree::new();
+                let mut h = tree.register(stm.register());
+                tree.set_hot_sample(1);
+                for &k in &keys {
+                    tree.insert(&mut h, k, k + 1);
+                }
+                for i in 0..8192u64 {
+                    tree.get(&mut h, keys[(i % 13) as usize]);
+                }
+                let mut worker = tree.maintenance_worker_with(stm.register(), config.clone());
+                worker.run_until_stable(512);
+                tree.inspect().check_consistency().unwrap();
+                tree.inspect()
+                    .live_entries()
+                    .iter()
+                    .map(|(k, _)| *k)
+                    .collect()
+            };
+            assert_eq!(live, expected.iter().copied().collect::<Vec<_>>());
+        }
     }
 
     #[test]

@@ -101,6 +101,47 @@ pub trait TxMapInTx: Send + Sync {
     }
 }
 
+/// Quiescent summary of a structure's hot-key state: how many rotations the
+/// maintenance thread performed because access mass dominated, and where the
+/// sampled access mass currently sits in the tree. Produced by
+/// [`TxMap::hot_report`]; all depths are 1-based node counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HotReport {
+    /// Maintenance rotations driven by access-mass dominance.
+    pub hot_rotations: u64,
+    /// Total sampled access mass over the reachable tree.
+    pub sampled_mass: u64,
+    /// Mass-weighted average depth of sampled accesses (`0.0` when nothing
+    /// was sampled).
+    pub avg_depth: f64,
+    /// Key of the single hottest node (meaningful when `hottest_mass > 0`).
+    pub hottest_key: Key,
+    /// Access mass of the hottest node.
+    pub hottest_mass: u64,
+    /// Depth of the hottest node.
+    pub hottest_depth: u64,
+}
+
+impl HotReport {
+    /// Fold another report in (sharded compositions): rotation counts add,
+    /// average depth combines mass-weighted, the hottest node wins by mass.
+    pub fn merge(&mut self, other: &HotReport) {
+        self.hot_rotations += other.hot_rotations;
+        let total = self.sampled_mass + other.sampled_mass;
+        if total > 0 {
+            self.avg_depth = (self.avg_depth * self.sampled_mass as f64
+                + other.avg_depth * other.sampled_mass as f64)
+                / total as f64;
+        }
+        self.sampled_mass = total;
+        if other.hottest_mass > self.hottest_mass {
+            self.hottest_key = other.hottest_key;
+            self.hottest_mass = other.hottest_mass;
+            self.hottest_depth = other.hottest_depth;
+        }
+    }
+}
+
 /// Direction of an ordered scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScanOrder {
@@ -333,6 +374,14 @@ pub trait TxMap: Send + Sync {
     /// Number of live keys. Only accurate while no concurrent updates run;
     /// used for test oracles and for sizing reports.
     fn len_quiescent(&self) -> usize;
+
+    /// Quiescent hot-key summary ([`HotReport`]): hot rotations performed and
+    /// where the sampled access mass sits. Like [`TxMap::len_quiescent`],
+    /// only accurate while no concurrent updates or maintenance run.
+    /// Structures without access tracking return `None` (the default).
+    fn hot_report(&self) -> Option<HotReport> {
+        None
+    }
 
     /// Short human-readable name used in benchmark output (e.g. `SFtree`).
     fn name(&self) -> &'static str;

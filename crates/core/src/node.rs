@@ -15,7 +15,13 @@
 //! * `left_h` / `right_h` / `local_h` — the node-local estimated heights used
 //!   by the distributed rebalancing scheme of Bougé et al. (§3.1); only the
 //!   maintenance thread reads and writes them, so they never conflict with
-//!   abstract transactions.
+//!   abstract transactions;
+//! * `hot` / `hot_sub` — the sampled, decaying access-frequency counter and
+//!   its subtree aggregate. Both are **plain relaxed atomics**, never part of
+//!   any STM read or write set: recording an access on traversal can neither
+//!   abort the recording transaction nor conflict with any other one, which
+//!   is what lets the maintenance thread do hot-key restructuring with zero
+//!   added mutator aborts.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -121,6 +127,11 @@ pub struct Node {
     pub right_h: TCell<i32>,
     /// Expected local height: `1 + max(left_h, right_h)` (maintenance-only).
     pub local_h: TCell<i32>,
+    /// Sampled, decaying access-frequency counter (non-transactional).
+    hot: AtomicU64,
+    /// Subtree access mass aggregated by the last maintenance pass
+    /// (maintenance-only scratch, non-transactional).
+    hot_sub: AtomicU64,
 }
 
 impl Default for Node {
@@ -135,6 +146,8 @@ impl Default for Node {
             left_h: TCell::new(0),
             right_h: TCell::new(0),
             local_h: TCell::new(1),
+            hot: AtomicU64::new(0),
+            hot_sub: AtomicU64::new(0),
         }
     }
 }
@@ -163,6 +176,44 @@ impl Node {
         self.left_h.unsync_store(0);
         self.right_h.unsync_store(0);
         self.local_h.unsync_store(1);
+        self.hot.store(0, Ordering::Relaxed);
+        self.hot_sub.store(0, Ordering::Relaxed);
+    }
+
+    /// Record `weight` sampled accesses to this node. Relaxed add on a plain
+    /// atomic: invisible to the STM, so it can never cause an abort.
+    #[inline]
+    pub fn record_access(&self, weight: u64) {
+        self.hot.fetch_add(weight, Ordering::Relaxed);
+    }
+
+    /// The node's own decayed access mass.
+    #[inline]
+    pub fn access_mass(&self) -> u64 {
+        self.hot.load(Ordering::Relaxed)
+    }
+
+    /// Halve the access counter (periodic decay so adaptation tracks shifting
+    /// workloads). A racing `record_access` may be lost; the counter is a
+    /// heuristic, not an invariant.
+    #[inline]
+    pub fn decay_access_mass(&self) {
+        let mass = self.hot.load(Ordering::Relaxed);
+        if mass > 0 {
+            self.hot.store(mass >> 1, Ordering::Relaxed);
+        }
+    }
+
+    /// The subtree access mass stored by the last maintenance aggregation.
+    #[inline]
+    pub fn subtree_mass(&self) -> u64 {
+        self.hot_sub.load(Ordering::Relaxed)
+    }
+
+    /// Store the subtree access mass (maintenance thread only).
+    #[inline]
+    pub fn set_subtree_mass(&self, mass: u64) {
+        self.hot_sub.store(mass, Ordering::Relaxed);
     }
 
     /// The child cell on the given side.
@@ -218,6 +269,8 @@ mod tests {
         n.rem.unsync_store(RemState::Removed);
         n.left.unsync_store(NodeId(7));
         n.local_h.unsync_store(9);
+        n.record_access(12);
+        n.set_subtree_mass(99);
         n.init_fresh(42, 43);
         assert_eq!(n.key(), 42);
         assert_eq!(n.value.unsync_load(), 43);
@@ -226,6 +279,24 @@ mod tests {
         assert!(!n.del.unsync_load());
         assert_eq!(n.rem.unsync_load(), RemState::Present);
         assert_eq!(n.local_h.unsync_load(), 1);
+        assert_eq!(n.access_mass(), 0);
+        assert_eq!(n.subtree_mass(), 0);
+    }
+
+    #[test]
+    fn access_counter_records_and_decays() {
+        let n = Node::default();
+        assert_eq!(n.access_mass(), 0);
+        n.record_access(64);
+        n.record_access(64);
+        assert_eq!(n.access_mass(), 128);
+        n.decay_access_mass();
+        assert_eq!(n.access_mass(), 64);
+        n.decay_access_mass();
+        n.decay_access_mass();
+        assert_eq!(n.access_mass(), 16);
+        n.set_subtree_mass(200);
+        assert_eq!(n.subtree_mass(), 200);
     }
 
     #[test]

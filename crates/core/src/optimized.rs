@@ -161,15 +161,27 @@ impl OptSpecFriendlyTree {
         &self.core.arena
     }
 
+    /// Override the access-sampling rate (`SF_HOT_SAMPLE`): every `rate`-th
+    /// traversal records its endpoint with weight `rate`; `0` disables.
+    pub fn set_hot_sample(&self, rate: u64) {
+        self.core
+            .hot_sample
+            .store(rate, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Build (but do not start) a maintenance worker using clone-based
     /// rotations.
     pub fn maintenance_worker(&self, ctx: ThreadCtx) -> MaintenanceWorker {
-        MaintenanceWorker::new(
-            self.core.clone(),
-            MaintenanceStyle::CloneBased,
-            ctx,
-            MaintenanceConfig::default(),
-        )
+        self.maintenance_worker_with(ctx, MaintenanceConfig::default())
+    }
+
+    /// [`Self::maintenance_worker`] with a custom configuration.
+    pub fn maintenance_worker_with(
+        &self,
+        ctx: ThreadCtx,
+        config: MaintenanceConfig,
+    ) -> MaintenanceWorker {
+        MaintenanceWorker::new(self.core.clone(), MaintenanceStyle::CloneBased, ctx, config)
     }
 
     /// Spawn the background maintenance (rotator) thread.
@@ -296,6 +308,16 @@ impl TxMap for OptSpecFriendlyTree {
 
     fn len_quiescent(&self) -> usize {
         self.inspect().live_entries().len()
+    }
+
+    fn hot_report(&self) -> Option<crate::map::HotReport> {
+        let mut report = self.inspect().hot_summary();
+        report.hot_rotations = self
+            .core
+            .stats
+            .hot_rotations
+            .load(std::sync::atomic::Ordering::Relaxed);
+        Some(report)
     }
 
     fn name(&self) -> &'static str {

@@ -352,16 +352,27 @@ impl ShardedMap<SpecFriendlyTree> {
     /// instance built from `stm_config` and one classic-rotation maintenance
     /// thread.
     pub fn portable(shard_count: usize, stm_config: StmConfig) -> Self {
+        Self::portable_with(
+            shard_count,
+            stm_config,
+            MaintenanceConfig {
+                pass_delay: Duration::from_micros(200),
+                ..MaintenanceConfig::default()
+            },
+        )
+    }
+
+    /// Like [`ShardedMap::portable`] with explicit maintenance tuning.
+    pub fn portable_with(
+        shard_count: usize,
+        stm_config: StmConfig,
+        maintenance_config: MaintenanceConfig,
+    ) -> Self {
         Self::new_with(shard_count, |_| {
             let stm = Stm::new(stm_config.clone());
             let map = Arc::new(SpecFriendlyTree::new());
-            let maintenance = map.start_maintenance_with(
-                stm.register(),
-                MaintenanceConfig {
-                    pass_delay: Duration::from_micros(200),
-                    ..MaintenanceConfig::default()
-                },
-            );
+            let maintenance =
+                map.start_maintenance_with(stm.register(), maintenance_config.clone());
             ShardParts {
                 stm,
                 map,
@@ -527,6 +538,22 @@ where
             .iter()
             .map(|shard| shard.map.len_quiescent())
             .sum()
+    }
+
+    fn hot_report(&self) -> Option<crate::map::HotReport> {
+        // Same quiescence requirement as `len_quiescent`: the per-shard
+        // traversals read plain node fields.
+        let _paused = self.pause_maintenance();
+        let mut merged: Option<crate::map::HotReport> = None;
+        for shard in self.shards.iter() {
+            if let Some(report) = shard.map.hot_report() {
+                match merged.as_mut() {
+                    Some(acc) => acc.merge(&report),
+                    None => merged = Some(report),
+                }
+            }
+        }
+        merged
     }
 
     fn name(&self) -> &'static str {

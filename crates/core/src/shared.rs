@@ -37,6 +37,10 @@ pub struct TreeStats {
     pub maintenance_passes: AtomicU64,
     /// Nodes recycled after quiescence.
     pub recycled: AtomicU64,
+    /// Rotations performed because a subtree's decayed access mass dominated
+    /// its sibling's (hot-key restructuring), a subset of the left/right
+    /// rotation totals.
+    pub hot_rotations: AtomicU64,
 }
 
 impl TreeStats {
@@ -46,12 +50,33 @@ impl TreeStats {
     }
 }
 
+/// Default access-sampling rate: one in `DEFAULT_HOT_SAMPLE` traversals
+/// records its endpoint (weighted by the rate, so masses approximate true
+/// access counts). Overridden by `SF_HOT_SAMPLE`; `0` disables recording.
+pub const DEFAULT_HOT_SAMPLE: u64 = 64;
+
+fn hot_sample_from_env() -> u64 {
+    std::env::var("SF_HOT_SAMPLE")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_HOT_SAMPLE)
+}
+
+thread_local! {
+    /// Per-thread traversal tick driving the access-sampling decision. Plain
+    /// thread-local arithmetic: no atomics, no STM interaction.
+    static HOT_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Shared interior of a speculation-friendly tree.
 #[derive(Debug, Clone)]
 pub(crate) struct TreeCore {
     pub arena: Arc<TxArena<Node>>,
     pub root: NodeId,
     pub stats: Arc<TreeStats>,
+    /// Access-sampling rate (`SF_HOT_SAMPLE`): every `rate`-th traversal on a
+    /// thread records its endpoint with weight `rate`; `0` disables.
+    pub hot_sample: Arc<AtomicU64>,
 }
 
 impl TreeCore {
@@ -66,6 +91,32 @@ impl TreeCore {
             arena,
             root,
             stats: Arc::new(TreeStats::default()),
+            hot_sample: Arc::new(AtomicU64::new(hot_sample_from_env())),
+        }
+    }
+
+    /// Record one traversal ending at `id`, subject to the sampling rate.
+    /// The counter bump is a relaxed add on a plain atomic — it never joins
+    /// the transaction's read/write sets, so hot-key tracking is invisible
+    /// to conflict detection.
+    #[inline]
+    pub fn record_access_sampled(&self, id: NodeId) {
+        let rate = self.hot_sample.load(Ordering::Relaxed);
+        if rate == 0 {
+            return;
+        }
+        let due = HOT_TICK.with(|tick| {
+            let t = tick.get() + 1;
+            if t >= rate {
+                tick.set(0);
+                true
+            } else {
+                tick.set(t);
+                false
+            }
+        });
+        if due {
+            self.node(id).record_access(rate);
         }
     }
 
@@ -102,6 +153,7 @@ pub(crate) fn tx_get_common<'env, F: FindSpec>(
     key: Key,
 ) -> TxResult<Option<Value>> {
     let found = F::find(core, tx, key)?;
+    core.record_access_sampled(found);
     let node = core.node(found);
     if node.key() == key && !tx.read(&node.del)? {
         Ok(Some(tx.read(&node.value)?))
@@ -120,6 +172,7 @@ pub(crate) fn tx_insert_common<'env, F: FindSpec>(
 ) -> TxResult<bool> {
     assert!(key != SENTINEL_KEY, "the sentinel key is reserved");
     let found = F::find(core, tx, key)?;
+    core.record_access_sampled(found);
     let node = core.node(found);
     if node.key() == key {
         if tx.read(&node.del)? {
@@ -151,6 +204,7 @@ pub(crate) fn tx_delete_common<'env, F: FindSpec>(
     key: Key,
 ) -> TxResult<bool> {
     let found = F::find(core, tx, key)?;
+    core.record_access_sampled(found);
     let node = core.node(found);
     if node.key() != key {
         return Ok(false);
@@ -270,5 +324,29 @@ mod tests {
         stats.left_rotations.store(3, Ordering::Relaxed);
         stats.right_rotations.store(4, Ordering::Relaxed);
         assert_eq!(stats.rotations(), 7);
+    }
+
+    #[test]
+    fn sampled_recording_weights_by_rate() {
+        let core = TreeCore::new(Arc::new(TxArena::with_capacity(1024)));
+        core.hot_sample.store(4, Ordering::Relaxed);
+        let id = core.alloc_fresh(1, 1);
+        // Whatever tick offset earlier tests on this thread left behind,
+        // 8 calls at rate 4 fire exactly 2 samples of weight 4 each.
+        for _ in 0..8 {
+            core.record_access_sampled(id);
+        }
+        assert_eq!(core.node(id).access_mass(), 8);
+    }
+
+    #[test]
+    fn sampling_rate_zero_disables_recording() {
+        let core = TreeCore::new(Arc::new(TxArena::with_capacity(1024)));
+        core.hot_sample.store(0, Ordering::Relaxed);
+        let id = core.alloc_fresh(2, 2);
+        for _ in 0..256 {
+            core.record_access_sampled(id);
+        }
+        assert_eq!(core.node(id).access_mass(), 0);
     }
 }

@@ -544,6 +544,10 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
         self.inner.len_quiescent()
     }
 
+    fn hot_report(&self) -> Option<sf_tree::HotReport> {
+        self.inner.hot_report()
+    }
+
     fn name(&self) -> &'static str {
         self.label
     }
@@ -629,12 +633,14 @@ where
 }
 
 /// Maintenance tuning shared by the sharded durable builders (matching
-/// [`ShardedMap::optimized`]).
+/// [`ShardedMap::optimized`], honouring the `SF_HOTSPOT` / `SF_HOT_DECAY`
+/// environment knobs).
 fn sharded_maintenance_config() -> MaintenanceConfig {
     MaintenanceConfig {
         pass_delay: Duration::from_micros(200),
         ..MaintenanceConfig::default()
     }
+    .with_hotspot_env()
 }
 
 /// A sharded durable **optimized** speculation-friendly tree: per shard, one

@@ -19,15 +19,30 @@
 //! | `avl` | transaction-encapsulated AVL tree |
 //! | `nrtree` | no-restructuring tree |
 //! | `seq` | sequential reference map (single global mutex) |
+//! | `ziptree` | rotation-free randomized zip tree (rebalance-free control) |
 //! | `sftree` | speculation-friendly tree, portable variant |
 //! | `sftree-opt` | speculation-friendly tree, optimized variant |
 //! | `sftree-sharded<N>` | `N`-shard portable speculation-friendly tree |
 //! | `sftree-opt-sharded<N>` | `N`-shard optimized speculation-friendly tree |
+//! | `<sftree…>-hot` | any speculation-friendly name with hot-key restructuring on |
 //! | `<name>+wal` | any of the above behind the `sf-persist` durability layer |
 //!
 //! The speculation-friendly backends come with their background maintenance
 //! thread already running (one per shard for the sharded variants); dropping
 //! the [`Backend`] stops them.
+//!
+//! ## Hot-key restructuring (`-hot`)
+//!
+//! Appending `-hot` to a speculation-friendly name (before any `+wal`)
+//! enables the maintenance thread's hot-key restructuring with its default
+//! tuning (dominance ratio `2.0`, counter decay every `64` passes) and tags
+//! the label (`OptSFtree-hot`). The `SF_HOTSPOT` / `SF_HOT_DECAY`
+//! environment knobs override the tuning; setting `SF_HOTSPOT` alone is a
+//! blanket switch that enables hot restructuring on every
+//! speculation-friendly backend without renaming (ignored by backends that
+//! have no maintenance thread). `-hot` on a baseline name is an error.
+//! The one unsupported combination is an explicit `-hot` on a *sharded*
+//! `+wal` name — use the `SF_HOTSPOT` blanket switch there instead.
 //!
 //! ## Durability (`+wal`)
 //!
@@ -77,7 +92,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap, ZipTree};
 use sf_persist::{DurableMap, WalOptions, WriterMode};
 use sf_stm::{StatsSnapshot, Stm, StmConfig};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
@@ -116,6 +131,7 @@ trait BackendHarness: Send + Sync {
     fn len_quiescent(&self) -> usize;
     fn stats(&self) -> StatsSnapshot;
     fn reset_stats(&self);
+    fn hot_report(&self) -> Option<sf_tree::HotReport>;
 }
 
 struct TreeSession<M: TxMap + 'static> {
@@ -195,6 +211,13 @@ where
             stm.reset_stats();
         }
     }
+
+    fn hot_report(&self) -> Option<sf_tree::HotReport> {
+        // The summary traversal reads plain node fields: park the rotator
+        // between passes first, like `len_quiescent`.
+        let _paused: Vec<_> = self.maintenance.iter().map(|m| m.pause()).collect();
+        self.map.hot_report()
+    }
 }
 
 /// Harness for sharded maps. Sessions register through
@@ -227,6 +250,11 @@ where
 
     fn reset_stats(&self) {
         self.map.reset_stats();
+    }
+
+    fn hot_report(&self) -> Option<sf_tree::HotReport> {
+        // Pauses every shard's maintenance internally.
+        TxMap::hot_report(self.map.as_ref())
     }
 }
 
@@ -281,10 +309,12 @@ pub const KNOWN_NAMES: &[&str] = &[
     "avl",
     "nrtree",
     "seq",
+    "ziptree",
     "sftree",
     "sftree-opt",
     "sftree-sharded<N>",
     "sftree-opt-sharded<N>",
+    "<sftree...>-hot",
     "<any-but-seq>+wal",
 ];
 
@@ -337,11 +367,19 @@ fn wal_dir_for(base: &str) -> PathBuf {
 }
 
 /// Maintenance tuning applied to the speculation-friendly backends built by
-/// the registry (matching the historical harness setting).
-fn registry_maintenance_config() -> MaintenanceConfig {
-    MaintenanceConfig {
+/// the registry (matching the historical harness setting). `hot` — from an
+/// explicit `-hot` name — forces hot-key restructuring on with its default
+/// tuning; either way the `SF_HOTSPOT` / `SF_HOT_DECAY` environment knobs
+/// apply on top.
+fn registry_maintenance_config_hot(hot: bool) -> MaintenanceConfig {
+    let base = MaintenanceConfig {
         pass_delay: Duration::from_micros(200),
         ..MaintenanceConfig::default()
+    };
+    if hot {
+        base.with_hotspot_defaults()
+    } else {
+        base.with_hotspot_env()
     }
 }
 
@@ -358,15 +396,46 @@ impl Backend {
             // only an *explicit* `seq+wal` is an error.
             None => (name, wal_env_enabled() && name != "seq"),
         };
-        if wal {
-            return Backend::build_wal(name, stm_config);
+        let (name, hot) = match name.strip_suffix("-hot") {
+            Some(base) => (base.trim_end(), true),
+            None => (name, false),
+        };
+        if hot && !name.starts_with("sftree") {
+            // Only the speculation-friendly trees have a maintenance thread
+            // to restructure with.
+            return Err(UnknownBackend {
+                name: format!("{name}-hot (hot restructuring needs a speculation-friendly tree)"),
+            });
         }
+        let mut backend = if wal {
+            Backend::build_wal(name, hot, stm_config)?
+        } else {
+            Backend::build_plain(name, hot, stm_config)?
+        };
+        if hot {
+            backend.label.push_str("-hot");
+        }
+        Ok(backend)
+    }
+
+    /// Build a non-durable backend; `hot` forces hot-key restructuring on
+    /// for speculation-friendly names.
+    fn build_plain(
+        name: &str,
+        hot: bool,
+        stm_config: StmConfig,
+    ) -> Result<Backend, UnknownBackend> {
         if let Some(shards) = parse_sharded(name, "sftree-opt-sharded") {
-            let map = ShardedMap::optimized_with(shards, stm_config, registry_maintenance_config());
+            let map = ShardedMap::optimized_with(
+                shards,
+                stm_config,
+                registry_maintenance_config_hot(hot),
+            );
             return Ok(Backend::assemble_sharded(Arc::new(map)));
         }
         if let Some(shards) = parse_sharded(name, "sftree-sharded") {
-            let map = ShardedMap::portable(shards, stm_config);
+            let map =
+                ShardedMap::portable_with(shards, stm_config, registry_maintenance_config_hot(hot));
             return Ok(Backend::assemble_sharded(Arc::new(map)));
         }
         let stm = Stm::new(stm_config);
@@ -391,16 +460,21 @@ impl Backend {
                 vec![stm],
                 Vec::new(),
             )),
+            "ziptree" => Ok(Backend::assemble(
+                Arc::new(ZipTree::new()),
+                vec![stm],
+                Vec::new(),
+            )),
             "sftree" => {
                 let map = Arc::new(SpecFriendlyTree::new());
-                let maintenance =
-                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                let maintenance = map
+                    .start_maintenance_with(stm.register(), registry_maintenance_config_hot(hot));
                 Ok(Backend::assemble(map, vec![stm], vec![maintenance]))
             }
             "sftree-opt" => {
                 let map = Arc::new(OptSpecFriendlyTree::new());
-                let maintenance =
-                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                let maintenance = map
+                    .start_maintenance_with(stm.register(), registry_maintenance_config_hot(hot));
                 Ok(Backend::assemble(map, vec![stm], vec![maintenance]))
             }
             _ => Err(UnknownBackend {
@@ -416,17 +490,23 @@ impl Backend {
     /// # Panics
     /// Panics when the log directory cannot be created or written —
     /// durability was requested and the environment cannot provide it.
-    fn build_wal(base: &str, stm_config: StmConfig) -> Result<Backend, UnknownBackend> {
+    fn build_wal(base: &str, hot: bool, stm_config: StmConfig) -> Result<Backend, UnknownBackend> {
         let options = wal_options_from_env();
         let dir = wal_dir_for(base);
         let open_failed =
             |error: std::io::Error| -> ! { panic!("opening WAL directory {dir:?}: {error}") };
         if let Some(shards) = parse_sharded(base, "sftree-opt-sharded") {
+            if hot {
+                return Err(sharded_wal_hot_unsupported(base));
+            }
             let (map, _recovery) = sf_persist::sharded_optimized(shards, stm_config, &dir, options)
                 .unwrap_or_else(|e| open_failed(e));
             return Ok(Backend::assemble_sharded(Arc::new(map)));
         }
         if let Some(shards) = parse_sharded(base, "sftree-sharded") {
+            if hot {
+                return Err(sharded_wal_hot_unsupported(base));
+            }
             let (map, _recovery) = sf_persist::sharded_portable(shards, stm_config, &dir, options)
                 .unwrap_or_else(|e| open_failed(e));
             return Ok(Backend::assemble_sharded(Arc::new(map)));
@@ -469,16 +549,23 @@ impl Backend {
                 options,
                 Vec::new(),
             )),
+            "ziptree" => Ok(durable(
+                Arc::new(ZipTree::new()),
+                stm,
+                dir,
+                options,
+                Vec::new(),
+            )),
             "sftree" => {
                 let map = Arc::new(SpecFriendlyTree::new());
-                let maintenance =
-                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                let maintenance = map
+                    .start_maintenance_with(stm.register(), registry_maintenance_config_hot(hot));
                 Ok(durable(map, stm, dir, options, vec![maintenance]))
             }
             "sftree-opt" => {
                 let map = Arc::new(OptSpecFriendlyTree::new());
-                let maintenance =
-                    map.start_maintenance_with(stm.register(), registry_maintenance_config());
+                let maintenance = map
+                    .start_maintenance_with(stm.register(), registry_maintenance_config_hot(hot));
                 Ok(durable(map, stm, dir, options, vec![maintenance]))
             }
             "seq" => Err(UnknownBackend {
@@ -549,6 +636,12 @@ impl Backend {
         self.harness.len_quiescent()
     }
 
+    /// Quiescent hot-key summary (maintenance paused for the traversal);
+    /// `None` for backends without access sampling.
+    pub fn hot_report(&self) -> Option<sf_tree::HotReport> {
+        self.harness.hot_report()
+    }
+
     /// STM statistics aggregated over the backend's STM instance(s).
     pub fn stats(&self) -> StatsSnapshot {
         self.harness.stats()
@@ -557,6 +650,15 @@ impl Backend {
     /// Reset the statistics of the backend's STM instance(s).
     pub fn reset_stats(&self) {
         self.harness.reset_stats();
+    }
+}
+
+/// Explicit `-hot` on a sharded `+wal` name: the durable sharded builders
+/// own their maintenance tuning, so only the `SF_HOTSPOT` blanket switch
+/// reaches them.
+fn sharded_wal_hot_unsupported(base: &str) -> UnknownBackend {
+    UnknownBackend {
+        name: format!("{base}-hot+wal (set SF_HOTSPOT=1 instead for sharded durable backends)"),
     }
 }
 
@@ -580,6 +682,7 @@ mod tests {
             ("seq", "Sequential"),
             ("sftree", "SFtree"),
             ("sftree-opt", "OptSFtree"),
+            ("ziptree", "ZipTree"),
         ] {
             let backend = Backend::build(name, StmConfig::ctl()).unwrap();
             assert_eq!(backend.label(), label, "label for {name}");
@@ -643,6 +746,50 @@ mod tests {
         // Unknown bases keep their +wal suffix in the error.
         let err = Backend::build("btree+wal", StmConfig::ctl()).unwrap_err();
         assert_eq!(err.name, "btree+wal");
+    }
+
+    #[test]
+    fn hot_suffix_builds_sf_trees_and_rejects_everything_else() {
+        for (name, label) in [
+            ("sftree-hot", "SFtree-hot"),
+            ("sftree-opt-hot", "OptSFtree-hot"),
+            ("sftree-opt-sharded2-hot", "OptSFtree-sharded2-hot"),
+            ("sftree-opt-hot+wal", "OptSFtree+wal-hot"),
+        ] {
+            let backend = Backend::build(name, StmConfig::ctl()).unwrap();
+            assert_eq!(backend.label(), label, "label for {name}");
+            let mut session = backend.session();
+            assert!(session.insert(7, 70));
+            assert_eq!(session.get(7), Some(70));
+        }
+        // Hot restructuring lives in the maintenance thread; backends
+        // without one reject the suffix.
+        for name in ["rbtree-hot", "avl-hot", "ziptree-hot", "seq-hot"] {
+            let err = Backend::build(name, StmConfig::ctl()).unwrap_err();
+            assert!(err.to_string().contains("speculation-friendly"), "{err}");
+        }
+        // Sharded durable backends take SF_HOTSPOT instead of the suffix.
+        let err = Backend::build("sftree-opt-sharded2-hot+wal", StmConfig::ctl()).unwrap_err();
+        assert!(err.name.contains("SF_HOTSPOT"), "{err}");
+    }
+
+    #[test]
+    fn hot_backends_surface_a_hot_report_and_plain_baselines_do_not() {
+        let backend = Backend::build("sftree-opt-hot", StmConfig::ctl()).unwrap();
+        let mut session = backend.session();
+        for key in 0..64u64 {
+            session.insert(key, key);
+        }
+        let report = backend.hot_report().expect("SF trees sample accesses");
+        assert!(report.sampled_mass < u64::MAX); // shape check: merged fields exist
+        assert!(Backend::build("rbtree", StmConfig::ctl())
+            .unwrap()
+            .hot_report()
+            .is_none());
+        assert!(Backend::build("ziptree", StmConfig::ctl())
+            .unwrap()
+            .hot_report()
+            .is_none());
     }
 
     #[test]

@@ -57,6 +57,12 @@ pub struct WorkloadConfig {
     pub scan_width: u64,
     /// Optional key-distribution bias (Figure 3, right column).
     pub bias: Option<Bias>,
+    /// Optional Zipfian skew parameter θ for point-operation keys
+    /// (`SF_ZIPF_THETA` in the harnesses). When set, lookup/insert/delete
+    /// keys are drawn from a bounded Zipf distribution over the key range
+    /// (rank 0 = key 0 is the hottest) instead of uniformly; range-scan
+    /// origins always use this distribution, at θ = 0.99 when unset.
+    pub zipf_theta: Option<f64>,
     /// Seed for the workload's pseudo-random generators; each thread derives
     /// its own stream from this seed. `SF_SEED` in the harnesses.
     pub seed: u64,
@@ -76,6 +82,7 @@ impl WorkloadConfig {
             scan_ratio: 0.0,
             scan_width: 100,
             bias: None,
+            zipf_theta: None,
             seed: 0x5eed_5eed,
         }
     }
@@ -92,6 +99,7 @@ impl WorkloadConfig {
             scan_ratio: 0.0,
             scan_width: 16,
             bias: None,
+            zipf_theta: None,
             seed: 42,
         }
     }
@@ -138,6 +146,13 @@ impl WorkloadConfig {
         self
     }
 
+    /// Builder-style helper: set the Zipfian skew parameter θ for point
+    /// operations (`None` restores uniform keys).
+    pub fn with_zipf_theta(mut self, theta: Option<f64>) -> Self {
+        self.zipf_theta = theta;
+        self
+    }
+
     /// Builder-style helper: set the workload seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -167,6 +182,7 @@ mod tests {
             .with_move_ratio(0.05)
             .with_scan_ratio(0.1)
             .with_scan_width(64)
+            .with_zipf_theta(Some(0.95))
             .with_seed(0xfeed)
             .with_run(RunLength::Ops(100));
         assert_eq!(c.threads, 8);
@@ -177,6 +193,7 @@ mod tests {
         assert_eq!(c.move_ratio, 0.05);
         assert_eq!(c.scan_ratio, 0.1);
         assert_eq!(c.scan_width, 64);
+        assert_eq!(c.zipf_theta, Some(0.95));
         assert_eq!(c.seed, 0xfeed);
         assert_eq!(c.run, RunLength::Ops(100));
     }

@@ -68,6 +68,11 @@ pub struct WorkloadResult {
     /// process-wide [`sf_persist::stats`] counters across the run. All
     /// zeros when the backend is not a `+wal` variant.
     pub wal: sf_persist::WalStats,
+    /// Hot-key summary taken (quiescently) after the measured phase: hot
+    /// rotations performed, sampled access mass and its average depth, and
+    /// the hottest key's depth. All zeros for backends without access
+    /// sampling (baselines).
+    pub hot: sf_tree::HotReport,
 }
 
 impl WorkloadResult {
@@ -154,7 +159,7 @@ fn worker_loop(
     while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
         match gen.next_op() {
             OpKind::Contains => {
-                let key = gen.uniform_key();
+                let key = gen.lookup_key();
                 if session.contains(key) {
                     report.successful_lookups += 1;
                 }
@@ -242,6 +247,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         elapsed,
         stm: backend.stats(),
         wal: sf_persist::stats::snapshot().delta_since(&wal_before),
+        hot: backend.hot_report().unwrap_or_default(),
     };
     for r in reports {
         result.total_ops += r.ops;

@@ -1,10 +1,76 @@
 //! Key generation for the integer-set micro-benchmark, including the biased
-//! distribution of §5.2.
+//! distribution of §5.2 and the bounded Zipf distribution of the hot-key
+//! restructuring experiments.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{Bias, WorkloadConfig};
+
+/// Skew parameter used for range-scan origins when the workload does not
+/// configure one: close to the classical Zipf singularity, so origins
+/// concentrate on low keys the way dynamic-finger workloads concentrate on
+/// recently-touched ones while still occasionally ranging anywhere.
+pub const DEFAULT_SCAN_THETA: f64 = 0.99;
+
+/// Bounded Zipfian sampler over ranks `0..n` with skew parameter θ, after
+/// Gray et al. ("Quickly generating billion-record synthetic databases",
+/// SIGMOD '94): the ζ-normalizer is precomputed once, each sample is then
+/// O(1). Rank `r` is drawn with probability proportional to `1/(r+1)^θ`, so
+/// rank 0 is the hottest; the identity rank→key mapping keeps hot keys
+/// clustered at the bottom of the key space.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Build a sampler over `[0, n)`. The closed form has a pole at θ = 1,
+    /// so values within `1e-4` of it are nudged below; θ ≤ 0 degenerates to
+    /// uniform (θ = 0 exactly).
+    pub fn new(n: u64, theta: f64) -> Self {
+        let n = n.max(2);
+        let theta = if (theta - 1.0).abs() < 1e-4 {
+            1.0 - 1e-4
+        } else {
+            theta.max(0.0)
+        };
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// `ζ(n, θ) = Σ_{i=1..n} i^-θ`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw one rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
 
 /// The kind of abstract operation an update slot will perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +97,13 @@ pub struct KeyGen {
     scan_ratio: f64,
     scan_width: u64,
     bias: Option<Bias>,
+    /// Zipf sampler for point-operation keys; `None` = uniform.
+    zipf: Option<Zipf>,
+    /// Zipf sampler for range-scan origins, built on first use (at the
+    /// configured θ, or [`DEFAULT_SCAN_THETA`] when the point keys are
+    /// uniform).
+    scan_zipf: Option<Zipf>,
+    scan_theta: f64,
     /// Alternates inserts and deletes so the expected set size stays constant
     /// (the paper performs "an insert and a remove with the same
     /// probability").
@@ -60,12 +133,16 @@ impl KeyGen {
             scan_ratio: 0.0,
             scan_width: 0,
             bias,
+            zipf: None,
+            scan_zipf: None,
+            scan_theta: DEFAULT_SCAN_THETA,
             next_update_is_insert: thread_index.is_multiple_of(2),
         }
     }
 
     /// Create a generator for one worker thread with the full operation mix
-    /// of `config`, including the range-scan family.
+    /// of `config`, including the range-scan family and the optional Zipfian
+    /// point-key distribution.
     pub fn for_config(config: &WorkloadConfig, thread_index: usize) -> Self {
         let mut gen = KeyGen::new(
             config.seed,
@@ -77,6 +154,15 @@ impl KeyGen {
         );
         gen.scan_ratio = config.scan_ratio;
         gen.scan_width = config.scan_width;
+        if let Some(theta) = config.zipf_theta {
+            gen.zipf = Some(Zipf::new(gen.key_range, theta));
+            gen.scan_theta = theta;
+        }
+        if gen.scan_ratio > 0.0 {
+            // Built eagerly so the ζ precomputation stays out of the
+            // measured loop.
+            gen.scan_zipf = Some(Zipf::new(gen.key_range, gen.scan_theta));
+        }
         gen
     }
 
@@ -85,10 +171,24 @@ impl KeyGen {
         self.rng.gen_range(0..self.key_range)
     }
 
+    /// Base key of a point operation: Zipf-distributed when the workload is
+    /// skewed, uniform otherwise.
+    fn point_key(&mut self) -> u64 {
+        match &self.zipf {
+            Some(zipf) => zipf.sample(&mut self.rng),
+            None => self.rng.gen_range(0..self.key_range),
+        }
+    }
+
+    /// Key used for a membership test / lookup.
+    pub fn lookup_key(&mut self) -> u64 {
+        self.point_key()
+    }
+
     /// Key used for an insert: skewed towards the top of the range when the
     /// workload is biased.
     pub fn insert_key(&mut self) -> u64 {
-        let base = self.uniform_key();
+        let base = self.point_key();
         match self.bias {
             None => base,
             Some(Bias { skew }) => (base + self.rng.gen_range(0..skew)).min(self.key_range - 1),
@@ -98,7 +198,7 @@ impl KeyGen {
     /// Key used for a delete: skewed towards the bottom of the range when the
     /// workload is biased.
     pub fn delete_key(&mut self) -> u64 {
-        let base = self.uniform_key();
+        let base = self.point_key();
         match self.bias {
             None => base,
             Some(Bias { skew }) => base.saturating_sub(self.rng.gen_range(0..skew)),
@@ -106,18 +206,20 @@ impl KeyGen {
     }
 
     /// The `[lo, hi]` bounds of one range scan: a window of `scan_width`
-    /// keys whose origin is drawn from a zipf-ish clustered distribution —
-    /// the origin domain is halved geometrically (each halving with
-    /// probability one half) before drawing uniformly, so scans concentrate
-    /// on nearby low keys the way dynamic-finger workloads concentrate on
-    /// recently-touched ones, while still occasionally ranging anywhere.
+    /// keys whose origin is drawn from the bounded Zipf distribution (the
+    /// workload's configured θ, or [`DEFAULT_SCAN_THETA`] when point keys
+    /// are uniform), so scans concentrate on the same hot low keys as the
+    /// skewed point operations while still occasionally ranging anywhere.
     pub fn scan_range(&mut self) -> (u64, u64) {
         let width = self.scan_width.max(1);
-        let mut span = self.key_range;
-        while span > width && self.rng.gen::<f64>() < 0.5 {
-            span /= 2;
+        if self.scan_zipf.is_none() {
+            self.scan_zipf = Some(Zipf::new(self.key_range, self.scan_theta));
         }
-        let lo = self.rng.gen_range(0..span.max(1));
+        let lo = self
+            .scan_zipf
+            .as_ref()
+            .expect("just built")
+            .sample(&mut self.rng);
         (lo, lo.saturating_add(width - 1))
     }
 
@@ -234,12 +336,74 @@ mod tests {
                 low_half += 1;
             }
         }
-        // Geometric halving of the origin domain concentrates origins well
-        // beyond the uniform 50% in the lower half of the key space.
+        // The Zipfian origin distribution concentrates origins well beyond
+        // the uniform 50% in the lower half of the key space.
         assert!(
             low_half as f64 / n as f64 > 0.6,
             "scan origins should cluster low, got {low_half}/{n}"
         );
+    }
+
+    #[test]
+    fn zipf_head_holds_dominant_mass_and_tail_is_thin() {
+        let zipf = Zipf::new(1024, 0.99);
+        let mut rng = StdRng::seed_from_u64(0xcafe);
+        let n = 200_000;
+        let mut counts = vec![0u64; 1024];
+        for _ in 0..n {
+            let rank = zipf.sample(&mut rng);
+            assert!(rank < 1024);
+            counts[rank as usize] += 1;
+        }
+        let head: u64 = counts[..103].iter().sum(); // hottest 10% of keys
+        let tail: u64 = counts[512..].iter().sum(); // coldest half
+                                                    // ζ-ratios at θ=0.99: the head holds ≈ 2/3 of the mass, the tail ≈ 10%.
+        assert!(
+            head as f64 / n as f64 > 0.55,
+            "top-10% keys should dominate, got {head}/{n}"
+        );
+        assert!(
+            (tail as f64 / n as f64) < 0.15,
+            "cold half should be thin, got {tail}/{n}"
+        );
+        // Monotone head: rank 0 is the single hottest key.
+        assert!(counts[0] > counts[1] && counts[1] > counts[8]);
+    }
+
+    #[test]
+    fn higher_theta_concentrates_more_mass_on_the_hottest_key() {
+        let mut hits = [0u64; 2];
+        for (slot, theta) in [(0usize, 0.5), (1usize, 1.2)] {
+            let zipf = Zipf::new(512, theta);
+            let mut rng = StdRng::seed_from_u64(7);
+            hits[slot] = (0..50_000).filter(|_| zipf.sample(&mut rng) == 0).count() as u64;
+        }
+        assert!(
+            hits[1] > 2 * hits[0],
+            "θ=1.2 should hit rank 0 far more than θ=0.5: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn zipf_point_keys_flow_into_every_point_operation() {
+        let config = crate::WorkloadConfig::smoke_test().with_zipf_theta(Some(1.1));
+        let mut g = KeyGen::for_config(&config, 0);
+        let n = 20_000;
+        let low = (0..n)
+            .filter(|_| g.lookup_key() < config.key_range / 8)
+            .count();
+        assert!(
+            low as f64 / n as f64 > 0.5,
+            "skewed lookups should concentrate in the bottom eighth, got {low}/{n}"
+        );
+        let ins_low = (0..n)
+            .filter(|_| g.insert_key() < config.key_range / 8)
+            .count();
+        let del_low = (0..n)
+            .filter(|_| g.delete_key() < config.key_range / 8)
+            .count();
+        assert!(ins_low as f64 / n as f64 > 0.5, "{ins_low}/{n}");
+        assert!(del_low as f64 / n as f64 > 0.5, "{del_low}/{n}");
     }
 
     #[test]

@@ -41,4 +41,4 @@ pub use driver::{
     populate, populate_and_run, populate_and_run_backend, populate_backend, run_workload,
     run_workload_backend, WorkloadResult,
 };
-pub use keygen::{KeyGen, OpKind};
+pub use keygen::{KeyGen, OpKind, Zipf, DEFAULT_SCAN_THETA};

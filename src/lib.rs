@@ -125,7 +125,7 @@ pub use sf_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
-    pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+    pub use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap, ZipTree};
     pub use sf_persist::{DurableMap, Recovery, TempDir, WalOptions};
     pub use sf_stm::{Stm, StmConfig, TCell, ThreadCtx, Transaction, TxKind, TxResult};
     pub use sf_tree::{

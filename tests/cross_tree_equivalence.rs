@@ -6,7 +6,9 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use speculation_friendly_tree::baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use speculation_friendly_tree::baselines::{
+    AvlTree, NoRestructureTree, RedBlackTree, SeqMap, ZipTree,
+};
 use speculation_friendly_tree::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
@@ -130,6 +132,11 @@ fn no_restructure_tree_matches_oracle() {
 #[test]
 fn seq_map_matches_oracle() {
     check_equivalence(SeqMap::new(), 0x6006);
+}
+
+#[test]
+fn zip_tree_matches_oracle() {
+    check_equivalence(ZipTree::new(), 0x8008);
 }
 
 #[test]

@@ -1,13 +1,15 @@
-//! Compare-and-delete coverage for the four baselines. PR 1 added
+//! Compare-and-delete coverage for the baselines. PR 1 added
 //! `TxMap::delete_if` / `TxMapInTx::tx_delete_if` to every structure but
 //! only stress-tested them through `ShardedMap`; these tests pin the
 //! semantics directly on the red-black tree, the AVL tree, the
-//! no-restructuring tree and the sequential map.
+//! no-restructuring tree, the sequential map, and the zip tree.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use speculation_friendly_tree::baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap};
+use speculation_friendly_tree::baselines::{
+    AvlTree, NoRestructureTree, RedBlackTree, SeqMap, ZipTree,
+};
 use speculation_friendly_tree::prelude::*;
 
 /// The point semantics every implementation must share: value-checked
@@ -65,19 +67,21 @@ fn check_tx_delete_if_composes<M: TxMap + TxMapInTx>(map: M) {
 }
 
 #[test]
-fn delete_if_semantics_hold_on_all_four_baselines() {
+fn delete_if_semantics_hold_on_all_baselines() {
     check_delete_if_semantics(RedBlackTree::new());
     check_delete_if_semantics(AvlTree::new());
     check_delete_if_semantics(NoRestructureTree::new());
     check_delete_if_semantics(SeqMap::new());
+    check_delete_if_semantics(ZipTree::new());
 }
 
 #[test]
-fn tx_delete_if_composes_on_all_four_baselines() {
+fn tx_delete_if_composes_on_all_baselines() {
     check_tx_delete_if_composes(RedBlackTree::new());
     check_tx_delete_if_composes(AvlTree::new());
     check_tx_delete_if_composes(NoRestructureTree::new());
     check_tx_delete_if_composes(SeqMap::new());
+    check_tx_delete_if_composes(ZipTree::new());
 }
 
 #[test]
@@ -132,6 +136,7 @@ fn delete_if_matches_a_btreemap_oracle_under_random_sequences() {
     run(AvlTree::new(), 0xa002);
     run(NoRestructureTree::new(), 0xa003);
     run(SeqMap::new(), 0xa004);
+    run(ZipTree::new(), 0xa005);
 }
 
 #[test]

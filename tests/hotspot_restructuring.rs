@@ -1,0 +1,138 @@
+//! Hot-key self-adjusting restructuring, end to end.
+//!
+//! The maintenance thread's hotness-weighted pass must (a) keep the tree a
+//! valid BST while mutators run, (b) actually lift hammered keys toward the
+//! root, and (c) cost the application threads nothing in aborts relative to
+//! the rotation-only maintenance it extends — the counters live outside the
+//! STM's read/write sets by construction.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use speculation_friendly_tree::prelude::*;
+use speculation_friendly_tree::workloads::{self, Backend};
+
+/// Invariants + depth drop under concurrent load: four threads hammer a
+/// small hot set (plus background churn) while a hotspot-enabled maintenance
+/// thread restructures.
+#[test]
+fn hot_passes_preserve_invariants_and_lift_hot_keys_under_load() {
+    let stm = Stm::default_config();
+    let tree = Arc::new(OptSpecFriendlyTree::new());
+    let mut handle = tree.register(stm.register());
+    let n: u64 = 512;
+    for key in 0..n {
+        tree.insert(&mut handle, key, key);
+    }
+    // Let plain height balancing settle first so the depth comparison below
+    // measures the hot lift, not leftover insertion imbalance.
+    {
+        let mut worker = tree.maintenance_worker(stm.register());
+        worker.run_until_stable(256);
+    }
+    let hot_keys: Vec<u64> = (0..n)
+        .max_by_key(|&k| tree.inspect().key_depth(k).unwrap())
+        .into_iter()
+        .chain([n / 3, 2 * n / 3])
+        .collect();
+    let depth_before: usize = hot_keys
+        .iter()
+        .map(|&k| tree.inspect().key_depth(k).unwrap())
+        .sum();
+
+    tree.set_hot_sample(1); // record every traversal: deterministic mass
+    let maintenance = tree.start_maintenance_with(
+        stm.register(),
+        MaintenanceConfig {
+            pass_delay: std::time::Duration::from_micros(20),
+            hotspot_ratio: 2.0,
+            hot_min_mass: 16,
+            ..MaintenanceConfig::default()
+        },
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            let tree = Arc::clone(&tree);
+            let hot_keys = hot_keys.clone();
+            let stop = Arc::clone(&stop);
+            let mut handle = tree.register(stm.register());
+            std::thread::spawn(move || {
+                for i in 0..30_000u64 {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let k = hot_keys[(i % hot_keys.len() as u64) as usize];
+                    tree.get(&mut handle, k);
+                    if i % 64 == 0 {
+                        // Background churn off the hot set keeps the
+                        // maintenance thread busy with ordinary work too.
+                        let cold = n + (t * 1_000) + (i % 97);
+                        tree.insert(&mut handle, cold, cold);
+                        tree.delete(&mut handle, cold);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    // A few more passes while quiescent let pending lifts land.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    maintenance.stop();
+
+    tree.inspect().check_consistency().unwrap();
+    let rotations = tree
+        .stats()
+        .hot_rotations
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(rotations > 0, "hot pass never fired");
+    let depth_after: usize = hot_keys
+        .iter()
+        .map(|&k| tree.inspect().key_depth(k).unwrap())
+        .sum();
+    assert!(
+        depth_after < depth_before,
+        "hammered keys did not rise: {depth_before} -> {depth_after}"
+    );
+    assert_eq!(tree.len_quiescent(), n as usize, "entries lost");
+}
+
+/// The `-hot` registry backend under a skewed workload: it must report hot
+/// rotations, while its abort ratio stays within noise of the rotation-only
+/// twin running the *same* operation streams (same seed, same shape).
+#[test]
+fn hot_backend_rotates_without_costing_mutator_aborts() {
+    let config = WorkloadConfig::paper_default()
+        .with_size(1 << 10)
+        .with_threads(2)
+        .with_update_ratio(0.10)
+        .with_zipf_theta(Some(1.2))
+        .with_seed(0xbeef)
+        .with_run(RunLength::Ops(30_000));
+
+    let plain_backend = Backend::build("sftree-opt", StmConfig::ctl()).unwrap();
+    let plain = workloads::populate_and_run_backend(&plain_backend, &config);
+    let hot_backend = Backend::build("sftree-opt-hot", StmConfig::ctl()).unwrap();
+    let hot = workloads::populate_and_run_backend(&hot_backend, &config);
+
+    assert_eq!(plain.hot.hot_rotations, 0, "rotation-only control");
+    assert!(
+        hot.hot.hot_rotations > 0,
+        "skewed run produced no hot rotations: {:?}",
+        hot.hot
+    );
+    // The access counters are plain relaxed atomics outside every STM read
+    // and write set, and hot rotations ride the maintenance thread's usual
+    // rotation transactions — so the mutators' abort ratio must not move
+    // beyond scheduler noise.
+    assert!(
+        hot.abort_ratio() <= plain.abort_ratio() + 0.05,
+        "hot restructuring cost aborts: {} vs {}",
+        hot.abort_ratio(),
+        plain.abort_ratio()
+    );
+    assert_eq!(hot.total_ops, plain.total_ops, "same op budget");
+}

@@ -19,8 +19,10 @@ const BACKENDS: &[&str] = &[
     "avl",
     "nrtree",
     "seq",
+    "ziptree",
     "sftree",
     "sftree-opt",
+    "sftree-opt-hot",
     "sftree-sharded2",
     "sftree-opt-sharded3",
 ];
