@@ -7,7 +7,7 @@
 //! compared against the red-black baseline come from `SF_STRUCTURES`
 //! (default: `sftree sftree-opt`).
 
-use sf_bench::{base_config, emit_json, run_structure, structures, thread_counts};
+use sf_bench::{base_config, emit_json, run_structure, structures, thread_counts, ExtraJson};
 use sf_stm::StmConfig;
 
 fn main() {
@@ -21,8 +21,16 @@ fn main() {
         let rb_elastic = run_structure("rbtree", StmConfig::elastic(), &config);
         let base_throughput = rb_normal.ops_per_microsecond();
         let pct = |x: f64| (x / base_throughput - 1.0) * 100.0;
-        emit_json("rbtree-baseline", &rb_normal, "\"figure\":\"fig5a\"");
-        emit_json("rbtree-elastic", &rb_elastic, "\"figure\":\"fig5a\"");
+        emit_json(
+            "rbtree-baseline",
+            &rb_normal,
+            &ExtraJson::figure("fig5a").build(),
+        );
+        emit_json(
+            "rbtree-elastic",
+            &rb_elastic,
+            &ExtraJson::figure("fig5a").build(),
+        );
         println!(
             "{:<10} {:<22} {:>9.1}%",
             format!("{update_pct}%"),
@@ -31,7 +39,7 @@ fn main() {
         );
         for name in &names {
             let result = run_structure(name, StmConfig::ctl(), &config);
-            emit_json(name, &result, "\"figure\":\"fig5a\"");
+            emit_json(name, &result, &ExtraJson::figure("fig5a").build());
             println!(
                 "{:<10} {:<22} {:>9.1}%",
                 format!("{update_pct}%"),

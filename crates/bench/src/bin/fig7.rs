@@ -15,7 +15,7 @@
 
 use sf_bench::{
     base_config, emit_json, run_structure, scan_pct, scan_pct_overridden, scan_width, structures,
-    thread_counts,
+    thread_counts, ExtraJson,
 };
 use sf_stm::StmConfig;
 
@@ -57,7 +57,10 @@ fn main() {
                 emit_json(
                     &label,
                     &result,
-                    &format!("\"figure\":\"fig7\",\"scan_pct\":{pct},\"scan_width\":{width}"),
+                    &ExtraJson::figure("fig7")
+                        .num("scan_pct", pct)
+                        .num("scan_width", width)
+                        .build(),
                 );
             }
         }

@@ -7,6 +7,7 @@
 
 use sf_bench::{
     base_config, cell_duration, emit_json, initial_size, run_structure, structures, thread_counts,
+    ExtraJson,
 };
 use sf_stm::StmConfig;
 
@@ -31,7 +32,7 @@ fn main() {
         for ratio in ratios {
             let config = base_config(threads, ratio);
             let result = run_structure(name, StmConfig::ctl(), &config);
-            emit_json(name, &result, "\"figure\":\"table1\"");
+            emit_json(name, &result, &ExtraJson::figure("table1").build());
             label = result.structure.clone();
             cells.push(result.stm.max_reads_per_op);
         }

@@ -19,7 +19,9 @@
 //! `SF_THREADS`, `SF_DURATION_MS`, `SF_SIZE`; select structures with
 //! `SF_STRUCTURES`; `SF_JSON=1` adds one machine-readable line per cell.
 
-use sf_bench::{base_config, emit_json, run_structure, structures, thread_counts, zipf_theta};
+use sf_bench::{
+    base_config, emit_json, run_structure, structures, thread_counts, zipf_theta, ExtraJson,
+};
 use sf_stm::StmConfig;
 
 fn main() {
@@ -46,7 +48,7 @@ fn main() {
                 emit_json(
                     &label,
                     &result,
-                    &format!("\"figure\":\"zipf\",\"theta\":{theta}"),
+                    &ExtraJson::figure("zipf").num("theta", theta).build(),
                 );
             }
         }

@@ -36,13 +36,19 @@
 //! | `SF_WAL_WINDOW_US` | writer-thread batching window (µs) | `100` |
 //! | `SF_WAL_RING` | submission-ring capacity (records) | `1024` |
 //! | `SF_WAL_CKPT_MS` | time-based checkpoint trigger (ms, `0` = off) | off |
+//! | `SF_OBS_SAMPLE` | latency sampling: record 1 in N operations (`0` = off) | `32` |
+//! | `SF_OBS_TRACE` | flight recorder: `1` → 4096-event rings, `N` → N-event | off |
+//! | `SF_OBS_TRACE_DUMP` | `1` → dump the flight trace to stderr after each cell | off |
+//! | `SF_STATS_EVERY_MS` | Prometheus-text emitter period to stderr (`0` = off) | off |
 //!
 //! Every harness's JSON line carries the WAL counters of its measured phase
 //! (`wal_records`, `wal_bytes`, `wal_batches`, `wal_writer_batches`,
 //! `wal_max_ring_depth`, `wal_checkpoints`, `wal_replayed` — all zero for
-//! non-durable backends) plus the STM's `combined_commits`, and the
-//! dedicated `recovery` binary measures replay throughput against log
-//! length. It also carries the hot-key summary taken quiescently after the
+//! non-durable backends) plus the STM's `combined_commits`, the abort-cause
+//! taxonomy (`abort_*`, summing exactly to `aborts`), and the sampled
+//! latency distributions (`lat_*`, nanoseconds; zero when sampling is
+//! disabled or no event of that kind occurred), and the dedicated
+//! `recovery` binary measures replay throughput against log length. It also carries the hot-key summary taken quiescently after the
 //! run (`hot_rotations`, `hot_avg_depth`, `hot_key_depth` — zeros for
 //! structures without access sampling). The `baseline` binary sweeps the
 //! fig3/fig5b/fig7/zipf shapes over the flagship backends and writes the
@@ -160,8 +166,25 @@ pub fn json_enabled() -> bool {
 /// Panics with the registry's name listing when `name` is unknown — harness
 /// binaries surface that directly to the terminal.
 pub fn run_structure(name: &str, stm_config: StmConfig, config: &WorkloadConfig) -> WorkloadResult {
+    observability_init();
     let backend = Backend::build(name, stm_config).unwrap_or_else(|error| panic!("{error}"));
-    populate_and_run_backend(&backend, config)
+    let result = populate_and_run_backend(&backend, config);
+    if std::env::var("SF_OBS_TRACE_DUMP").is_ok_and(|v| v == "1") {
+        sf_obs::FlightRecorder::global().dump_to_stderr();
+    }
+    result
+}
+
+/// One-time per-process observability wiring for the harnesses: dump the
+/// flight trace on panic, and start the `SF_STATS_EVERY_MS` Prometheus-text
+/// emitter when asked. Idempotent.
+pub fn observability_init() {
+    use std::sync::Once;
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        sf_obs::FlightRecorder::install_panic_hook();
+        sf_obs::MetricsRegistry::ensure_emitter_from_env();
+    });
 }
 
 /// Workload configuration shared by the figure harnesses: the paper shape,
@@ -194,6 +217,51 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Builder for the harness-specific `extra` fields of a JSON line — the one
+/// place that knows how to encode them, instead of each binary hand-rolling
+/// a `format!` of escaped fragments.
+///
+/// ```
+/// use sf_bench::ExtraJson;
+/// let extra = ExtraJson::figure("fig7").num("scan_pct", 10).build();
+/// assert_eq!(extra, "\"figure\":\"fig7\",\"scan_pct\":10");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ExtraJson {
+    parts: Vec<String>,
+}
+
+impl ExtraJson {
+    /// Start from the conventional leading `"figure":"<name>"` field every
+    /// figure harness tags its rows with.
+    pub fn figure(name: &str) -> ExtraJson {
+        ExtraJson::default().text("figure", name)
+    }
+
+    /// Append a string-valued field (escaped).
+    pub fn text(mut self, key: &str, value: &str) -> ExtraJson {
+        self.parts.push(format!(
+            "\"{}\":\"{}\"",
+            json_escape(key),
+            json_escape(value)
+        ));
+        self
+    }
+
+    /// Append a numeric field, rendered with `Display` (integers and floats
+    /// both serialize as valid JSON numbers).
+    pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> ExtraJson {
+        self.parts
+            .push(format!("\"{}\":{}", json_escape(key), value));
+        self
+    }
+
+    /// The comma-joined fragment [`result_json`] splices into its line.
+    pub fn build(&self) -> String {
+        self.parts.join(",")
+    }
+}
+
 /// One machine-readable line for a [`WorkloadResult`] (the `BENCH_*.json`
 /// trajectory format). `label` is the harness's row label; `extra` carries
 /// harness-specific fields (e.g. `"figure":"fig3"`), already JSON-encoded.
@@ -205,6 +273,8 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"effective_updates\":{},\"attempted_updates\":{},\"effective_moves\":{},",
             "\"successful_lookups\":{},\"scans\":{},\"scanned_entries\":{},",
             "\"commits\":{},\"combined_commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
+            "\"abort_read_validation\":{},\"abort_lock_conflict\":{},",
+            "\"abort_combiner\":{},\"abort_explicit\":{},\"abort_scan_validation\":{},",
             "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
             "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
             "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{},",
@@ -212,7 +282,12 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"wal_writer_batches\":{},\"wal_max_ring_depth\":{},",
             "\"wal_checkpoints\":{},\"wal_replayed\":{},",
             "\"wal_move_intents\":{},\"wal_moves_resolved\":{},",
-            "\"hot_rotations\":{},\"hot_avg_depth\":{:.3},\"hot_key_depth\":{}"
+            "\"hot_rotations\":{},\"hot_avg_depth\":{:.3},\"hot_key_depth\":{},",
+            "\"lat_samples\":{},\"lat_op_p50_ns\":{},\"lat_op_p99_ns\":{},\"lat_op_max_ns\":{},",
+            "\"lat_contains_p99_ns\":{},\"lat_insert_p99_ns\":{},\"lat_delete_p99_ns\":{},",
+            "\"lat_move_p99_ns\":{},\"lat_scan_p99_ns\":{},",
+            "\"lat_wal_sync_p99_ns\":{},\"lat_wal_fsync_p99_ns\":{},",
+            "\"lat_maint_pass_p99_ns\":{},\"lat_maint_pass_work_p99\":{}"
         ),
         json_escape(label),
         json_escape(&result.structure),
@@ -231,6 +306,11 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.stm.combined_commits,
         result.stm.aborts,
         result.abort_ratio(),
+        result.stm.abort_read_validation,
+        result.stm.abort_lock_conflict,
+        result.stm.abort_combiner,
+        result.stm.abort_explicit,
+        result.stm.abort_scan_validation,
         result.stm.tx_reads,
         result.stm.tx_ureads,
         result.stm.tx_writes,
@@ -253,6 +333,19 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.hot.hot_rotations,
         result.hot.avg_depth,
         result.hot.hottest_depth,
+        result.lat.op.count(),
+        result.lat.op.p50(),
+        result.lat.op.p99(),
+        result.lat.op.max,
+        result.lat.per_op[0].p99(),
+        result.lat.per_op[1].p99(),
+        result.lat.per_op[2].p99(),
+        result.lat.per_op[3].p99(),
+        result.lat.per_op[4].p99(),
+        result.lat.wal_sync.p99(),
+        result.lat.wal_fsync.p99(),
+        result.lat.maint_pass.p99(),
+        result.lat.maint_pass_work.p99(),
     );
     if !extra.is_empty() {
         line.push(',');
@@ -352,7 +445,61 @@ mod tests {
         assert!(line.contains("\"hot_rotations\":"));
         assert!(line.contains("\"hot_avg_depth\":"));
         assert!(line.contains("\"hot_key_depth\":"));
+        // The abort-cause taxonomy and latency families ride on every line.
+        for field in [
+            "\"abort_read_validation\":",
+            "\"abort_lock_conflict\":",
+            "\"abort_combiner\":",
+            "\"abort_explicit\":",
+            "\"abort_scan_validation\":",
+            "\"lat_samples\":",
+            "\"lat_op_p50_ns\":",
+            "\"lat_op_p99_ns\":",
+            "\"lat_op_max_ns\":",
+            "\"lat_contains_p99_ns\":",
+            "\"lat_insert_p99_ns\":",
+            "\"lat_delete_p99_ns\":",
+            "\"lat_move_p99_ns\":",
+            "\"lat_scan_p99_ns\":",
+            "\"lat_wal_sync_p99_ns\":",
+            "\"lat_wal_fsync_p99_ns\":",
+            "\"lat_maint_pass_p99_ns\":",
+            "\"lat_maint_pass_work_p99\":",
+        ] {
+            assert!(line.contains(field), "missing {field} in {line}");
+        }
         // Balanced quotes => even count; cheap smoke check of JSON shape.
         assert_eq!(line.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn abort_causes_sum_to_aborts_in_the_json_line() {
+        let config = WorkloadConfig::smoke_test().with_threads(2);
+        let result = run_structure("sftree-opt", StmConfig::ctl(), &config);
+        let causes = result.stm.abort_read_validation
+            + result.stm.abort_lock_conflict
+            + result.stm.abort_combiner
+            + result.stm.abort_explicit
+            + result.stm.abort_scan_validation;
+        assert_eq!(
+            causes, result.stm.aborts,
+            "abort-cause taxonomy must partition the abort total"
+        );
+    }
+
+    #[test]
+    fn extra_json_builder_matches_the_hand_rolled_fragments() {
+        assert_eq!(ExtraJson::figure("fig5a").build(), "\"figure\":\"fig5a\"");
+        assert_eq!(
+            ExtraJson::figure("zipf").num("theta", 0.8).build(),
+            "\"figure\":\"zipf\",\"theta\":0.8"
+        );
+        assert_eq!(
+            ExtraJson::figure("baseline")
+                .text("backend", "a\"b")
+                .build(),
+            "\"figure\":\"baseline\",\"backend\":\"a\\\"b\""
+        );
+        assert_eq!(ExtraJson::default().build(), "");
     }
 }

@@ -60,8 +60,8 @@ mod shared;
 pub use arena::{ActivityHandle, NodeId, OpGuard, TxArena};
 pub use inspect::TreeInspect;
 pub use maintenance::{
-    MaintenanceConfig, MaintenanceHandle, MaintenancePause, MaintenanceStyle, MaintenanceWorker,
-    PassReport,
+    maintenance_histograms, MaintenanceConfig, MaintenanceHandle, MaintenancePause,
+    MaintenanceStyle, MaintenanceWorker, PassReport,
 };
 pub use map::{
     intern_label, HotReport, ScanOrder, TxMap, TxMapInTx, TxMapVersioned, TxOrderedMapInTx,

@@ -38,11 +38,35 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use sf_obs::{EventKind, FlightRecorder, Histogram, HistogramSnapshot};
 use sf_stm::{ThreadCtx, Transaction, TxResult};
 
 use crate::arena::NodeId;
 use crate::node::{RemState, Side, SENTINEL_KEY};
 use crate::shared::TreeCore;
+
+/// Process-wide histogram of maintenance pass durations (nanoseconds),
+/// across every maintenance worker in the process.
+pub fn pass_duration_histogram() -> &'static Histogram {
+    static PASS_DURATION: Histogram = Histogram::new();
+    &PASS_DURATION
+}
+
+/// Process-wide histogram of per-pass rotation work (rotations performed by
+/// one pass, height- and hotness-driven alike).
+pub fn pass_work_histogram() -> &'static Histogram {
+    static PASS_WORK: Histogram = Histogram::new();
+    &PASS_WORK
+}
+
+/// Snapshot of both maintenance histograms: `(pass duration ns, rotations
+/// per pass)`. The harness deltas these around its measured phase.
+pub fn maintenance_histograms() -> (HistogramSnapshot, HistogramSnapshot) {
+    (
+        pass_duration_histogram().snapshot(),
+        pass_work_histogram().snapshot(),
+    )
+}
 
 /// Which rotation/removal flavour the worker applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +247,7 @@ impl MaintenanceWorker {
     /// nodes, rotate unbalanced ones, then recycle previously retired nodes
     /// if every operation in flight at the start of the pass has drained.
     pub fn run_pass(&mut self) -> PassReport {
+        let started = std::time::Instant::now();
         let mut report = PassReport::default();
         let snapshot = self.core.arena.activity_snapshot();
         let retired_before = self.retired.len();
@@ -241,6 +266,10 @@ impl MaintenanceWorker {
         let stats = &self.core.stats;
         stats.maintenance_passes.fetch_add(1, Ordering::Relaxed);
         stats.recycled.fetch_add(report.recycled, Ordering::Relaxed);
+        // Passes are rare relative to operations, so both pass histograms
+        // record unconditionally (no sampling needed off the hot path).
+        pass_duration_histogram().record_duration(started.elapsed());
+        pass_work_histogram().record(report.rotations);
         report
     }
 
@@ -407,6 +436,8 @@ impl MaintenanceWorker {
             if hot {
                 report.hot_rotations += 1;
                 stats.hot_rotations.fetch_add(1, Ordering::Relaxed);
+                let key = self.core.node(parent).key();
+                FlightRecorder::global().record(EventKind::HotRotation, key, 0);
             }
         }
     }

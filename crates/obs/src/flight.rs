@@ -1,0 +1,336 @@
+//! Flight-recorder tracing: bounded per-thread rings of typed events.
+//!
+//! The cross-layer races this repository has debugged by hand (the WAL
+//! writer-thread batching window against checkpoint triggers, move intents
+//! spanning shard logs, hot rotations racing ordinary maintenance) all
+//! needed the same artifact: *the last few thousand things each thread did,
+//! in order, with timestamps*. The flight recorder is exactly that — a
+//! fixed-capacity ring of [`Event`]s per registered thread, overwritten in a
+//! circle, never allocated on the hot path after registration.
+//!
+//! Tracing is off unless `SF_OBS_TRACE` is set: `1` selects the default
+//! capacity (4096 events per thread), any larger number is used directly as
+//! the per-thread capacity, `0` (or unset) disables tracing and reduces
+//! [`FlightRecorder::record`] to a single relaxed load and branch.
+//!
+//! [`FlightRecorder::install_panic_hook`] chains onto the existing panic
+//! hook so a crashing run dumps its trace to stderr first — the
+//! "SIGKILL-adjacent" post-mortem story. `dump()` renders the merged,
+//! time-ordered trace on demand.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, Once, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Default per-thread ring capacity when `SF_OBS_TRACE=1`.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// What happened. The variants cover the cross-layer transitions PRs 5–7
+/// needed post-mortems for; the two payload words of [`Event`] are
+/// kind-specific (documented per variant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A transaction attempt aborted and will retry. `a` = abort-cause code
+    /// (see the emitting crate), `b` = attempt number.
+    TxnRetry,
+    /// The WAL flushed a batch. `a` = records in the batch, `b` = bytes.
+    BatchFlush,
+    /// A checkpoint trigger fired. `a` = records since the last checkpoint.
+    CheckpointTrigger,
+    /// A checkpoint trigger was deferred (lock held / move in flight).
+    CheckpointDefer,
+    /// A checkpoint completed. `a` = entries snapshotted.
+    CheckpointDone,
+    /// The maintenance thread performed a hot-key rotation. `a` = key.
+    HotRotation,
+    /// A cross-shard move intent was logged. `a` = move id, `b` = source key.
+    MoveIntent,
+    /// A cross-shard move intent was resolved. `a` = moves resolved.
+    MoveResolve,
+}
+
+impl EventKind {
+    fn label(self) -> &'static str {
+        match self {
+            EventKind::TxnRetry => "txn-retry",
+            EventKind::BatchFlush => "batch-flush",
+            EventKind::CheckpointTrigger => "ckpt-trigger",
+            EventKind::CheckpointDefer => "ckpt-defer",
+            EventKind::CheckpointDone => "ckpt-done",
+            EventKind::HotRotation => "hot-rotation",
+            EventKind::MoveIntent => "move-intent",
+            EventKind::MoveResolve => "move-resolve",
+        }
+    }
+}
+
+/// One trace entry: a nanosecond timestamp relative to the recorder's epoch,
+/// the event kind, and two kind-specific payload words.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Nanoseconds since the flight recorder's process-local epoch.
+    pub at_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// First payload word (kind-specific, see [`EventKind`]).
+    pub a: u64,
+    /// Second payload word (kind-specific, see [`EventKind`]).
+    pub b: u64,
+}
+
+/// One thread's bounded ring. Writes are single-writer (the owning thread);
+/// the dump path locks the registry, so a torn read can at worst misreport
+/// one in-flight event.
+struct Ring {
+    name: String,
+    events: Mutex<Vec<Event>>,
+    written: AtomicUsize,
+}
+
+impl Ring {
+    fn push(&self, capacity: usize, event: Event) {
+        let mut events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let written = self.written.fetch_add(1, Ordering::Relaxed);
+        if events.len() < capacity {
+            events.push(event);
+        } else {
+            events[written % capacity] = event;
+        }
+    }
+
+    /// The ring's events in recording order (oldest first).
+    fn ordered(&self) -> Vec<Event> {
+        let events = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let written = self.written.load(Ordering::Relaxed);
+        if written <= events.len() {
+            events.clone()
+        } else {
+            let head = written % events.len();
+            let mut out = Vec::with_capacity(events.len());
+            out.extend_from_slice(&events[head..]);
+            out.extend_from_slice(&events[..head]);
+            out
+        }
+    }
+}
+
+/// The process-wide flight recorder: a registry of per-thread rings plus the
+/// shared epoch. Obtain it with [`FlightRecorder::global`].
+pub struct FlightRecorder {
+    capacity: AtomicUsize,
+    epoch: OnceLock<Instant>,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    static MY_RING: std::cell::RefCell<Option<Arc<Ring>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// `SF_OBS_TRACE` parsed once: `None`/`0` = off, `1` = default capacity,
+/// larger = explicit per-thread capacity.
+fn capacity_from_env() -> usize {
+    match std::env::var("SF_OBS_TRACE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(0)
+    {
+        0 => 0,
+        1 => DEFAULT_TRACE_CAPACITY,
+        n => n,
+    }
+}
+
+impl FlightRecorder {
+    /// The process-wide recorder, configured from `SF_OBS_TRACE` on first
+    /// use.
+    pub fn global() -> &'static FlightRecorder {
+        static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+        GLOBAL.get_or_init(|| FlightRecorder {
+            capacity: AtomicUsize::new(capacity_from_env()),
+            epoch: OnceLock::new(),
+            rings: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// True when tracing is enabled (`SF_OBS_TRACE` nonzero).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.capacity.load(Ordering::Relaxed) != 0
+    }
+
+    /// Override the ring capacity (tests; takes effect for rings registered
+    /// after the call).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    fn now_ns(&self) -> u64 {
+        let epoch = self.epoch.get_or_init(Instant::now);
+        u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn my_ring(&self) -> Option<Arc<Ring>> {
+        MY_RING.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if slot.is_none() {
+                let ring = Arc::new(Ring {
+                    name: std::thread::current()
+                        .name()
+                        .unwrap_or("unnamed")
+                        .to_string(),
+                    events: Mutex::new(Vec::new()),
+                    written: AtomicUsize::new(0),
+                });
+                self.rings
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Arc::clone(&ring));
+                *slot = Some(ring);
+            }
+            slot.clone()
+        })
+    }
+
+    /// Record one event into the calling thread's ring. A no-op (one relaxed
+    /// load, one branch) when tracing is disabled.
+    #[inline]
+    pub fn record(&self, kind: EventKind, a: u64, b: u64) {
+        let capacity = self.capacity.load(Ordering::Relaxed);
+        if capacity == 0 {
+            return;
+        }
+        let at_ns = self.now_ns();
+        match self.my_ring() {
+            Some(ring) => ring.push(capacity, Event { at_ns, kind, a, b }),
+            None => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Render the merged trace: every thread's surviving events, tagged with
+    /// the thread name, sorted by timestamp. Empty string when nothing was
+    /// recorded.
+    pub fn dump(&self) -> String {
+        let rings = self.rings.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut lines: Vec<(u64, String)> = Vec::new();
+        for ring in rings.iter() {
+            for event in ring.ordered() {
+                lines.push((
+                    event.at_ns,
+                    format!(
+                        "[{:>14.6}ms] {:<20} {:<13} a={} b={}",
+                        event.at_ns as f64 / 1_000_000.0,
+                        ring.name,
+                        event.kind.label(),
+                        event.a,
+                        event.b
+                    ),
+                ));
+            }
+        }
+        if lines.is_empty() {
+            return String::new();
+        }
+        lines.sort_by_key(|(at, _)| *at);
+        let mut out = String::with_capacity(lines.len() * 64);
+        out.push_str(&format!(
+            "=== flight recorder: {} events across {} threads ===\n",
+            lines.len(),
+            rings.len()
+        ));
+        for (_, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the trace to stderr (no-op when empty).
+    pub fn dump_to_stderr(&self) {
+        let dump = self.dump();
+        if !dump.is_empty() {
+            eprintln!("{dump}");
+        }
+    }
+
+    /// Chain a panic hook that dumps the flight recorder before the previous
+    /// hook runs. Installed at most once per process; a no-op when tracing
+    /// is disabled at install time.
+    pub fn install_panic_hook() {
+        static INSTALL: Once = Once::new();
+        INSTALL.call_once(|| {
+            if !FlightRecorder::global().enabled() {
+                return;
+            }
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                FlightRecorder::global().dump_to_stderr();
+                previous(info);
+            }));
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is per-process, so tests share it; each uses a
+    // distinct payload range and asserts only on its own events.
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let recorder = FlightRecorder::global();
+        if recorder.enabled() {
+            return; // SF_OBS_TRACE set in the environment; skip.
+        }
+        recorder.record(EventKind::TxnRetry, 1, 1);
+        assert!(!recorder.dump().contains("txn-retry"));
+    }
+
+    #[test]
+    fn ring_wraps_and_preserves_recording_order() {
+        let ring = Ring {
+            name: "t".into(),
+            events: Mutex::new(Vec::new()),
+            written: AtomicUsize::new(0),
+        };
+        for i in 0..10u64 {
+            ring.push(
+                4,
+                Event {
+                    at_ns: i,
+                    kind: EventKind::BatchFlush,
+                    a: i,
+                    b: 0,
+                },
+            );
+        }
+        let ordered = ring.ordered();
+        assert_eq!(ordered.len(), 4);
+        let seen: Vec<u64> = ordered.iter().map(|e| e.a).collect();
+        assert_eq!(seen, vec![6, 7, 8, 9], "last four, oldest first");
+    }
+
+    #[test]
+    fn enabled_recorder_dumps_tagged_sorted_events() {
+        let recorder = FlightRecorder::global();
+        let was_enabled = recorder.enabled();
+        recorder.set_capacity(64);
+        recorder.record(EventKind::CheckpointTrigger, 1234, 0);
+        recorder.record(EventKind::MoveIntent, 7, 99);
+        let dump = recorder.dump();
+        assert!(dump.contains("ckpt-trigger"), "{dump}");
+        assert!(dump.contains("move-intent"), "{dump}");
+        assert!(dump.contains("a=1234"), "{dump}");
+        assert!(dump.starts_with("=== flight recorder:"), "{dump}");
+        if !was_enabled {
+            recorder.set_capacity(0);
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Lock-free fixed-bucket latency histograms.
+//!
+//! The hot paths of this repository (STM retry loops, the WAL writer, the
+//! maintenance rotator) cannot afford a mutex or an allocation per sample,
+//! so the histogram is an array of relaxed atomic counters with
+//! **power-of-two bucket bounds**: bucket `0` holds the value `0` and bucket
+//! `i >= 1` holds the values in `[2^(i-1), 2^i)`. Classifying a sample is a
+//! `leading_zeros` and one `fetch_add`; the exact maximum rides along in a
+//! `fetch_max` so tail reporting is not limited to a bucket bound.
+//!
+//! [`HistogramSnapshot`] is the immutable `Copy` view: bucket counts are
+//! **counters** (they add under [`HistogramSnapshot::merge`] and subtract
+//! under [`HistogramSnapshot::delta_since`]) while the maximum is a
+//! **gauge** (merge takes the max, delta keeps the later value) — the same
+//! counter/gauge discipline as `sf_stm::StatsSnapshot` and
+//! `sf_persist::WalStats`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: value `0`, then one bucket per power of two up to
+/// `2^(BUCKETS-1)`. 44 buckets cover `[0, 2^43)` nanoseconds — about 2.4
+/// hours — before the top bucket saturates.
+pub const BUCKETS: usize = 44;
+
+/// Index of the bucket holding `value`: `0` for `0`, else
+/// `floor(log2(value)) + 1`, clamped into the top bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `index` (`0` for bucket 0, else
+/// `2^index - 1`; the top bucket is unbounded and reports `u64::MAX`).
+#[inline]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// A lock-free histogram of `u64` samples (by convention: nanoseconds, or a
+/// unitless amount of work). All methods take `&self`; recording is a single
+/// relaxed `fetch_add` plus a relaxed `fetch_max`.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram (usable in `static` position via
+    /// [`Histogram::new`]).
+    pub const fn new() -> Self {
+        // `AtomicU64::new` is const, but `from_fn` is not; spell the array
+        // out with a const block so statics need no lazy initialization.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a [`std::time::Duration`] in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, elapsed: std::time::Duration) {
+        self.record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Immutable view of the current counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::default();
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            s.buckets[i] = bucket.load(Ordering::Relaxed);
+        }
+        s.max = self.max.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Reset every bucket and the maximum to zero.
+    pub fn reset(&self) {
+        for bucket in &self.buckets {
+            bucket.store(0, Ordering::Relaxed);
+        }
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable view of a [`Histogram`]: bucket counts plus the exact maximum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_index`] for the bounds).
+    pub buckets: [u64; BUCKETS],
+    /// Exact largest recorded sample (a gauge: [`HistogramSnapshot::merge`]
+    /// takes the max, [`HistogramSnapshot::delta_since`] keeps the later
+    /// value).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Fold another snapshot into this one: bucket counts add, the maximum
+    /// takes the max. Merging is associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.max = self.max.max(other.max);
+    }
+
+    /// Bucket-wise difference against an earlier snapshot of the same
+    /// histogram (saturating, so a concurrent reset cannot underflow). The
+    /// maximum is a gauge and keeps this (the later) snapshot's value.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut delta = *self;
+        for (mine, theirs) in delta.buckets.iter_mut().zip(earlier.buckets.iter()) {
+            *mine = mine.saturating_sub(*theirs);
+        }
+        delta
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket containing the `ceil(q * count)`-th smallest sample,
+    /// clamped to the exact observed maximum (so `percentile(1.0) == max`).
+    /// Returns `0` for an empty snapshot.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (the 50th percentile's bucket upper bound).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every value maps into the bucket whose bound brackets it.
+        for value in [0u64, 1, 2, 3, 7, 8, 1023, 1024, 1 << 42, u64::MAX] {
+            let i = bucket_index(value);
+            assert!(value <= bucket_upper_bound(i), "{value} above bucket {i}");
+            if i > 0 && i < BUCKETS - 1 {
+                assert!(
+                    value > bucket_upper_bound(i - 1),
+                    "{value} belongs below bucket {i}"
+                );
+            }
+        }
+        // Bounds are strictly increasing.
+        for i in 1..BUCKETS {
+            assert!(bucket_upper_bound(i) > bucket_upper_bound(i - 1));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |values: &[u64]| {
+            let h = Histogram::new();
+            for &v in values {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 100, 1 << 20]);
+        let b = mk(&[0, 0, 7, 300]);
+        let c = mk(&[u64::MAX, 2]);
+        let merge = |x: &HistogramSnapshot, y: &HistogramSnapshot| {
+            let mut out = *x;
+            out.merge(y);
+            out
+        };
+        assert_eq!(merge(&a, &b), merge(&b, &a));
+        assert_eq!(merge(&merge(&a, &b), &c), merge(&a, &merge(&b, &c)));
+        assert_eq!(merge(&a, &b).count(), a.count() + b.count());
+        assert_eq!(merge(&a, &c).max, u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_bracket_a_sorted_vec_oracle() {
+        // A deliberately skewed sample set; the histogram's percentile must
+        // land in the same power-of-two bucket as the exact oracle value.
+        let mut values: Vec<u64> = (0..1000u64).map(|i| (i * i * 37) % 100_000).collect();
+        values.push(5_000_000);
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), values.len() as u64);
+        for q in [0.10, 0.50, 0.90, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1) - 1;
+            let oracle = values[rank];
+            let approx = snap.percentile(q);
+            // Same bucket: the reported bound is >= the oracle and less than
+            // twice it (one power-of-two bucket of relative error), except
+            // where the exact max clamps it.
+            assert!(
+                approx >= oracle,
+                "q={q}: reported {approx} below oracle {oracle}"
+            );
+            assert!(
+                approx <= bucket_upper_bound(bucket_index(oracle)).min(snap.max),
+                "q={q}: reported {approx} beyond the oracle's bucket"
+            );
+        }
+        assert_eq!(snap.percentile(1.0), 5_000_000, "p100 is the exact max");
+        assert_eq!(snap.max, 5_000_000);
+    }
+
+    #[test]
+    fn empty_snapshot_reports_zeros() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.max, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_no_samples() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record((t * 1_000_003 + i * 97) % (1 << 30));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), 40_000);
+    }
+
+    #[test]
+    fn delta_since_subtracts_buckets_and_keeps_the_later_max() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(1 << 20);
+        let before = h.snapshot();
+        h.record(10);
+        h.record(500);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count(), 2);
+        assert_eq!(delta.buckets[bucket_index(10)], 1);
+        assert_eq!(delta.buckets[bucket_index(500)], 1);
+        assert_eq!(delta.max, 1 << 20, "max is a gauge");
+        // A reset between snapshots saturates instead of underflowing.
+        h.reset();
+        let after_reset = h.snapshot().delta_since(&before);
+        assert_eq!(after_reset.count(), 0);
+    }
+}

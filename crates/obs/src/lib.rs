@@ -1,0 +1,43 @@
+//! # sf-obs — the unified observability layer
+//!
+//! Every other crate in this workspace (the STM, the tree core, the WAL, the
+//! workload driver, the bench harnesses) reports into this one: it holds the
+//! shared telemetry vocabulary so that abort causes, latency distributions,
+//! and cross-layer event traces all land on a single exposition surface.
+//!
+//! The crate deliberately has **zero dependencies** — it sits below `sf-stm`
+//! in the dependency graph, so it can only use `std`.
+//!
+//! Four pieces:
+//!
+//! - [`histogram`] — lock-free fixed-bucket latency histograms
+//!   ([`Histogram`], [`HistogramSnapshot`]) with power-of-two bounds,
+//!   merge/delta discipline, and p50/p99/max reporting.
+//! - [`sample`] — the [`Sampler`], a per-thread decimation counter driven by
+//!   `SF_OBS_SAMPLE` so hot paths only pay for timing on 1-in-N operations.
+//! - [`flight`] — the flight recorder: bounded per-thread rings of typed
+//!   [`Event`]s (txn retry, batch flush, checkpoint trigger, hot rotation,
+//!   move intent/resolve), enabled by `SF_OBS_TRACE` and dumped on demand or
+//!   from a panic hook for post-mortem of cross-layer races.
+//! - [`registry`] — the [`MetricsRegistry`]: named sample sources registered
+//!   by each layer, rendered as Prometheus-style text, optionally emitted
+//!   periodically to stderr by a background thread (`SF_STATS_EVERY_MS`).
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `SF_OBS_SAMPLE` | record 1-in-N op/sync latencies (`0` = off) | `32` |
+//! | `SF_OBS_TRACE` | flight-recorder ring capacity (`1` → 4096, `0` = off) | off |
+//! | `SF_STATS_EVERY_MS` | emit Prometheus text to stderr every N ms | off |
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod flight;
+pub mod histogram;
+pub mod registry;
+pub mod sample;
+
+pub use flight::{Event, EventKind, FlightRecorder};
+pub use histogram::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{MetricSample, MetricsRegistry, SourceGuard};
+pub use sample::Sampler;

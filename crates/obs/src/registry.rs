@@ -1,0 +1,221 @@
+//! The metrics exposition surface.
+//!
+//! Each layer (STM, WAL, maintenance, workload driver) registers a *source*
+//! — a closure that appends [`MetricSample`]s describing its current state —
+//! with the process-wide [`MetricsRegistry`]. The registry renders all
+//! sources into Prometheus-style text (`name{labels} value`), either on
+//! demand ([`MetricsRegistry::render_prometheus`]) or periodically to stderr
+//! from a background emitter thread gated by `SF_STATS_EVERY_MS`. This is
+//! the endpoint a future network front-end mounts directly; until then the
+//! emitter gives long benchmark runs a live telemetry feed without touching
+//! stdout (which carries the `SF_JSON` lines CI parses).
+
+use std::fmt::Write as _;
+use std::sync::{Mutex, Once, OnceLock, PoisonError};
+
+/// One exposition sample: a metric name, optional `key="value"` labels, and
+/// the current value.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric name (Prometheus conventions: `sf_` prefix, snake_case,
+    /// `_total` suffix for counters).
+    pub name: &'static str,
+    /// Label pairs, rendered `{k="v",...}`; empty for unlabelled metrics.
+    pub labels: Vec<(&'static str, String)>,
+    /// Current value.
+    pub value: f64,
+}
+
+impl MetricSample {
+    /// An unlabelled sample.
+    pub fn new(name: &'static str, value: f64) -> Self {
+        MetricSample {
+            name,
+            labels: Vec::new(),
+            value,
+        }
+    }
+
+    /// Add one label pair (builder-style).
+    pub fn label(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.labels.push((key, value.into()));
+        self
+    }
+}
+
+type Source = Box<dyn Fn(&mut Vec<MetricSample>) + Send + Sync>;
+
+struct Registered {
+    id: u64,
+    source: Source,
+}
+
+/// The process-wide registry of metric sources. Obtain it with
+/// [`MetricsRegistry::global`].
+pub struct MetricsRegistry {
+    sources: Mutex<Vec<Registered>>,
+    next_id: Mutex<u64>,
+}
+
+/// RAII handle for a registered source: dropping it unregisters the source,
+/// so short-lived scopes (one workload run) can expose live state safely.
+pub struct SourceGuard {
+    id: u64,
+}
+
+impl Drop for SourceGuard {
+    fn drop(&mut self) {
+        let registry = MetricsRegistry::global();
+        let mut sources = registry
+            .sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        sources.retain(|r| r.id != self.id);
+    }
+}
+
+impl MetricsRegistry {
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| MetricsRegistry {
+            sources: Mutex::new(Vec::new()),
+            next_id: Mutex::new(0),
+        })
+    }
+
+    /// Register a sample source; it stays live until the returned guard
+    /// drops.
+    #[must_use = "dropping the guard unregisters the source"]
+    pub fn register(
+        &self,
+        source: impl Fn(&mut Vec<MetricSample>) + Send + Sync + 'static,
+    ) -> SourceGuard {
+        let id = {
+            let mut next = self.next_id.lock().unwrap_or_else(PoisonError::into_inner);
+            *next += 1;
+            *next
+        };
+        self.sources
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Registered {
+                id,
+                source: Box::new(source),
+            });
+        SourceGuard { id }
+    }
+
+    /// Collect every source's current samples.
+    pub fn collect(&self) -> Vec<MetricSample> {
+        let sources = self.sources.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut samples = Vec::new();
+        for registered in sources.iter() {
+            (registered.source)(&mut samples);
+        }
+        samples
+    }
+
+    /// Render every sample as Prometheus-style text: one `name{labels}
+    /// value` line per sample, integers without a decimal point.
+    pub fn render_prometheus(&self) -> String {
+        let samples = self.collect();
+        let mut out = String::with_capacity(samples.len() * 48);
+        for sample in samples {
+            out.push_str(sample.name);
+            if !sample.labels.is_empty() {
+                out.push('{');
+                for (i, (key, value)) in sample.labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+                    let _ = write!(out, "{key}=\"{escaped}\"");
+                }
+                out.push('}');
+            }
+            if sample.value.fract() == 0.0 && sample.value.abs() < 1e15 {
+                let _ = writeln!(out, " {}", sample.value as i64);
+            } else {
+                let _ = writeln!(out, " {}", sample.value);
+            }
+        }
+        out
+    }
+
+    /// Start the periodic emitter thread if `SF_STATS_EVERY_MS` is set to a
+    /// nonzero interval: every interval it prints the Prometheus rendering
+    /// to **stderr** (stdout is reserved for `SF_JSON` lines). Idempotent;
+    /// the thread is a daemon (detached) and exits with the process.
+    pub fn ensure_emitter_from_env() {
+        static START: Once = Once::new();
+        START.call_once(|| {
+            let every_ms: u64 = std::env::var("SF_STATS_EVERY_MS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            if every_ms == 0 {
+                return;
+            }
+            std::thread::Builder::new()
+                .name("sf-obs-emitter".into())
+                .spawn(move || loop {
+                    std::thread::sleep(std::time::Duration::from_millis(every_ms));
+                    let text = MetricsRegistry::global().render_prometheus();
+                    if !text.is_empty() {
+                        eprint!("{text}");
+                    }
+                })
+                .expect("spawn sf-obs-emitter");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global and tests run concurrently, so each
+    // test uses distinct metric names and filters its own lines.
+
+    #[test]
+    fn sources_render_and_unregister_on_drop() {
+        let registry = MetricsRegistry::global();
+        let guard = registry.register(|out| {
+            out.push(MetricSample::new("sf_test_render_total", 41.0));
+            out.push(
+                MetricSample::new("sf_test_render_labelled", 1.5)
+                    .label("structure", "sftree")
+                    .label("quote", "a\"b"),
+            );
+        });
+        let text = registry.render_prometheus();
+        assert!(text.contains("sf_test_render_total 41\n"), "{text}");
+        assert!(
+            text.contains("sf_test_render_labelled{structure=\"sftree\",quote=\"a\\\"b\"} 1.5\n"),
+            "{text}"
+        );
+        drop(guard);
+        let text = registry.render_prometheus();
+        assert!(!text.contains("sf_test_render_total"), "{text}");
+    }
+
+    #[test]
+    fn every_rendered_line_parses_as_name_labels_value() {
+        let registry = MetricsRegistry::global();
+        let _guard = registry.register(|out| {
+            out.push(MetricSample::new("sf_test_parse_a_total", 7.0));
+            out.push(MetricSample::new("sf_test_parse_b", 0.25).label("k", "v"));
+        });
+        for line in registry.render_prometheus().lines() {
+            let (name_part, value_part) =
+                line.rsplit_once(' ').expect("line has a value separator");
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in {line:?}"
+            );
+            assert!(value_part.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Cheap 1-in-N decimation for hot-path timing.
+//!
+//! Reading a clock twice per operation is cheap but not free; at the tens of
+//! millions of ops per second the STM reaches on small trees it shows up.
+//! The [`Sampler`] keeps the hot path hot: one branch and one increment per
+//! operation, a timestamp only every `rate`-th call. The rate comes from
+//! `SF_OBS_SAMPLE` (default 32, `0` disables sampling entirely), read once
+//! per process.
+
+use std::sync::OnceLock;
+
+/// Default sampling rate when `SF_OBS_SAMPLE` is unset: time 1 in 32 ops.
+pub const DEFAULT_SAMPLE_RATE: u64 = 32;
+
+/// The process-wide sampling rate from `SF_OBS_SAMPLE` (`0` = sampling off),
+/// read once and cached.
+pub fn sample_rate_from_env() -> u64 {
+    static RATE: OnceLock<u64> = OnceLock::new();
+    *RATE.get_or_init(|| {
+        std::env::var("SF_OBS_SAMPLE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SAMPLE_RATE)
+    })
+}
+
+/// A per-thread decimation counter: [`Sampler::tick`] returns `true` on one
+/// call in `rate` (and never when the rate is `0`). Not shared between
+/// threads — give each worker its own so the counter stays a plain integer.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    rate: u64,
+    tick: u64,
+}
+
+impl Sampler {
+    /// A sampler with an explicit rate (`0` = never sample).
+    pub fn new(rate: u64) -> Self {
+        Sampler { rate, tick: 0 }
+    }
+
+    /// A sampler using the process-wide `SF_OBS_SAMPLE` rate.
+    pub fn from_env() -> Self {
+        Sampler::new(sample_rate_from_env())
+    }
+
+    /// The configured rate (`0` = disabled).
+    pub fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    /// Advance the counter; `true` means "time this one".
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        if self.rate == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if self.tick >= self.rate {
+            self.tick = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        Sampler::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_fires_once_per_rate_window() {
+        let mut s = Sampler::new(4);
+        let fired: Vec<bool> = (0..12).map(|_| s.tick()).collect();
+        assert_eq!(fired.iter().filter(|&&b| b).count(), 3);
+        assert_eq!(
+            fired,
+            vec![false, false, false, true, false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn rate_zero_never_fires() {
+        let mut s = Sampler::new(0);
+        assert!((0..1000).all(|_| !s.tick()));
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut s = Sampler::new(1);
+        assert!((0..1000).all(|_| s.tick()));
+    }
+}

@@ -73,6 +73,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
+use sf_obs::{EventKind, FlightRecorder, Sampler};
 use sf_stm::{Stm, StmConfig, ThreadCtx, Transaction, TxResult};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
 use sf_tree::{
@@ -91,6 +92,9 @@ use crate::stats;
 pub struct DurableHandle<M: TxMap> {
     inner: M::Handle,
     ticket: Arc<AtomicU64>,
+    /// Decimates the commit path's enqueue-to-durable wait timing
+    /// (`SF_OBS_SAMPLE`), so the sync path only reads the clock 1-in-N.
+    sampler: Sampler,
 }
 
 impl<M: TxMap> DurableHandle<M> {
@@ -344,7 +348,13 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         if seq == 0 {
             return;
         }
-        self.wal.sync_to(seq);
+        if handle.sampler.tick() {
+            let started = std::time::Instant::now();
+            self.wal.sync_to(seq);
+            self.wal.stats().note_sync_wait(started.elapsed());
+        } else {
+            self.wal.sync_to(seq);
+        }
         let triggers_in_writer =
             self.options.group > 0 && self.options.writer == WriterMode::Thread;
         if !triggers_in_writer
@@ -366,6 +376,7 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
         DurableHandle {
             inner: self.inner.register(ctx),
             ticket: Arc::new(AtomicU64::new(0)),
+            sampler: Sampler::from_env(),
         }
     }
 
@@ -469,6 +480,7 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
         });
         self.wal.sync_to(seq);
         stats::note_move_intent();
+        FlightRecorder::global().record(EventKind::MoveIntent, move_id, from);
         let moved = body();
         // The marker carries the maximum version so the group-commit
         // writer's within-batch version sort can never place it ahead of

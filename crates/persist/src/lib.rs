@@ -63,5 +63,5 @@ pub use durable::{
 pub use log::{Wal, WalOptions, WalShared, WriterMode};
 pub use record::{WalOp, WalRecord};
 pub use recovery::{recover, recover_sharded, shard_dir, MoveIntentInfo, Recovery};
-pub use stats::WalStats;
+pub use stats::{LogStats, WalStats};
 pub use tempdir::TempDir;

@@ -73,9 +73,13 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{JoinHandle, ThreadId};
 use std::time::{Duration, Instant};
 
+use sf_obs::{EventKind, FlightRecorder};
 use sf_tree::{Key, Value};
 
 use crate::record::{write_frame, WalRecord};
+use crate::stats::LogStats;
+
+#[cfg(test)]
 use crate::stats;
 
 /// Name of the durable checkpoint image inside a log directory.
@@ -198,6 +202,9 @@ pub struct WalShared {
     /// Test-only failure injection: the next flush batch fails its fsync.
     #[doc(hidden)]
     pub fail_next_flush: AtomicBool,
+    /// This log's own counters and latency histograms (every note
+    /// double-books into the process-wide `stats` aggregate).
+    stats: LogStats,
 }
 
 /// A commit-ordered write-ahead log over one directory. See the
@@ -262,6 +269,14 @@ impl WalShared {
         self.records_since_checkpoint.load(Ordering::Relaxed)
     }
 
+    /// This log's own statistics (counters and latency histograms), scoped
+    /// to this instance: concurrent logs — other shards, other tests — do
+    /// not show up here. The process-wide aggregate stays available through
+    /// [`stats::snapshot`].
+    pub fn stats(&self) -> &LogStats {
+        &self.stats
+    }
+
     fn lock_state(&self) -> std::sync::MutexGuard<'_, PendingState> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -309,7 +324,7 @@ impl WalShared {
         state.enqueued_seq += 1;
         self.records_since_checkpoint
             .fetch_add(1, Ordering::Relaxed);
-        stats::note_ring_depth(state.pending.len() as u64);
+        self.stats.note_ring_depth(state.pending.len() as u64);
         let seq = state.enqueued_seq;
         drop(state);
         self.work.notify_one();
@@ -423,6 +438,7 @@ impl WalShared {
         for record in &batch {
             record.encode_into(&mut buf);
         }
+        let io_started = Instant::now();
         let result: io::Result<()> = (|| {
             if self.fail_next_flush.swap(false, Ordering::Relaxed) {
                 return Err(io::Error::other("injected WAL flush failure"));
@@ -432,12 +448,20 @@ impl WalShared {
             segment.file.sync_data()?;
             Ok(())
         })();
+        let io_elapsed = io_started.elapsed();
 
         let mut state = self.lock_state();
         state.flushing = false;
         match result {
             Ok(()) => {
-                stats::note_batch(take as u64, buf.len() as u64, by_writer_thread);
+                self.stats
+                    .note_batch(take as u64, buf.len() as u64, by_writer_thread);
+                self.stats.note_fsync(io_elapsed);
+                FlightRecorder::global().record(
+                    EventKind::BatchFlush,
+                    take as u64,
+                    buf.len() as u64,
+                );
                 state.durable_seq += take as u64;
             }
             Err(error) => {
@@ -526,7 +550,8 @@ impl WalShared {
             .last_checkpoint_at
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = Instant::now();
-        stats::note_checkpoint();
+        self.stats.note_checkpoint();
+        FlightRecorder::global().record(EventKind::CheckpointDone, entries.len() as u64, version);
         Ok(())
     }
 
@@ -557,17 +582,30 @@ impl WalShared {
         if !self.checkpoint_due() {
             return true;
         }
+        FlightRecorder::global().record(
+            EventKind::CheckpointTrigger,
+            self.records_since_checkpoint(),
+            0,
+        );
         let mut hook = self
             .checkpoint_hook
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        match hook.as_mut() {
+        let ran = match hook.as_mut() {
             // The hook try-locks the durable map's checkpoint lock; `false`
             // means a move (or an explicit checkpoint) holds it — stay
             // deferred and let the writer retry on its next wakeup.
             Some(hook) => hook(self),
             None => true,
+        };
+        if !ran {
+            FlightRecorder::global().record(
+                EventKind::CheckpointDefer,
+                self.records_since_checkpoint(),
+                0,
+            );
         }
+        ran
     }
 
     /// The writer thread's main loop: drain batches honoring the batching
@@ -693,6 +731,7 @@ impl Wal {
             checkpoint_hook: Mutex::new(None),
             writer_thread: Mutex::new(None),
             fail_next_flush: AtomicBool::new(false),
+            stats: LogStats::new(),
         });
         let writer = if shared.thread_mode() {
             let thread_shared = Arc::clone(&shared);
@@ -737,6 +776,11 @@ impl Wal {
     /// Records enqueued since the last completed checkpoint.
     pub fn records_since_checkpoint(&self) -> u64 {
         self.shared.records_since_checkpoint()
+    }
+
+    /// See [`WalShared::stats`].
+    pub fn stats(&self) -> &LogStats {
+        self.shared.stats()
     }
 
     /// See [`WalShared::enqueue`].

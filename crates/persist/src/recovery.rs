@@ -560,6 +560,9 @@ fn resolve_cross_shard_moves(per: &mut [Recovery]) -> io::Result<MoveResolutionP
         }
     }
     stats::note_moves_resolved(resolved);
+    if resolved > 0 {
+        sf_obs::FlightRecorder::global().record(sf_obs::EventKind::MoveResolve, resolved, 0);
+    }
     Ok(plan)
 }
 

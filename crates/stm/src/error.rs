@@ -20,8 +20,28 @@ pub enum AbortReason {
     CommitLocked,
     /// Read-set validation at commit failed.
     CommitValidation,
+    /// The flat-combining commit slot could not be acquired: the combined
+    /// publication path lost its spinning lock acquisition to a competing
+    /// combiner.
+    CombinerConflict,
     /// The user requested an explicit abort/retry.
     Explicit,
+}
+
+impl AbortReason {
+    /// Stable small-integer code for flight-recorder payloads (the trace
+    /// event's `a` word; see `sf_obs::EventKind::TxnRetry`).
+    pub const fn code(self) -> u64 {
+        match self {
+            AbortReason::ReadLocked => 1,
+            AbortReason::ReadVersion => 2,
+            AbortReason::WriteLocked => 3,
+            AbortReason::CommitLocked => 4,
+            AbortReason::CommitValidation => 5,
+            AbortReason::CombinerConflict => 6,
+            AbortReason::Explicit => 7,
+        }
+    }
 }
 
 /// The abort token carried through `?` propagation inside a transaction body.

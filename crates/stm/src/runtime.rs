@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use crate::clock::GlobalClock;
 use crate::config::{StmConfig, TxKind};
-use crate::error::{AbortReason, TxResult};
+use crate::error::TxResult;
 use crate::stats::{StatsRegistry, StatsSnapshot, ThreadStats};
 use crate::txn::Transaction;
 
@@ -152,6 +152,7 @@ impl ThreadCtx {
         let combine = config.combine_write_sets > 0
             && config.acquisition == crate::config::LockAcquisition::CommitTime
             && kind != TxKind::ReadOnly;
+        let flight = sf_obs::FlightRecorder::global();
         let mut attempt: u32 = 0;
         let mut reads_this_op: u64 = 0;
         loop {
@@ -178,23 +179,24 @@ impl ThreadCtx {
                         }
                         Some((value, info.commit_version))
                     }
-                    Err(_) => {
-                        stats.aborts.fetch_add(1, Ordering::Relaxed);
-                        if kind == TxKind::ReadOnly {
-                            stats.scan_aborts.fetch_add(1, Ordering::Relaxed);
-                        }
+                    Err(abort) => {
+                        stats.record_abort(kind, abort.reason);
+                        flight.record(
+                            sf_obs::EventKind::TxnRetry,
+                            abort.reason.code(),
+                            u64::from(attempt) + 1,
+                        );
                         None
                     }
                 },
                 Err(abort) => {
                     tx.rollback();
-                    stats.aborts.fetch_add(1, Ordering::Relaxed);
-                    if kind == TxKind::ReadOnly {
-                        stats.scan_aborts.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if abort.reason == AbortReason::Explicit {
-                        stats.explicit_aborts.fetch_add(1, Ordering::Relaxed);
-                    }
+                    stats.record_abort(kind, abort.reason);
+                    flight.record(
+                        sf_obs::EventKind::TxnRetry,
+                        abort.reason.code(),
+                        u64::from(attempt) + 1,
+                    );
                     None
                 }
             };

@@ -6,67 +6,149 @@
 //! throughput, and §5.5 reports rotation counts. The counters here provide
 //! all the raw material: per-thread atomic counters aggregated into a
 //! [`StatsSnapshot`] by the harness.
+//!
+//! Every field is declared once in the [`define_stats!`] table with an
+//! explicit **kind** — `counter` (adds under [`StatsSnapshot::merge`]) or
+//! `max` (a high-water mark that takes the maximum) — and the struct,
+//! aggregation, merge, and reset code are all generated from that single
+//! list, so a new field cannot silently get the wrong merge semantics.
+//!
+//! Aborts are classified into a *cause taxonomy* (the `abort_*` counters)
+//! with the invariant that the causes **partition** `aborts`: their sum is
+//! exactly the total. The partition is by transaction kind first — every
+//! read-only scan abort is `abort_scan_validation` — then by
+//! [`AbortReason`]: version/validation failures are `abort_read_validation`,
+//! lock-acquisition failures are `abort_lock_conflict`, flat-combining slot
+//! conflicts are `abort_combiner`, and user-requested retries are
+//! `abort_explicit`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-/// Per-thread transaction counters. All counters are cumulative since the
-/// last reset.
-#[derive(Debug, Default)]
-pub struct ThreadStats {
-    /// Committed transactions.
-    pub commits: AtomicU64,
-    /// Committed transactions that published through the flat-combining
-    /// slot (the contended small-write-set fast path).
-    pub combined_commits: AtomicU64,
-    /// Aborted attempts (all causes).
-    pub aborts: AtomicU64,
-    /// Aborts requested explicitly by user code.
-    pub explicit_aborts: AtomicU64,
-    /// Transactional reads (read-set tracked).
-    pub tx_reads: AtomicU64,
-    /// Unit reads (not tracked in the read set).
-    pub tx_ureads: AtomicU64,
-    /// Transactional writes.
-    pub tx_writes: AtomicU64,
-    /// Elastic cuts performed (E-STM style read-set truncation).
-    pub elastic_cuts: AtomicU64,
-    /// Maximum transactional reads accumulated by one operation across all of
-    /// its attempts (the quantity of Table 1).
-    pub max_reads_per_op: AtomicU64,
-    /// Maximum read-set size observed at commit.
-    pub max_read_set: AtomicU64,
-    /// Maximum write-set size observed at commit.
-    pub max_write_set: AtomicU64,
-    /// Committed read-only scan transactions ([`crate::TxKind::ReadOnly`]).
-    pub scan_commits: AtomicU64,
-    /// Aborted read-only scan attempts.
-    pub scan_aborts: AtomicU64,
-    /// Maximum read-set size observed at the commit of a scan transaction
-    /// (how much of the structure one ordered scan had to protect).
-    pub max_scan_read_set: AtomicU64,
+use crate::config::TxKind;
+use crate::error::AbortReason;
+
+/// Per-field merge: counters add, high-water marks take the max.
+macro_rules! stat_merge_one {
+    (counter, $self:ident, $other:ident, $field:ident) => {
+        $self.$field += $other.$field;
+    };
+    (max, $self:ident, $other:ident, $field:ident) => {
+        $self.$field = $self.$field.max($other.$field);
+    };
+}
+
+/// Per-field aggregation of one thread's atomics into a snapshot.
+macro_rules! stat_accumulate_one {
+    (counter, $snap:ident, $thread:ident, $field:ident) => {
+        $snap.$field += $thread.$field.load(Ordering::Relaxed);
+    };
+    (max, $snap:ident, $thread:ident, $field:ident) => {
+        $snap.$field = $snap.$field.max($thread.$field.load(Ordering::Relaxed));
+    };
+}
+
+/// Declare every statistic once: `kind field: "doc"`. Generates
+/// [`ThreadStats`], [`StatsSnapshot`], the aggregation loop, `merge`, and
+/// `reset` so the kind (counter vs max) is applied consistently everywhere.
+macro_rules! define_stats {
+    ($( $kind:ident $field:ident : $doc:expr, )*) => {
+        /// Per-thread transaction counters. All counters are cumulative
+        /// since the last reset.
+        #[derive(Debug, Default)]
+        pub struct ThreadStats {
+            $( #[doc = $doc] pub $field: AtomicU64, )*
+        }
+
+        impl ThreadStats {
+            fn reset(&self) {
+                $( self.$field.store(0, Ordering::Relaxed); )*
+            }
+        }
+
+        /// Aggregated, immutable view of the counters of every registered
+        /// thread.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct StatsSnapshot {
+            $( #[doc = $doc] pub $field: u64, )*
+        }
+
+        impl StatsSnapshot {
+            /// Fold another snapshot into this one: counters add up,
+            /// high-water marks take the maximum. Used to aggregate
+            /// statistics across several STM instances (e.g. the per-shard
+            /// instances of a sharded map).
+            pub fn merge(&mut self, other: &StatsSnapshot) {
+                $( stat_merge_one!($kind, self, other, $field); )*
+            }
+        }
+
+        impl StatsRegistry {
+            pub(crate) fn snapshot(&self) -> StatsSnapshot {
+                let threads = self.threads.lock();
+                let mut s = StatsSnapshot::default();
+                for t in threads.iter() {
+                    $( stat_accumulate_one!($kind, s, t, $field); )*
+                }
+                s
+            }
+        }
+    };
+}
+
+define_stats! {
+    counter commits:
+        "Committed transactions.",
+    counter combined_commits:
+        "Committed transactions that published through the flat-combining \
+         slot (the contended small-write-set fast path).",
+    counter aborts:
+        "Aborted attempts (all causes; the `abort_*` cause counters \
+         partition this total).",
+    counter explicit_aborts:
+        "Aborts requested explicitly by user code (legacy counter: counts \
+         explicit aborts of every transaction kind).",
+    counter abort_read_validation:
+        "Aborts of updating transactions whose read set failed validation \
+         (stale read version or commit-time validation failure).",
+    counter abort_lock_conflict:
+        "Aborts of updating transactions that lost a version-lock race \
+         (read/write/commit-time lock acquisition failure).",
+    counter abort_combiner:
+        "Aborts of updating transactions whose flat-combining slot \
+         acquisition failed (combined-commit path conflict).",
+    counter abort_explicit:
+        "Aborts of updating transactions requested explicitly by user code.",
+    counter abort_scan_validation:
+        "Aborts of read-only scan transactions (any cause: the scan could \
+         not serialize against concurrent updates).",
+    counter tx_reads:
+        "Transactional reads (read-set tracked).",
+    counter tx_ureads:
+        "Unit reads (not tracked in the read set).",
+    counter tx_writes:
+        "Transactional writes.",
+    counter elastic_cuts:
+        "Elastic cuts performed (E-STM style read-set truncation).",
+    max max_reads_per_op:
+        "Maximum transactional reads accumulated by one operation across \
+         all of its attempts (the quantity of Table 1).",
+    max max_read_set:
+        "Maximum read-set size observed at commit.",
+    max max_write_set:
+        "Maximum write-set size observed at commit.",
+    counter scan_commits:
+        "Committed read-only scan transactions ([`crate::TxKind::ReadOnly`]).",
+    counter scan_aborts:
+        "Aborted read-only scan attempts.",
+    max max_scan_read_set:
+        "Maximum read-set size observed at the commit of a scan transaction \
+         (how much of the structure one ordered scan had to protect).",
 }
 
 impl ThreadStats {
-    fn reset(&self) {
-        self.commits.store(0, Ordering::Relaxed);
-        self.combined_commits.store(0, Ordering::Relaxed);
-        self.aborts.store(0, Ordering::Relaxed);
-        self.explicit_aborts.store(0, Ordering::Relaxed);
-        self.tx_reads.store(0, Ordering::Relaxed);
-        self.tx_ureads.store(0, Ordering::Relaxed);
-        self.tx_writes.store(0, Ordering::Relaxed);
-        self.elastic_cuts.store(0, Ordering::Relaxed);
-        self.max_reads_per_op.store(0, Ordering::Relaxed);
-        self.max_read_set.store(0, Ordering::Relaxed);
-        self.max_write_set.store(0, Ordering::Relaxed);
-        self.scan_commits.store(0, Ordering::Relaxed);
-        self.scan_aborts.store(0, Ordering::Relaxed);
-        self.max_scan_read_set.store(0, Ordering::Relaxed);
-    }
-
     pub(crate) fn record_scan_commit(&self, read_set: usize) {
         self.scan_commits.fetch_add(1, Ordering::Relaxed);
         self.max_scan_read_set
@@ -84,62 +166,37 @@ impl ThreadStats {
         self.max_write_set
             .fetch_max(write_set as u64, Ordering::Relaxed);
     }
-}
 
-/// Aggregated, immutable view of the counters of every registered thread.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct StatsSnapshot {
-    /// Committed transactions across all threads.
-    pub commits: u64,
-    /// Flat-combined commits across all threads.
-    pub combined_commits: u64,
-    /// Aborted attempts across all threads.
-    pub aborts: u64,
-    /// Explicit aborts across all threads.
-    pub explicit_aborts: u64,
-    /// Transactional reads across all threads.
-    pub tx_reads: u64,
-    /// Unit reads across all threads.
-    pub tx_ureads: u64,
-    /// Transactional writes across all threads.
-    pub tx_writes: u64,
-    /// Elastic cuts across all threads.
-    pub elastic_cuts: u64,
-    /// Maximum reads-per-operation over all threads (Table 1 metric).
-    pub max_reads_per_op: u64,
-    /// Maximum committed read-set size over all threads.
-    pub max_read_set: u64,
-    /// Maximum committed write-set size over all threads.
-    pub max_write_set: u64,
-    /// Committed read-only scan transactions across all threads.
-    pub scan_commits: u64,
-    /// Aborted read-only scan attempts across all threads.
-    pub scan_aborts: u64,
-    /// Maximum committed scan read-set size over all threads.
-    pub max_scan_read_set: u64,
+    /// Account one aborted attempt: the total, the legacy scan/explicit
+    /// counters, and exactly one cause counter (so the causes always sum to
+    /// `aborts`).
+    pub(crate) fn record_abort(&self, kind: TxKind, reason: AbortReason) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        if kind == TxKind::ReadOnly {
+            self.scan_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        if reason == AbortReason::Explicit {
+            self.explicit_aborts.fetch_add(1, Ordering::Relaxed);
+        }
+        let cause = if kind == TxKind::ReadOnly {
+            &self.abort_scan_validation
+        } else {
+            match reason {
+                AbortReason::ReadVersion | AbortReason::CommitValidation => {
+                    &self.abort_read_validation
+                }
+                AbortReason::ReadLocked | AbortReason::WriteLocked | AbortReason::CommitLocked => {
+                    &self.abort_lock_conflict
+                }
+                AbortReason::CombinerConflict => &self.abort_combiner,
+                AbortReason::Explicit => &self.abort_explicit,
+            }
+        };
+        cause.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl StatsSnapshot {
-    /// Fold another snapshot into this one: counters add up, high-water marks
-    /// take the maximum. Used to aggregate statistics across several STM
-    /// instances (e.g. the per-shard instances of a sharded map).
-    pub fn merge(&mut self, other: &StatsSnapshot) {
-        self.commits += other.commits;
-        self.combined_commits += other.combined_commits;
-        self.aborts += other.aborts;
-        self.explicit_aborts += other.explicit_aborts;
-        self.tx_reads += other.tx_reads;
-        self.tx_ureads += other.tx_ureads;
-        self.tx_writes += other.tx_writes;
-        self.elastic_cuts += other.elastic_cuts;
-        self.max_reads_per_op = self.max_reads_per_op.max(other.max_reads_per_op);
-        self.max_read_set = self.max_read_set.max(other.max_read_set);
-        self.max_write_set = self.max_write_set.max(other.max_write_set);
-        self.scan_commits += other.scan_commits;
-        self.scan_aborts += other.scan_aborts;
-        self.max_scan_read_set = self.max_scan_read_set.max(other.max_scan_read_set);
-    }
-
     /// Ratio of aborted attempts to total attempts, in `[0, 1]`.
     pub fn abort_ratio(&self) -> f64 {
         let attempts = self.commits + self.aborts;
@@ -148,6 +205,16 @@ impl StatsSnapshot {
         } else {
             self.aborts as f64 / attempts as f64
         }
+    }
+
+    /// Sum of the per-cause abort counters. Invariant: equals
+    /// [`StatsSnapshot::aborts`] — the taxonomy partitions the total.
+    pub fn abort_causes_total(&self) -> u64 {
+        self.abort_read_validation
+            + self.abort_lock_conflict
+            + self.abort_combiner
+            + self.abort_explicit
+            + self.abort_scan_validation
     }
 }
 
@@ -162,32 +229,6 @@ impl StatsRegistry {
         let stats = Arc::new(ThreadStats::default());
         self.threads.lock().push(Arc::clone(&stats));
         stats
-    }
-
-    pub(crate) fn snapshot(&self) -> StatsSnapshot {
-        let threads = self.threads.lock();
-        let mut s = StatsSnapshot::default();
-        for t in threads.iter() {
-            s.commits += t.commits.load(Ordering::Relaxed);
-            s.combined_commits += t.combined_commits.load(Ordering::Relaxed);
-            s.aborts += t.aborts.load(Ordering::Relaxed);
-            s.explicit_aborts += t.explicit_aborts.load(Ordering::Relaxed);
-            s.tx_reads += t.tx_reads.load(Ordering::Relaxed);
-            s.tx_ureads += t.tx_ureads.load(Ordering::Relaxed);
-            s.tx_writes += t.tx_writes.load(Ordering::Relaxed);
-            s.elastic_cuts += t.elastic_cuts.load(Ordering::Relaxed);
-            s.max_reads_per_op = s
-                .max_reads_per_op
-                .max(t.max_reads_per_op.load(Ordering::Relaxed));
-            s.max_read_set = s.max_read_set.max(t.max_read_set.load(Ordering::Relaxed));
-            s.max_write_set = s.max_write_set.max(t.max_write_set.load(Ordering::Relaxed));
-            s.scan_commits += t.scan_commits.load(Ordering::Relaxed);
-            s.scan_aborts += t.scan_aborts.load(Ordering::Relaxed);
-            s.max_scan_read_set = s
-                .max_scan_read_set
-                .max(t.max_scan_read_set.load(Ordering::Relaxed));
-        }
-        s
     }
 
     pub(crate) fn reset(&self) {
@@ -223,8 +264,10 @@ mod tests {
         let reg = StatsRegistry::default();
         let a = reg.register();
         a.commits.store(3, Ordering::Relaxed);
+        a.abort_combiner.store(2, Ordering::Relaxed);
         reg.reset();
         assert_eq!(reg.snapshot().commits, 0);
+        assert_eq!(reg.snapshot().abort_combiner, 0);
     }
 
     #[test]
@@ -240,5 +283,72 @@ mod tests {
         assert_eq!(t.max_read_set.load(Ordering::Relaxed), 5);
         assert_eq!(t.max_write_set.load(Ordering::Relaxed), 7);
         assert_eq!(t.commits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn record_abort_partitions_the_total_across_causes() {
+        let t = ThreadStats::default();
+        // One abort of every (kind, reason) shape the runtime can produce.
+        t.record_abort(TxKind::Normal, AbortReason::ReadVersion);
+        t.record_abort(TxKind::Normal, AbortReason::CommitValidation);
+        t.record_abort(TxKind::Elastic, AbortReason::ReadLocked);
+        t.record_abort(TxKind::Normal, AbortReason::WriteLocked);
+        t.record_abort(TxKind::Normal, AbortReason::CommitLocked);
+        t.record_abort(TxKind::Normal, AbortReason::CombinerConflict);
+        t.record_abort(TxKind::Normal, AbortReason::Explicit);
+        t.record_abort(TxKind::ReadOnly, AbortReason::ReadVersion);
+        t.record_abort(TxKind::ReadOnly, AbortReason::Explicit);
+        let reg = StatsRegistry::default();
+        let arc = reg.register();
+        // Copy the hand-built counters into a registered thread so we can
+        // snapshot them.
+        for (dst, src) in [
+            (&arc.aborts, &t.aborts),
+            (&arc.explicit_aborts, &t.explicit_aborts),
+            (&arc.scan_aborts, &t.scan_aborts),
+            (&arc.abort_read_validation, &t.abort_read_validation),
+            (&arc.abort_lock_conflict, &t.abort_lock_conflict),
+            (&arc.abort_combiner, &t.abort_combiner),
+            (&arc.abort_explicit, &t.abort_explicit),
+            (&arc.abort_scan_validation, &t.abort_scan_validation),
+        ] {
+            dst.store(src.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.aborts, 9);
+        assert_eq!(s.abort_causes_total(), s.aborts, "causes partition aborts");
+        assert_eq!(s.abort_read_validation, 2);
+        assert_eq!(s.abort_lock_conflict, 3);
+        assert_eq!(s.abort_combiner, 1);
+        assert_eq!(s.abort_explicit, 1);
+        assert_eq!(s.abort_scan_validation, 2, "read-only aborts by kind");
+        assert_eq!(s.explicit_aborts, 2, "legacy counter keeps both kinds");
+        assert_eq!(s.scan_aborts, 2);
+    }
+
+    #[test]
+    fn merge_applies_counter_and_max_semantics_per_field() {
+        let mut a = StatsSnapshot {
+            commits: 3,
+            aborts: 1,
+            abort_lock_conflict: 1,
+            max_reads_per_op: 10,
+            max_scan_read_set: 4,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            commits: 4,
+            aborts: 2,
+            abort_lock_conflict: 2,
+            max_reads_per_op: 7,
+            max_scan_read_set: 9,
+            ..StatsSnapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.commits, 7);
+        assert_eq!(a.aborts, 3);
+        assert_eq!(a.abort_lock_conflict, 3);
+        assert_eq!(a.max_reads_per_op, 10, "max fields take the maximum");
+        assert_eq!(a.max_scan_read_set, 9);
     }
 }

@@ -488,7 +488,7 @@ impl<'env> Transaction<'env> {
                     .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if !self.acquire_write_locks_spinning() {
                     self.finished = true;
-                    return Err(Abort::new(AbortReason::CommitLocked));
+                    return Err(Abort::new(AbortReason::CombinerConflict));
                 }
                 combined_guard = Some(guard);
                 info.combined = true;

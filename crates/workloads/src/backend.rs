@@ -93,6 +93,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use sf_baselines::{AvlTree, NoRestructureTree, RedBlackTree, SeqMap, ZipTree};
+use sf_obs::{MetricSample, MetricsRegistry, SourceGuard};
 use sf_persist::{DurableMap, WalOptions, WriterMode};
 use sf_stm::{StatsSnapshot, Stm, StmConfig};
 use sf_tree::maintenance::{MaintenanceConfig, MaintenanceHandle};
@@ -271,7 +272,7 @@ pub fn parse_structure_list(spec: &str) -> Vec<String> {
 /// owned parts via [`Backend::from_parts`]).
 pub struct Backend {
     label: String,
-    harness: Box<dyn BackendHarness>,
+    harness: Arc<dyn BackendHarness>,
 }
 
 impl std::fmt::Debug for Backend {
@@ -598,7 +599,7 @@ impl Backend {
     {
         Backend {
             label: map.name().to_string(),
-            harness: Box::new(ShardedBackend { map }),
+            harness: Arc::new(ShardedBackend { map }),
         }
     }
 
@@ -613,7 +614,7 @@ impl Backend {
         );
         Backend {
             label: map.name().to_string(),
-            harness: Box::new(TreeBackend {
+            harness: Arc::new(TreeBackend {
                 map,
                 stms,
                 maintenance,
@@ -650,6 +651,65 @@ impl Backend {
     /// Reset the statistics of the backend's STM instance(s).
     pub fn reset_stats(&self) {
         self.harness.reset_stats();
+    }
+
+    /// Register this backend as a live [`MetricsRegistry`] source: STM
+    /// commit/abort counters (with the abort-cause breakdown) labelled by
+    /// `structure`, the process-wide WAL counters, and operation / WAL /
+    /// maintenance latency p99s. The source stays live — and is picked up by
+    /// the `SF_STATS_EVERY_MS` emitter — until the returned guard drops.
+    pub fn metrics_source(&self) -> SourceGuard {
+        let harness = Arc::clone(&self.harness);
+        let structure = self.label.clone();
+        MetricsRegistry::global().register(move |out| {
+            let stats = harness.stats();
+            let labelled = |name, value: u64| {
+                MetricSample::new(name, value as f64).label("structure", structure.clone())
+            };
+            out.push(labelled("sf_stm_commits_total", stats.commits));
+            out.push(labelled(
+                "sf_stm_combined_commits_total",
+                stats.combined_commits,
+            ));
+            out.push(labelled("sf_stm_aborts_total", stats.aborts));
+            for (cause, value) in [
+                ("read_validation", stats.abort_read_validation),
+                ("lock_conflict", stats.abort_lock_conflict),
+                ("combiner", stats.abort_combiner),
+                ("explicit", stats.abort_explicit),
+                ("scan_validation", stats.abort_scan_validation),
+            ] {
+                out.push(labelled("sf_stm_aborts_by_cause_total", value).label("cause", cause));
+            }
+            let wal = sf_persist::stats::snapshot();
+            for (name, value) in [
+                ("sf_wal_records_total", wal.records),
+                ("sf_wal_bytes_total", wal.bytes),
+                ("sf_wal_batches_total", wal.batches),
+                ("sf_wal_checkpoints_total", wal.checkpoints),
+            ] {
+                out.push(MetricSample::new(name, value as f64));
+            }
+            for (i, hist) in crate::latency::op_histograms().iter().enumerate() {
+                if hist.count() > 0 {
+                    out.push(
+                        labelled("sf_op_latency_p99_ns", hist.p99())
+                            .label("op", crate::latency::op_label(i)),
+                    );
+                }
+            }
+            let fsync = sf_persist::stats::fsync_histogram();
+            if fsync.count() > 0 {
+                out.push(MetricSample::new("sf_wal_fsync_p99_ns", fsync.p99() as f64));
+            }
+            let (pass, _work) = sf_tree::maintenance_histograms();
+            if pass.count() > 0 {
+                out.push(MetricSample::new(
+                    "sf_maintenance_pass_p99_ns",
+                    pass.p99() as f64,
+                ));
+            }
+        })
     }
 }
 

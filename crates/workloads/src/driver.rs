@@ -15,12 +15,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use sf_obs::Sampler;
 use sf_stm::{StatsSnapshot, Stm};
 use sf_tree::TxMap;
 
 use crate::backend::{Backend, MapSession};
 use crate::config::{RunLength, WorkloadConfig};
 use crate::keygen::{KeyGen, OpKind};
+use crate::latency::{self, LatencyReport};
 
 /// Per-thread operation counts.
 #[derive(Debug, Default, Clone, Copy)]
@@ -73,6 +75,11 @@ pub struct WorkloadResult {
     /// the hottest key's depth. All zeros for backends without access
     /// sampling (baselines).
     pub hot: sf_tree::HotReport,
+    /// Latency distributions of the measured phase: sampled operation
+    /// latency per kind, the WAL's sync wait and fsync duration, and
+    /// maintenance pass cost. Computed as the delta of the process-wide
+    /// histograms across the run.
+    pub lat: LatencyReport,
 }
 
 impl WorkloadResult {
@@ -151,13 +158,21 @@ fn worker_loop(
     barrier: &Barrier,
 ) -> ThreadReport {
     let mut report = ThreadReport::default();
+    let mut sampler = Sampler::from_env();
     barrier.wait();
     let op_budget = match run {
         RunLength::Ops(n) => n,
         RunLength::Timed(_) => u64::MAX,
     };
     while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
-        match gen.next_op() {
+        let op = gen.next_op();
+        // 1-in-N latency sampling: the untimed path never reads the clock.
+        let timed_since = if sampler.tick() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        match op {
             OpKind::Contains => {
                 let key = gen.lookup_key();
                 if session.contains(key) {
@@ -193,6 +208,9 @@ fn worker_loop(
                 report.scanned_entries += session.range_collect(lo, hi).len() as u64;
             }
         }
+        if let Some(started) = timed_since {
+            latency::record_op(op, started.elapsed());
+        }
         report.ops += 1;
     }
     report
@@ -208,7 +226,11 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         "at least one worker thread is required"
     );
     backend.reset_stats();
+    // Expose this run's live state on the metrics registry (the periodic
+    // emitter picks it up); unregistered when the run returns.
+    let _metrics = backend.metrics_source();
     let wal_before = sf_persist::stats::snapshot();
+    let lat_before = latency::LatencyBaseline::take();
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(config.threads + 1);
     let run = config.run;
@@ -248,6 +270,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         stm: backend.stats(),
         wal: sf_persist::stats::snapshot().delta_since(&wal_before),
         hot: backend.hot_report().unwrap_or_default(),
+        lat: lat_before.report(),
     };
     for r in reports {
         result.total_ops += r.ops;

@@ -1,0 +1,154 @@
+//! Operation-latency recording and the per-run latency report.
+//!
+//! The driver samples (1-in-`SF_OBS_SAMPLE`) each worker operation's
+//! wall-clock latency into one process-wide [`Histogram`] per [`OpKind`];
+//! [`LatencyReport`] is the per-run view, computed as the delta of the
+//! process-wide histograms (operations, WAL sync wait and fsync from
+//! [`sf_persist::stats`], maintenance passes from
+//! [`sf_tree::maintenance_histograms`]) across the measured phase.
+
+use sf_obs::{Histogram, HistogramSnapshot};
+
+use crate::keygen::OpKind;
+
+/// Number of operation kinds ([`OpKind`] variants).
+pub const OP_KINDS: usize = 5;
+
+/// The process-wide per-kind operation-latency histograms, in
+/// [`op_index`] order.
+static OP_LATS: [Histogram; OP_KINDS] = [const { Histogram::new() }; OP_KINDS];
+
+/// Dense index of an [`OpKind`] into [`LatencyReport::per_op`] (declaration
+/// order: contains, insert, delete, move, scan).
+pub fn op_index(op: OpKind) -> usize {
+    match op {
+        OpKind::Contains => 0,
+        OpKind::Insert => 1,
+        OpKind::Delete => 2,
+        OpKind::Move => 3,
+        OpKind::Scan => 4,
+    }
+}
+
+/// Human label of the kind at [`op_index`] `index` (Prometheus label /
+/// JSON field stem).
+pub fn op_label(index: usize) -> &'static str {
+    ["contains", "insert", "delete", "move", "scan"][index]
+}
+
+/// Record one sampled operation latency.
+pub(crate) fn record_op(op: OpKind, elapsed: std::time::Duration) {
+    OP_LATS[op_index(op)].record_duration(elapsed);
+}
+
+/// Snapshot all five per-kind operation histograms (cumulative,
+/// process-wide).
+pub fn op_histograms() -> [HistogramSnapshot; OP_KINDS] {
+    std::array::from_fn(|i| OP_LATS[i].snapshot())
+}
+
+/// Latency distributions observed during one measured phase. All values are
+/// nanoseconds except [`LatencyReport::maint_pass_work`] (rotations per
+/// maintenance pass). Operation latencies are sampled 1-in-`SF_OBS_SAMPLE`
+/// (default 32, `0` disables them); the WAL fsync and maintenance-pass
+/// histograms record every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyReport {
+    /// All sampled operations merged (any kind).
+    pub op: HistogramSnapshot,
+    /// Per-kind operation latency, indexed by [`op_index`].
+    pub per_op: [HistogramSnapshot; OP_KINDS],
+    /// Commit-path WAL enqueue-to-durable wait (sampled; empty for
+    /// non-durable backends).
+    pub wal_sync: HistogramSnapshot,
+    /// WAL flush-batch write+sync duration (every batch).
+    pub wal_fsync: HistogramSnapshot,
+    /// Maintenance pass duration (every pass, every worker).
+    pub maint_pass: HistogramSnapshot,
+    /// Rotations performed per maintenance pass (unitless work measure).
+    pub maint_pass_work: HistogramSnapshot,
+}
+
+/// The "before" snapshots backing a [`LatencyReport`] delta.
+pub(crate) struct LatencyBaseline {
+    per_op: [HistogramSnapshot; OP_KINDS],
+    wal_sync: HistogramSnapshot,
+    wal_fsync: HistogramSnapshot,
+    maint_pass: HistogramSnapshot,
+    maint_pass_work: HistogramSnapshot,
+}
+
+impl LatencyBaseline {
+    /// Snapshot every process-wide latency histogram before the measured
+    /// phase.
+    pub(crate) fn take() -> LatencyBaseline {
+        let (maint_pass, maint_pass_work) = sf_tree::maintenance_histograms();
+        LatencyBaseline {
+            per_op: op_histograms(),
+            wal_sync: sf_persist::stats::sync_wait_histogram(),
+            wal_fsync: sf_persist::stats::fsync_histogram(),
+            maint_pass,
+            maint_pass_work,
+        }
+    }
+
+    /// The measured phase's latency distributions: current state minus this
+    /// baseline.
+    pub(crate) fn report(&self) -> LatencyReport {
+        let (maint_pass, maint_pass_work) = sf_tree::maintenance_histograms();
+        let per_op: [HistogramSnapshot; OP_KINDS] = {
+            let now = op_histograms();
+            std::array::from_fn(|i| now[i].delta_since(&self.per_op[i]))
+        };
+        let mut op = HistogramSnapshot::default();
+        for kind in &per_op {
+            op.merge(kind);
+        }
+        LatencyReport {
+            op,
+            per_op,
+            wal_sync: sf_persist::stats::sync_wait_histogram().delta_since(&self.wal_sync),
+            wal_fsync: sf_persist::stats::fsync_histogram().delta_since(&self.wal_fsync),
+            maint_pass: maint_pass.delta_since(&self.maint_pass),
+            maint_pass_work: maint_pass_work.delta_since(&self.maint_pass_work),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn op_index_covers_every_kind_once() {
+        let mut seen = [false; OP_KINDS];
+        for op in [
+            OpKind::Contains,
+            OpKind::Insert,
+            OpKind::Delete,
+            OpKind::Move,
+            OpKind::Scan,
+        ] {
+            let i = op_index(op);
+            assert!(!seen[i], "index {i} assigned twice");
+            seen[i] = true;
+            assert!(!op_label(i).is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn baseline_delta_isolates_the_window() {
+        record_op(OpKind::Insert, Duration::from_nanos(100));
+        let baseline = LatencyBaseline::take();
+        record_op(OpKind::Insert, Duration::from_nanos(200));
+        record_op(OpKind::Scan, Duration::from_nanos(300));
+        let report = baseline.report();
+        // Concurrent tests may also record; the window holds at least ours.
+        assert!(report.per_op[op_index(OpKind::Insert)].count() >= 1);
+        assert!(report.per_op[op_index(OpKind::Scan)].count() >= 1);
+        assert!(report.op.count() >= 2, "merged view spans all kinds");
+        assert!(report.op.p99() > 0);
+    }
+}

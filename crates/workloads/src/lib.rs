@@ -34,6 +34,7 @@ pub mod backend;
 mod config;
 mod driver;
 mod keygen;
+pub mod latency;
 
 pub use backend::{parse_structure_list, Backend, MapSession, UnknownBackend};
 pub use config::{Bias, RunLength, WorkloadConfig};
@@ -42,3 +43,4 @@ pub use driver::{
     run_workload_backend, WorkloadResult,
 };
 pub use keygen::{KeyGen, OpKind, Zipf, DEFAULT_SCAN_THETA};
+pub use latency::LatencyReport;
