@@ -275,6 +275,7 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
             "\"commits\":{},\"combined_commits\":{},\"aborts\":{},\"abort_ratio\":{:.6},",
             "\"abort_read_validation\":{},\"abort_lock_conflict\":{},",
             "\"abort_combiner\":{},\"abort_explicit\":{},\"abort_scan_validation\":{},",
+            "\"explicit_aborts\":{},",
             "\"tx_reads\":{},\"tx_ureads\":{},\"tx_writes\":{},\"elastic_cuts\":{},",
             "\"max_reads_per_op\":{},\"max_read_set\":{},\"max_write_set\":{},",
             "\"scan_commits\":{},\"scan_aborts\":{},\"max_scan_read_set\":{},",
@@ -311,6 +312,7 @@ pub fn result_json(label: &str, result: &WorkloadResult, extra: &str) -> String 
         result.stm.abort_combiner,
         result.stm.abort_explicit,
         result.stm.abort_scan_validation,
+        result.stm.explicit_aborts,
         result.stm.tx_reads,
         result.stm.tx_ureads,
         result.stm.tx_writes,
@@ -452,6 +454,7 @@ mod tests {
             "\"abort_combiner\":",
             "\"abort_explicit\":",
             "\"abort_scan_validation\":",
+            "\"explicit_aborts\":",
             "\"lat_samples\":",
             "\"lat_op_p50_ns\":",
             "\"lat_op_p99_ns\":",

@@ -167,10 +167,12 @@ impl<T: Default> TxArena<T> {
     /// workload (`with_capacity`) — the experiments in this repository stay
     /// far below the default capacity.
     pub fn alloc(&self) -> NodeId {
+        // sf-lint: allow(relaxed-atomic, allocation telemetry counter; aggregated for reports only)
         self.allocated.fetch_add(1, Ordering::Relaxed);
         if let Some(id) = self.free.pop() {
             return id;
         }
+        // sf-lint: allow(relaxed-atomic, slot ids need atomicity (uniqueness), not ordering; node contents publish through the STM)
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         assert!(
             id < self.capacity,
@@ -196,22 +198,26 @@ impl<T: Default> TxArena<T> {
     /// never published, or the quiescence protocol has drained).
     pub fn recycle(&self, id: NodeId) {
         debug_assert!(!id.is_nil());
+        // sf-lint: allow(relaxed-atomic, recycle telemetry counter; aggregated for reports only)
         self.recycled.fetch_add(1, Ordering::Relaxed);
         self.free.push(id);
     }
 
     /// Number of slots handed out since creation (including reused ones).
     pub fn allocated(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, telemetry read for reports; staleness is harmless)
         self.allocated.load(Ordering::Relaxed)
     }
 
     /// Number of slots returned to the free list since creation.
     pub fn recycled(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, telemetry read for reports; staleness is harmless)
         self.recycled.load(Ordering::Relaxed)
     }
 
     /// Highest slot index ever handed out (arena footprint).
     pub fn high_water_mark(&self) -> u32 {
+        // sf-lint: allow(relaxed-atomic, footprint telemetry read for reports; staleness is harmless)
         self.next.load(Ordering::Relaxed)
     }
 

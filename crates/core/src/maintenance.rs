@@ -264,7 +264,9 @@ impl MaintenanceWorker {
         }
         self.passes = self.passes.wrapping_add(1);
         let stats = &self.core.stats;
+        // sf-lint: allow(relaxed-atomic, maintenance telemetry counter; aggregated for reports only)
         stats.maintenance_passes.fetch_add(1, Ordering::Relaxed);
+        // sf-lint: allow(relaxed-atomic, maintenance telemetry counter; aggregated for reports only)
         stats.recycled.fetch_add(report.recycled, Ordering::Relaxed);
         // Passes are rare relative to operations, so both pass histograms
         // record unconditionally (no sampling needed off the hot path).
@@ -304,10 +306,12 @@ impl MaintenanceWorker {
             .name("sf-tree-maintenance".to_string())
             .stack_size(16 << 20)
             .spawn(move || {
+                // sf-lint: allow(relaxed-atomic, stop flag polled once per pass; a stale read only delays shutdown by one iteration)
                 while !stop_clone.load(Ordering::Relaxed) {
                     if pause_clone.requested.load(Ordering::SeqCst) > 0 {
                         pause_clone.idle.store(true, Ordering::SeqCst);
                         while pause_clone.requested.load(Ordering::SeqCst) > 0
+                            // sf-lint: allow(relaxed-atomic, stop flag; a stale read only delays pause-loop exit by one spin)
                             && !stop_clone.load(Ordering::Relaxed)
                         {
                             std::thread::yield_now();
@@ -356,12 +360,14 @@ impl MaintenanceWorker {
             if let Some(removed) = self.remove(parent, side) {
                 self.retired.push(removed);
                 report.removals += 1;
+                // sf-lint: allow(relaxed-atomic, maintenance telemetry counter; aggregated for reports only)
                 self.core.stats.removals.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         }
         if self.propagate(child) {
             report.propagations += 1;
+            // sf-lint: allow(relaxed-atomic, maintenance telemetry counter; aggregated for reports only)
             self.core.stats.propagations.fetch_add(1, Ordering::Relaxed);
         }
         let hot = self.config.hotspot_enabled();
@@ -430,11 +436,14 @@ impl MaintenanceWorker {
             report.rotations += 1;
             let stats = &self.core.stats;
             match direction {
+                // sf-lint: allow(relaxed-atomic, rotation telemetry counters; aggregated for reports only)
                 Side::Right => stats.right_rotations.fetch_add(1, Ordering::Relaxed),
+                // sf-lint: allow(relaxed-atomic, rotation telemetry counter; aggregated for reports only)
                 Side::Left => stats.left_rotations.fetch_add(1, Ordering::Relaxed),
             };
             if hot {
                 report.hot_rotations += 1;
+                // sf-lint: allow(relaxed-atomic, hot-rotation telemetry counter; aggregated for reports only)
                 stats.hot_rotations.fetch_add(1, Ordering::Relaxed);
                 let key = self.core.node(parent).key();
                 FlightRecorder::global().record(EventKind::HotRotation, key, 0);
@@ -798,6 +807,7 @@ impl MaintenanceHandle {
     }
 
     fn stop_inner(&mut self) {
+        // sf-lint: allow(relaxed-atomic, stop flag; the thread join below provides the happens-before edge)
         self.stop.store(true, Ordering::Relaxed);
         if let Some(join) = self.join.take() {
             let _ = join.join();

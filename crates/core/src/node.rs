@@ -176,7 +176,9 @@ impl Node {
         self.left_h.unsync_store(0);
         self.right_h.unsync_store(0);
         self.local_h.unsync_store(1);
+        // sf-lint: allow(relaxed-atomic, hot counter reset at node init; slot reuse is ordered by the arena recycle protocol)
         self.hot.store(0, Ordering::Relaxed);
+        // sf-lint: allow(relaxed-atomic, hot counter reset at node init; slot reuse is ordered by the arena recycle protocol)
         self.hot_sub.store(0, Ordering::Relaxed);
     }
 
@@ -184,12 +186,14 @@ impl Node {
     /// atomic: invisible to the STM, so it can never cause an abort.
     #[inline]
     pub fn record_access(&self, weight: u64) {
+        // sf-lint: allow(relaxed-atomic, hot-access mass; the maintenance hot pass reads it as a heuristic, staleness is by design)
         self.hot.fetch_add(weight, Ordering::Relaxed);
     }
 
     /// The node's own decayed access mass.
     #[inline]
     pub fn access_mass(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, hot-access mass read; restructuring heuristic tolerates stale values)
         self.hot.load(Ordering::Relaxed)
     }
 
@@ -198,8 +202,10 @@ impl Node {
     /// heuristic, not an invariant.
     #[inline]
     pub fn decay_access_mass(&self) {
+        // sf-lint: allow(relaxed-atomic, lossy decay by design; racing accesses may be dropped or halved either way)
         let mass = self.hot.load(Ordering::Relaxed);
         if mass > 0 {
+            // sf-lint: allow(relaxed-atomic, lossy decay by design; racing accesses may be dropped or halved either way)
             self.hot.store(mass >> 1, Ordering::Relaxed);
         }
     }
@@ -207,12 +213,14 @@ impl Node {
     /// The subtree access mass stored by the last maintenance aggregation.
     #[inline]
     pub fn subtree_mass(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, cached subtree mass; advisory input to the hot pass, staleness tolerated)
         self.hot_sub.load(Ordering::Relaxed)
     }
 
     /// Store the subtree access mass (maintenance thread only).
     #[inline]
     pub fn set_subtree_mass(&self, mass: u64) {
+        // sf-lint: allow(relaxed-atomic, cached subtree mass; advisory input to the hot pass, staleness tolerated)
         self.hot_sub.store(mass, Ordering::Relaxed);
     }
 

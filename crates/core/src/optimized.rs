@@ -166,6 +166,7 @@ impl OptSpecFriendlyTree {
     pub fn set_hot_sample(&self, rate: u64) {
         self.core
             .hot_sample
+            // sf-lint: allow(relaxed-atomic, sampling-rate knob; readers may briefly observe the previous rate)
             .store(rate, std::sync::atomic::Ordering::Relaxed);
     }
 
@@ -316,6 +317,7 @@ impl TxMap for OptSpecFriendlyTree {
             .core
             .stats
             .hot_rotations
+            // sf-lint: allow(relaxed-atomic, hot-rotation telemetry read for reports; staleness is harmless)
             .load(std::sync::atomic::Ordering::Relaxed);
         Some(report)
     }

@@ -166,6 +166,7 @@ fn move_id_counter() -> &'static AtomicU64 {
 /// against everything a recovered log contains once the durable layer has
 /// called [`advance_move_ids`] with its recovery's floor.
 fn next_move_id() -> u64 {
+    // sf-lint: allow(relaxed-atomic, move ids need atomicity (uniqueness), not ordering; durability ordering comes from the WAL records)
     move_id_counter().fetch_add(1, Ordering::Relaxed)
 }
 
@@ -176,6 +177,7 @@ fn next_move_id() -> u64 {
 /// matches protocol records by id, so a reissued id could mis-join a stale
 /// record left by a previous incarnation.
 pub fn advance_move_ids(floor: u64) {
+    // sf-lint: allow(relaxed-atomic, monotone floor advance; recovery runs single-threaded before mutators start)
     move_id_counter().fetch_max(floor, Ordering::Relaxed);
 }
 
@@ -449,10 +451,12 @@ where
         let (lo, hi) = (src.min(dst), src.max(dst));
         let _lock_lo = self.shards[lo]
             .move_lock
+            // sf-lint: allow(lock-order, same-shard branch above returned; this is the first move lock of the cross-shard pair)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         let _lock_hi = self.shards[hi]
             .move_lock
+            // sf-lint: allow(lock-order, second move lock of the pair, taken in ascending shard-index order (lo < hi) to rule out deadlock)
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
 

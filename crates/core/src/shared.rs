@@ -46,6 +46,7 @@ pub struct TreeStats {
 impl TreeStats {
     /// Total number of successful rotations (left + right).
     pub fn rotations(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, rotation telemetry reads for the end-of-run report; staleness is harmless)
         self.right_rotations.load(Ordering::Relaxed) + self.left_rotations.load(Ordering::Relaxed)
     }
 }
@@ -101,6 +102,7 @@ impl TreeCore {
     /// to conflict detection.
     #[inline]
     pub fn record_access_sampled(&self, id: NodeId) {
+        // sf-lint: allow(relaxed-atomic, sampling-rate read; staleness only shifts which accesses get sampled)
         let rate = self.hot_sample.load(Ordering::Relaxed);
         if rate == 0 {
             return;

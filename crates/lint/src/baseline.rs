@@ -1,0 +1,140 @@
+//! The `lint.baseline` burn-down file.
+//!
+//! Each line is `CODE<TAB>path<TAB>anchor` — deliberately line-number-free
+//! so unrelated edits don't invalidate entries. Matching is multiset:
+//! `n` identical entries absorb at most `n` identical findings. Entries
+//! that no longer fire are reported as stale warnings (prune them);
+//! findings with no entry gate the build.
+
+use crate::Finding;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub code: String,
+    pub path: String,
+    pub anchor: String,
+}
+
+/// Parse baseline text. Blank lines and `#` comments are skipped; a line
+/// with fewer than three tab-separated fields is an error.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(code), Some(path), Some(anchor)) if !code.is_empty() && !path.is_empty() => {
+                entries.push(Entry {
+                    code: code.to_string(),
+                    path: path.to_string(),
+                    anchor: anchor.to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "lint.baseline:{}: expected CODE<TAB>path<TAB>anchor, got {:?}",
+                    n + 1,
+                    line
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Mark findings covered by the baseline (multiset semantics) and return
+/// the stale entries that matched nothing. Waived findings never consume
+/// baseline entries.
+pub fn apply(findings: &mut [Finding], entries: &[Entry]) -> Vec<Entry> {
+    let mut remaining: Vec<Entry> = entries.to_vec();
+    for f in findings.iter_mut() {
+        if f.waived {
+            continue;
+        }
+        if let Some(pos) = remaining
+            .iter()
+            .position(|e| e.code == f.code && e.path == f.path && e.anchor == f.anchor)
+        {
+            f.baselined = true;
+            remaining.swap_remove(pos);
+        }
+    }
+    remaining
+}
+
+/// Serialize the current non-waived findings as a fresh baseline.
+pub fn write(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# sf-lint baseline: CODE<TAB>path<TAB>anchor, one finding per line.\n\
+         # Entries are debt scheduled for burn-down — shrink this file, never grow it.\n",
+    );
+    let mut rows: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.waived)
+        .map(|f| format!("{}\t{}\t{}", f.code, f.path, f.anchor))
+        .collect();
+    rows.sort();
+    for r in rows {
+        out.push_str(&r);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(code: &'static str, path: &str, anchor: &str) -> Finding {
+        Finding {
+            code,
+            path: path.into(),
+            line: 1,
+            anchor: anchor.into(),
+            message: String::new(),
+            waived: false,
+            baselined: false,
+        }
+    }
+
+    #[test]
+    fn multiset_matching_consumes_one_entry_per_finding() {
+        let entries = parse("SF-X\ta.rs\tfoo\nSF-X\ta.rs\tfoo\n").unwrap();
+        let mut fs = vec![
+            finding("SF-X", "a.rs", "foo"),
+            finding("SF-X", "a.rs", "foo"),
+            finding("SF-X", "a.rs", "foo"),
+        ];
+        let stale = apply(&mut fs, &entries);
+        assert!(stale.is_empty());
+        assert_eq!(fs.iter().filter(|f| f.baselined).count(), 2);
+        assert_eq!(fs.iter().filter(|f| !f.baselined).count(), 1);
+    }
+
+    #[test]
+    fn stale_entries_surface() {
+        let entries = parse("# comment\nSF-Y\tb.rs\tgone\n").unwrap();
+        let mut fs = vec![finding("SF-X", "a.rs", "foo")];
+        let stale = apply(&mut fs, &entries);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].anchor, "gone");
+        assert!(!fs[0].baselined);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse("SF-X only-two-fields\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let fs = vec![finding("SF-X", "a.rs", "foo")];
+        let text = write(&fs);
+        let entries = parse(&text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].path, "a.rs");
+    }
+}

@@ -1,0 +1,684 @@
+//! A comment/string-aware Rust lexer with `file:line` spans.
+//!
+//! The build environment is offline — no `syn`, no rustc plugins — so the
+//! analyzer tokenizes workspace sources itself. The lexer is deliberately
+//! shallow: it produces a flat token stream (identifiers, punctuation,
+//! string/char/number literals) with line numbers, plus three derived
+//! overlays the rules share:
+//!
+//! * **waivers** — `// sf-lint: allow(rule, reason)` comments, attached to
+//!   the line they trail or (for standalone comment lines) to the code line
+//!   immediately below the comment block;
+//! * **test regions** — line ranges covered by `#[cfg(test)]` /  `#[test]`
+//!   items, so rules about production invariants skip test code;
+//! * **functions** — `fn name { body token range }` extents, used by the
+//!   lock-order rule for per-function acquisition sets and one-level call
+//!   propagation.
+//!
+//! Lexing handles the corners that regex passes get wrong: nested block
+//! comments, raw strings with `#` fences, byte strings, char literals vs
+//! lifetimes, and raw identifiers.
+
+/// One lexical token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    Ident,
+    /// String or byte-string literal; `text` holds the *unescaped* value.
+    Str,
+    Char,
+    Lifetime,
+    Number,
+    Punct,
+}
+
+/// An inline waiver comment: `// sf-lint: allow(rule-name, free text reason)`.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Line the comment appears on.
+    pub line: usize,
+    /// `true` when the comment is the only thing on its line — it then also
+    /// covers the next code line below the comment block.
+    pub standalone: bool,
+    pub rule: String,
+    pub reason: String,
+}
+
+/// A lexed source file plus the derived overlays.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<Waiver>,
+    /// Inclusive line ranges belonging to `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// `fn` items: name plus the half-open token range of the body block.
+    pub functions: Vec<FnSpan>,
+}
+
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub name_line: usize,
+    /// Token index of the body's opening `{`.
+    pub body_start: usize,
+    /// Token index one past the body's closing `}`.
+    pub body_end: usize,
+}
+
+impl LexedFile {
+    pub fn lex(path: &str, text: &str) -> LexedFile {
+        let (tokens, waivers) = tokenize(text);
+        let test_regions = find_test_regions(&tokens);
+        let functions = find_functions(&tokens);
+        LexedFile {
+            path: path.to_string(),
+            tokens,
+            waivers,
+            test_regions,
+            functions,
+        }
+    }
+
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Is a finding for `rule` at `line` covered by a waiver? A waiver
+    /// covers its own line, and a block of standalone waiver comments covers
+    /// the first code line after the block (comments directly above the
+    /// offending line, including inside a method chain).
+    pub fn waived(&self, rule: &str, line: usize) -> bool {
+        self.waivers.iter().any(|w| {
+            w.rule == rule
+                && (w.line == line
+                    || (w.standalone && w.line < line && self.covers_from_below(w.line, line)))
+        })
+    }
+
+    /// True when every line strictly between `comment_line` and `code_line`
+    /// holds only comments (i.e. the standalone comment block ends directly
+    /// above `code_line`).
+    fn covers_from_below(&self, comment_line: usize, code_line: usize) -> bool {
+        // A token on an intervening line means real code sits between the
+        // waiver and the finding, so the waiver does not apply.
+        !self
+            .tokens
+            .iter()
+            .any(|t| t.line > comment_line && t.line < code_line)
+            && code_line - comment_line <= 6
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Core tokenizer. Returns the token stream and any waiver comments.
+fn tokenize(text: &str) -> (Vec<Token>, Vec<Waiver>) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut tokens = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Tracks whether any token has been emitted on the current line, so a
+    // comment can be classified trailing vs standalone.
+    let mut code_on_line = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                code_on_line = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let comment: String = chars[start..i].iter().collect();
+                if let Some(w) = parse_waiver(&comment, line, !code_on_line) {
+                    waivers.push(w);
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comments.
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if chars[i] == '\n' {
+                            line += 1;
+                            code_on_line = false;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let (value, next, lines) = scan_string(&chars, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: value,
+                    line,
+                });
+                line += lines;
+                i = next;
+                code_on_line = true;
+            }
+            'r' | 'b' if starts_string(&chars, i) => {
+                let (value, next, lines) = scan_prefixed_string(&chars, i);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: value,
+                    line,
+                });
+                line += lines;
+                i = next;
+                code_on_line = true;
+            }
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars.get(i + 2).is_some_and(|&c| is_ident_start(c)) =>
+            {
+                // Raw identifier `r#ident`.
+                let mut j = i + 2;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[i + 2..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                code_on_line = true;
+            }
+            '\'' => {
+                let (tok, next) = scan_char_or_lifetime(&chars, i, line);
+                tokens.push(tok);
+                i = next;
+                code_on_line = true;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                code_on_line = true;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len()
+                    && (is_ident_continue(chars[j])
+                        || (chars[j] == '.'
+                            && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit())
+                            && chars.get(j.wrapping_sub(1)) != Some(&'.')))
+                {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: chars[i..j].iter().collect(),
+                    line,
+                });
+                i = j;
+                code_on_line = true;
+            }
+            c => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+                code_on_line = true;
+            }
+        }
+    }
+    (tokens, waivers)
+}
+
+/// Does `r`/`b` at `i` start a (raw/byte) string literal rather than an
+/// identifier? Covers `r"`, `r#"`, `b"`, `br"`, `br#"`, `b'`-is-not-ours.
+fn starts_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if chars.get(j) == Some(&'\'') {
+            return false; // b'x' is a byte char literal, not a string
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Scan a plain `"…"` string starting at the opening quote. Returns the
+/// unescaped value, the index after the closing quote, and newline count.
+fn scan_string(chars: &[char], start: usize) -> (String, usize, usize) {
+    let mut value = String::new();
+    let mut i = start + 1;
+    let mut lines = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                if let Some(&esc) = chars.get(i + 1) {
+                    match esc {
+                        'n' => value.push('\n'),
+                        't' => value.push('\t'),
+                        'r' => value.push('\r'),
+                        '0' => value.push('\0'),
+                        '\n' => lines += 1,         // line-continuation escape
+                        other => value.push(other), // includes \" \\ \'
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => return (value, i + 1, lines),
+            c => {
+                if c == '\n' {
+                    lines += 1;
+                }
+                value.push(c);
+                i += 1;
+            }
+        }
+    }
+    (value, i, lines)
+}
+
+/// Scan `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the prefix.
+fn scan_prefixed_string(chars: &[char], start: usize) -> (String, usize, usize) {
+    let mut i = start;
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if !raw {
+        // b"…" — same escape rules as a plain string.
+        return scan_string(chars, i);
+    }
+    // Raw: ends at `"` followed by `hashes` hash marks.
+    i += 1; // opening quote
+    let mut value = String::new();
+    let mut lines = 0;
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (value, i + 1 + hashes, lines);
+            }
+        }
+        if chars[i] == '\n' {
+            lines += 1;
+        }
+        value.push(chars[i]);
+        i += 1;
+    }
+    (value, i, lines)
+}
+
+/// Disambiguate `'a'` / `'\n'` / `b'x'` char literals from `'lifetime`.
+fn scan_char_or_lifetime(chars: &[char], start: usize, line: usize) -> (Token, usize) {
+    let next = chars.get(start + 1).copied();
+    match next {
+        Some('\\') => {
+            // Escaped char literal: skip to closing quote.
+            let mut i = start + 2;
+            if i < chars.len() {
+                i += 1; // the escaped char (or first of \u{...})
+            }
+            while i < chars.len() && chars[i] != '\'' {
+                i += 1;
+            }
+            (
+                Token {
+                    kind: TokenKind::Char,
+                    text: String::new(),
+                    line,
+                },
+                (i + 1).min(chars.len()),
+            )
+        }
+        Some(c) if is_ident_start(c) => {
+            if chars.get(start + 2) == Some(&'\'') {
+                // 'a' — a char literal.
+                (
+                    Token {
+                        kind: TokenKind::Char,
+                        text: c.to_string(),
+                        line,
+                    },
+                    start + 3,
+                )
+            } else {
+                // 'lifetime
+                let mut j = start + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                (
+                    Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[start + 1..j].iter().collect(),
+                        line,
+                    },
+                    j,
+                )
+            }
+        }
+        Some(c) if c != '\'' => {
+            // Punctuation char literal like '{' or '0'.
+            if chars.get(start + 2) == Some(&'\'') {
+                (
+                    Token {
+                        kind: TokenKind::Char,
+                        text: c.to_string(),
+                        line,
+                    },
+                    start + 3,
+                )
+            } else {
+                (
+                    Token {
+                        kind: TokenKind::Punct,
+                        text: "'".into(),
+                        line,
+                    },
+                    start + 1,
+                )
+            }
+        }
+        _ => (
+            Token {
+                kind: TokenKind::Punct,
+                text: "'".into(),
+                line,
+            },
+            start + 1,
+        ),
+    }
+}
+
+/// Parse an `sf-lint: allow(rule, reason)` waiver out of a `//` comment.
+fn parse_waiver(comment: &str, line: usize, standalone: bool) -> Option<Waiver> {
+    let body = comment.trim_start_matches('/').trim();
+    let rest = body.strip_prefix("sf-lint:")?.trim();
+    let rest = rest.strip_prefix("allow")?.trim();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let inner = &rest[..close];
+    let (rule, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    if rule.is_empty() {
+        return None;
+    }
+    Some(Waiver {
+        line,
+        standalone,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+    })
+}
+
+/// Find the token-index of the matching close for the open delimiter at
+/// `open_idx` (any of `(`/`[`/`{`). Returns the index one past the close.
+pub fn balanced_end(tokens: &[Token], open_idx: usize) -> usize {
+    let open = tokens[open_idx].text.as_str();
+    let close = match open {
+        "(" => ")",
+        "[" => "]",
+        "{" => "}",
+        _ => return open_idx + 1,
+    };
+    let mut depth = 0usize;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokenKind::Punct {
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+        }
+    }
+    tokens.len()
+}
+
+/// Line ranges of `#[cfg(test)]` / `#[test]` items: the attribute's line
+/// through the closing brace (or semicolon) of the item it decorates.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Punct
+            && tokens[i].text == "#"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            let start_line = tokens[i].line;
+            let attr_end = balanced_end(tokens, i + 1);
+            let attr = &tokens[i + 2..attr_end.saturating_sub(1)];
+            let is_test_attr = match attr.first().map(|t| t.text.as_str()) {
+                Some("test") => attr.len() == 1,
+                Some("cfg") => attr.iter().any(|t| t.text == "test"),
+                _ => false,
+            };
+            if is_test_attr {
+                // The region runs to the end of the decorated item: skip any
+                // further attributes, then find the item's closing `}` / `;`.
+                let mut j = attr_end;
+                while j < tokens.len()
+                    && tokens[j].text == "#"
+                    && tokens.get(j + 1).is_some_and(|t| t.text == "[")
+                {
+                    j = balanced_end(tokens, j + 1);
+                }
+                let mut end_line = start_line;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => {
+                            let e = balanced_end(tokens, j);
+                            end_line = tokens.get(e.saturating_sub(1)).map_or(end_line, |t| t.line);
+                            j = e;
+                            break;
+                        }
+                        ";" => {
+                            end_line = tokens[j].line;
+                            j += 1;
+                            break;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                if j >= tokens.len() {
+                    end_line = tokens.last().map_or(end_line, |t| t.line);
+                }
+                regions.push((start_line, end_line));
+                i = j.max(attr_end);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Extract `fn` items with their body token ranges. Trait-method
+/// declarations without bodies are skipped.
+fn find_functions(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn" {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokenKind::Ident {
+                    // Scan forward to the body `{` or a `;` (no body),
+                    // skipping balanced (), <>-free since generics use
+                    // ident/punct soup — `{` can't appear in a signature
+                    // except inside a const generic default, which the
+                    // workspace doesn't use.
+                    let mut j = i + 2;
+                    while j < tokens.len() {
+                        match tokens[j].text.as_str() {
+                            "(" | "[" => j = balanced_end(tokens, j),
+                            "{" => {
+                                let end = balanced_end(tokens, j);
+                                fns.push(FnSpan {
+                                    name: name_tok.text.clone(),
+                                    name_line: name_tok.line,
+                                    body_start: j,
+                                    body_end: end,
+                                });
+                                break;
+                            }
+                            ";" => break,
+                            _ => j += 1,
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let f = LexedFile::lex(
+            "x.rs",
+            "// \"not a string\"\nlet s = \"has // no comment\"; /* fn fake() {} */\n",
+        );
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == "has // no comment"));
+        assert!(f.functions.is_empty());
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_unescape() {
+        let f = LexedFile::lex(
+            "x.rs",
+            r##"let a = r#"raw "quoted" body"#; let b = "a\"b";"##,
+        );
+        let strs: Vec<&str> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![r#"raw "quoted" body"#, r#"a"b"#]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = LexedFile::lex("x.rs", "fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(f
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn waiver_parsing_trailing_and_standalone() {
+        let src = "\
+let x = 1; // sf-lint: allow(relaxed-atomic, counter only)
+// sf-lint: allow(lock-order, ascending index order)
+let y = 2;
+";
+        let f = LexedFile::lex("x.rs", src);
+        assert_eq!(f.waivers.len(), 2);
+        assert!(f.waived("relaxed-atomic", 1));
+        assert!(!f.waived("relaxed-atomic", 3));
+        assert!(f.waived("lock-order", 3));
+        assert!(!f.waived("lock-order", 1));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mods() {
+        let src = "\
+fn prod() { work(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { check(); }
+}
+fn prod2() {}
+";
+        let f = LexedFile::lex("x.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(2));
+        assert!(f.in_test_region(5));
+        assert!(f.in_test_region(6));
+        assert!(!f.in_test_region(7));
+    }
+
+    #[test]
+    fn functions_have_body_ranges() {
+        let f = LexedFile::lex("x.rs", "fn a() { b(); }\nfn sig_only();\nfn c() { d(); }");
+        let names: Vec<&str> = f.functions.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+}

@@ -1,0 +1,263 @@
+//! `sf-lint`: in-repo static analysis for the speculation-friendly tree
+//! workspace.
+//!
+//! The paper's central mechanism is speculation — transaction bodies
+//! re-execute on abort — so several of the repo's invariants are invisible
+//! to the type system and unreliable to test: no side effects inside
+//! `atomically` closures, a fixed cross-shard lock order, "relaxed atomics
+//! only for counters", and docs/JSON tables that must track the code. This
+//! crate lexes the workspace itself (no `syn` offline) and enforces those
+//! invariants as five rules with stable codes:
+//!
+//! | code | invariant |
+//! |------|-----------|
+//! | `SF-TXN-PURITY` | no I/O, lock acquisition, printing, env access, or channel sends inside `atomically*` closures |
+//! | `SF-LOCK-ORDER` | `.lock()`/`.try_lock()` acquisitions respect the declared partial order |
+//! | `SF-RECOVERY-PANIC` | no `unwrap`/`expect`/literal-or-range indexing in the crash-recovery read path |
+//! | `SF-RELAXED-ATOMIC` | every `Ordering::Relaxed` outside designed-relaxed modules carries a waiver |
+//! | `SF-STATS-COHERENCE` | stats fields and `SF_*` env vars stay in sync with the `SF_JSON` emission and EXPERIMENTS.md tables |
+//!
+//! Findings can be waived inline (`// sf-lint: allow(rule, reason)`) or
+//! carried in a checked-in `lint.baseline` for burn-down; CI gates at zero
+//! non-baselined findings.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use lexer::LexedFile;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule code, e.g. `SF-TXN-PURITY`.
+    pub code: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    pub line: usize,
+    /// Short, line-number-independent token used for baseline matching
+    /// (e.g. the offending receiver, macro, field, or env-var name).
+    pub anchor: String,
+    pub message: String,
+    /// Covered by an inline waiver (informational; never gates).
+    pub waived: bool,
+    /// Matched against `lint.baseline` (doesn't gate, scheduled burn-down).
+    pub baselined: bool,
+}
+
+/// The whole analysis input: lexed Rust sources plus raw doc files.
+pub struct Workspace {
+    pub files: Vec<LexedFile>,
+    /// (path, contents) of documentation files the coherence rule reads.
+    pub docs: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Build a workspace from in-memory sources — the unit-test entry point.
+    pub fn from_sources(sources: &[(&str, &str)], docs: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            files: sources
+                .iter()
+                .map(|(p, text)| LexedFile::lex(p, text))
+                .collect(),
+            docs: docs
+                .iter()
+                .map(|(p, t)| (p.to_string(), t.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Load the real workspace rooted at `root`: every `.rs` file under
+    /// `src/`, `examples/` and `crates/*/src` (shim crates excluded — they
+    /// are vendored API stand-ins, not ours to lint), plus `EXPERIMENTS.md`.
+    /// `tests/` and `benches/` trees are skipped entirely: the rules
+    /// enforce production invariants.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut rust_files = Vec::new();
+        for top in ["src", "examples"] {
+            collect_rs(&root.join(top), &mut rust_files)?;
+        }
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                if name == "shims" || name == "lint" {
+                    // `lint` excluded from self-analysis: its rule tables
+                    // and fixtures quote the very patterns it flags.
+                    continue;
+                }
+                collect_rs(&entry.path().join("src"), &mut rust_files)?;
+            }
+        }
+        rust_files.sort();
+        let files = rust_files
+            .iter()
+            .map(|p| {
+                let text = std::fs::read_to_string(p)?;
+                Ok(LexedFile::lex(&rel(root, p), &text))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let mut docs = Vec::new();
+        let exp = root.join("EXPERIMENTS.md");
+        if exp.is_file() {
+            docs.push(("EXPERIMENTS.md".to_string(), std::fs::read_to_string(&exp)?));
+        }
+        Ok(Workspace { files, docs })
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "tests" || name == "benches" || name == "target" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, p: &Path) -> String {
+    p.strip_prefix(root)
+        .unwrap_or(p)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Run every rule over the workspace. Findings come back sorted by
+/// (path, line, code); waiver status is already resolved, baseline is not.
+pub fn run_rules(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    findings.extend(rules::txn_purity::run(ws));
+    findings.extend(rules::lock_order::run(ws));
+    findings.extend(rules::recovery_panic::run(ws));
+    findings.extend(rules::relaxed_atomic::run(ws));
+    findings.extend(rules::stats_coherence::run(ws));
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code)));
+    findings
+}
+
+/// Human-readable report. Waived findings are suppressed (they are the
+/// documented escape hatch), baselined ones are listed but marked.
+pub fn render_human(findings: &[Finding], stale_baseline: &[baseline::Entry]) -> String {
+    let mut out = String::new();
+    let mut gating = 0usize;
+    let mut baselined = 0usize;
+    for f in findings {
+        if f.waived {
+            continue;
+        }
+        let tag = if f.baselined {
+            baselined += 1;
+            " [baselined]"
+        } else {
+            gating += 1;
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "{}: {}:{}: {}{}",
+            f.code, f.path, f.line, f.message, tag
+        );
+    }
+    for e in stale_baseline {
+        let _ = writeln!(
+            out,
+            "warning: stale baseline entry (no longer fires): {}\t{}\t{}",
+            e.code, e.path, e.anchor
+        );
+    }
+    let _ = writeln!(
+        out,
+        "sf-lint: {} finding(s) gate, {} baselined, {} waived",
+        gating,
+        baselined,
+        findings.iter().filter(|f| f.waived).count()
+    );
+    out
+}
+
+/// Machine-readable report: one JSON object, hand-serialized (std-only).
+pub fn render_json(findings: &[Finding], stale_baseline: &[baseline::Entry]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"code\":\"{}\",\"path\":\"{}\",\"line\":{},\"anchor\":\"{}\",\"message\":\"{}\",\"waived\":{},\"baselined\":{}}}",
+            esc(f.code),
+            esc(&f.path),
+            f.line,
+            esc(&f.anchor),
+            esc(&f.message),
+            f.waived,
+            f.baselined
+        );
+    }
+    let gating = findings
+        .iter()
+        .filter(|f| !f.waived && !f.baselined)
+        .count();
+    let _ = write!(
+        out,
+        "],\"stale_baseline\":{},\"gating\":{},\"baselined\":{},\"waived\":{}}}",
+        stale_baseline.len(),
+        gating,
+        findings.iter().filter(|f| f.baselined && !f.waived).count(),
+        findings.iter().filter(|f| f.waived).count()
+    );
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let findings = vec![Finding {
+            code: "SF-TXN-PURITY",
+            path: "a/b.rs".into(),
+            line: 3,
+            anchor: "println".into(),
+            message: "a \"quoted\" message".into(),
+            waived: false,
+            baselined: false,
+        }];
+        let json = render_json(&findings, &[]);
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"gating\":1"));
+    }
+}

@@ -1,0 +1,111 @@
+//! `sf-lint` CLI: lint the workspace, honoring waivers and the baseline.
+//!
+//! ```text
+//! cargo run -p sf-lint                  # human diagnostics
+//! cargo run -p sf-lint -- --json        # machine-readable report
+//! cargo run -p sf-lint -- --write-baseline   # regenerate lint.baseline
+//! ```
+//!
+//! Exit status: 0 when every finding is waived or baselined, 1 when any
+//! finding gates, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut write_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--write-baseline" => write_baseline = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("sf-lint [--json] [--root DIR] [--baseline FILE] [--write-baseline]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    // Default root: the workspace the binary was built from (works under
+    // `cargo run -p sf-lint` from anywhere inside the repo), falling back
+    // to the current directory for a relocated binary.
+    let root = root.unwrap_or_else(|| {
+        std::env::var_os("CARGO_MANIFEST_DIR")
+            .map(|d| PathBuf::from(d).join("../.."))
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint.baseline"));
+
+    let ws = match sf_lint::Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "sf-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = sf_lint::run_rules(&ws);
+
+    if write_baseline {
+        let text = sf_lint::baseline::write(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("sf-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "sf-lint: wrote {} entries to {}",
+            findings.iter().filter(|f| !f.waived).count(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let entries = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match sf_lint::baseline::parse(&text) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("sf-lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => Vec::new(), // no baseline file: everything gates
+    };
+    let stale = sf_lint::baseline::apply(&mut findings, &entries);
+
+    if json {
+        print!("{}", sf_lint::render_json(&findings, &stale));
+    } else {
+        print!("{}", sf_lint::render_human(&findings, &stale));
+    }
+
+    let gating = findings
+        .iter()
+        .filter(|f| !f.waived && !f.baselined)
+        .count();
+    if gating > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("sf-lint: {msg}");
+    eprintln!("usage: sf-lint [--json] [--root DIR] [--baseline FILE] [--write-baseline]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,55 @@
+//! The rule engine: five launch rules with stable `SF-*` codes.
+//!
+//! Each rule is a function from a [`crate::Workspace`] to findings. Rules
+//! share the small token-pattern helpers below rather than an AST — the
+//! lexer's flat stream plus balanced-delimiter scanning covers every
+//! pattern the rules need.
+
+pub mod lock_order;
+pub mod recovery_panic;
+pub mod relaxed_atomic;
+pub mod stats_coherence;
+pub mod txn_purity;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Is token `i` the `name` of a method call `.name(` ?
+pub(crate) fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && tokens[i].text == name
+        && i > 0
+        && tokens[i - 1].text == "."
+        && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Is token `i` an identifier immediately followed by `(` (a call or
+/// call-like macro-free invocation)?
+pub(crate) fn is_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+}
+
+/// Is token `i` a macro invocation `name!` ?
+pub(crate) fn is_macro(tokens: &[Token], i: usize, name: &str) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && tokens[i].text == name
+        && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+}
+
+/// The receiver identifier of a method call at token `i` (the ident before
+/// the `.`): `shard.move_lock.lock()` → `move_lock`;  chains ending in `)`
+/// or `]` (computed receivers) return `None`.
+pub(crate) fn receiver_ident(tokens: &[Token], call_ident: usize) -> Option<&str> {
+    if call_ident < 2 || tokens[call_ident - 1].text != "." {
+        return None;
+    }
+    let prev = &tokens[call_ident - 2];
+    (prev.kind == TokenKind::Ident).then_some(prev.text.as_str())
+}
+
+/// Does the token pair at `i` spell `a :: b`? (The lexer emits `:` twice.)
+pub(crate) fn is_path_seg(tokens: &[Token], i: usize, a: &str, b: &str) -> bool {
+    tokens[i].text == a
+        && tokens.get(i + 1).is_some_and(|t| t.text == ":")
+        && tokens.get(i + 2).is_some_and(|t| t.text == ":")
+        && tokens.get(i + 3).is_some_and(|t| t.text == b)
+}

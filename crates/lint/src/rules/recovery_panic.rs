@@ -1,0 +1,202 @@
+//! **SF-RECOVERY-PANIC** — the crash-recovery read path must not panic.
+//!
+//! Recovery parses bytes that survived a crash: torn frames, truncated
+//! checkpoints, bit flips. Every byte is attacker-controlled as far as the
+//! parser is concerned, so `unwrap()`, `expect()`, and panicking slice
+//! indexing are bugs — corrupt input must surface as `io::Error`, which is
+//! what the bit-flip sweep claims the code does. The rule covers the
+//! recovery/replay source files and flags, outside test code:
+//!
+//! * `.unwrap()` / `.expect(...)` calls — except the poison-recovery idiom
+//!   `unwrap_or_else(PoisonError::into_inner)` (different method name, not
+//!   matched) and except `.unwrap()` on values proven infallible, which
+//!   should be waived with a reason;
+//! * slice indexing with a literal or range index (`payload[0..8]`,
+//!   `bytes[4]`) — loop-variable indexing is bounds-derived and exempt.
+//!
+//! Serialization functions ([`WRITE_PATH_FNS`]) are exempt: they index
+//! fixed-size buffers they just built, and no disk byte reaches them.
+//! Indexing that a lexical linter cannot prove safe but a `.get(..)?`
+//! guard does (the `decode`/`read_frame` idiom) carries an inline waiver
+//! naming the guard.
+
+use crate::lexer::{balanced_end, TokenKind};
+use crate::rules::is_method_call;
+use crate::{Finding, Workspace};
+
+const CODE: &str = "SF-RECOVERY-PANIC";
+const WAIVER_RULE: &str = "recovery-panic";
+
+/// The crash-recovery read path: log replay, frame decode, checkpoint parse.
+const RECOVERY_FILES: &[&str] = &[
+    "crates/persist/src/recovery.rs",
+    "crates/persist/src/record.rs",
+    "crates/persist/src/log.rs",
+];
+
+/// Serialization (write-path) functions inside the recovery files: they
+/// index fixed-size local buffers they just allocated, and corrupt disk
+/// bytes never reach them.
+const WRITE_PATH_FNS: &[&str] = &["encode_into", "write_frame"];
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if !RECOVERY_FILES.contains(&file.path.as_str()) {
+            continue;
+        }
+        let tokens = &file.tokens;
+        let write_path: Vec<(usize, usize)> = file
+            .functions
+            .iter()
+            .filter(|f| WRITE_PATH_FNS.contains(&f.name.as_str()))
+            .map(|f| (f.body_start, f.body_end))
+            .collect();
+        for i in 0..tokens.len() {
+            let line = tokens[i].line;
+            if file.in_test_region(line) {
+                continue;
+            }
+            if write_path.iter().any(|&(a, b)| a <= i && i < b) {
+                continue;
+            }
+            for m in ["unwrap", "expect"] {
+                if is_method_call(tokens, i, m) {
+                    findings.push(Finding {
+                        code: CODE,
+                        path: file.path.clone(),
+                        line,
+                        anchor: m.to_string(),
+                        message: format!(
+                            "`.{m}()` in the crash-recovery read path — corrupt log bytes \
+                             reach this code, so parse failures must return `io::Error`, \
+                             not panic"
+                        ),
+                        waived: file.waived(WAIVER_RULE, line),
+                        baselined: false,
+                    });
+                }
+            }
+            // Slice indexing: `expr [ literal-or-range ]` where expr ends in
+            // an identifier or closing bracket. Declaration forms (`let x:
+            // [u8; 4]`, array literals after `=`/`(`/`,`) don't match the
+            // preceding-token test.
+            if tokens[i].text == "["
+                && i > 0
+                && (tokens[i - 1].kind == TokenKind::Ident
+                    || tokens[i - 1].text == "]"
+                    || tokens[i - 1].text == ")")
+                && tokens[i - 1].text != "return"
+            {
+                let end = balanced_end(tokens, i);
+                let inner = &tokens[i + 1..end.saturating_sub(1)];
+                if inner.is_empty() {
+                    continue;
+                }
+                let has_range = inner
+                    .windows(2)
+                    .any(|w| w[0].text == "." && w[1].text == ".");
+                let literal_index = inner.len() == 1 && inner[0].kind == TokenKind::Number;
+                let literal_start = inner.first().is_some_and(|t| t.kind == TokenKind::Number);
+                if has_range || literal_index || literal_start {
+                    let anchor = format!(
+                        "index:{}",
+                        tokens[i - 1].text.chars().take(24).collect::<String>()
+                    );
+                    findings.push(Finding {
+                        code: CODE,
+                        path: file.path.clone(),
+                        line,
+                        anchor,
+                        message: format!(
+                            "panicking slice index `{}[{}]` in the crash-recovery read path — \
+                             use `.get(..)` and surface truncation as `io::Error`",
+                            tokens[i - 1].text,
+                            inner
+                                .iter()
+                                .map(|t| t.text.as_str())
+                                .collect::<Vec<_>>()
+                                .join("")
+                        ),
+                        waived: file.waived(WAIVER_RULE, line),
+                        baselined: false,
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Workspace;
+
+    fn findings_for(src: &str) -> Vec<crate::Finding> {
+        let ws = Workspace::from_sources(&[("crates/persist/src/recovery.rs", src)], &[]);
+        super::run(&ws)
+    }
+
+    #[test]
+    fn unwrap_and_literal_range_index_fire() {
+        let fs = findings_for(
+            "fn parse(payload: &[u8]) -> u64 {\n\
+             u64::from_le_bytes(payload[0..8].try_into().unwrap())\n}",
+        );
+        let anchors: Vec<&str> = fs.iter().map(|f| f.anchor.as_str()).collect();
+        assert!(anchors.contains(&"unwrap"), "{fs:?}");
+        assert!(anchors.iter().any(|a| a.starts_with("index:")), "{fs:?}");
+    }
+
+    #[test]
+    fn loop_variable_index_is_exempt() {
+        let fs = findings_for("fn f(v: &[u8]) { for i in 0..v.len() { use_(v[i]); } }");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_unwrap() {
+        let fs =
+            findings_for("fn f(&self) { self.mu.lock().unwrap_or_else(PoisonError::into_inner); }");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_module_is_skipped() {
+        let fs = findings_for(
+            "fn clean() -> Option<u8> { None }\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { parse(&b).unwrap(); }\n}",
+        );
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn write_path_functions_are_exempt() {
+        let fs = findings_for(
+            "fn encode_into(&self, out: &mut Vec<u8>) {\n\
+             let mut payload = [0u8; 25];\n\
+             payload[0..8].copy_from_slice(&self.version.to_le_bytes());\n}\n\
+             fn decode(payload: &[u8]) { let x = payload[0..8]; }",
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].line, 5);
+    }
+
+    #[test]
+    fn other_files_are_out_of_scope() {
+        let ws =
+            Workspace::from_sources(&[("crates/core/src/map.rs", "fn f() { x.unwrap(); }")], &[]);
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn waiver_marks_finding() {
+        let fs = findings_for(
+            "fn f(h: JoinHandle<()>) {\n\
+             // sf-lint: allow(recovery-panic, join error only on writer panic, not corrupt bytes)\n\
+             h.join().unwrap();\n}",
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+}

@@ -1,0 +1,132 @@
+//! **SF-RELAXED-ATOMIC** — every `Ordering::Relaxed` outside the
+//! designed-relaxed modules needs an inline waiver.
+//!
+//! The workspace's deliberate policy (PRs 7-8): relaxed atomics are legal
+//! only for monotone counters and sampled telemetry whose readers tolerate
+//! staleness — never for anything a correctness invariant reads. Four
+//! modules are designed around that property wholesale and are allowlisted;
+//! everywhere else, each `Ordering::Relaxed` must carry
+//! `// sf-lint: allow(relaxed-atomic, <why staleness is safe here>)`,
+//! turning the design decision into in-place documentation the next editor
+//! sees.
+
+use crate::rules::is_path_seg;
+use crate::{Finding, Workspace};
+
+const CODE: &str = "SF-RELAXED-ATOMIC";
+const WAIVER_RULE: &str = "relaxed-atomic";
+
+/// Modules designed end-to-end around relaxed counters: the stats tables
+/// (single-writer-ish monotone counters aggregated at exit), the latency
+/// histogram's bucket array, and the flight recorder's lossy rings.
+const ALLOWLIST: &[&str] = &[
+    "crates/stm/src/stats.rs",
+    "crates/persist/src/stats.rs",
+    "crates/obs/src/histogram.rs",
+    "crates/obs/src/flight.rs",
+];
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if ALLOWLIST.contains(&file.path.as_str()) {
+            continue;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            if !is_path_seg(tokens, i, "Ordering", "Relaxed") {
+                continue;
+            }
+            let line = tokens[i].line;
+            if file.in_test_region(line) {
+                continue;
+            }
+            let waived = file.waived(WAIVER_RULE, line);
+            findings.push(Finding {
+                code: CODE,
+                path: file.path.clone(),
+                line,
+                anchor: "Ordering::Relaxed".to_string(),
+                message: "`Ordering::Relaxed` outside the designed-relaxed modules — if this \
+                          is a counter whose readers tolerate staleness, document it with \
+                          `// sf-lint: allow(relaxed-atomic, <reason>)`; if anything \
+                          synchronizes on this value, it needs Acquire/Release"
+                    .to_string(),
+                waived,
+                baselined: false,
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Workspace;
+
+    #[test]
+    fn unwaived_relaxed_fires() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/node.rs",
+                "fn bump(&self) { self.hits.fetch_add(1, Ordering::Relaxed); }",
+            )],
+            &[],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].waived);
+    }
+
+    #[test]
+    fn waivered_site_is_marked() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/node.rs",
+                "fn bump(&self) {\n\
+                 // sf-lint: allow(relaxed-atomic, hot counter; maintenance reads are advisory)\n\
+                 self.hits.fetch_add(1, Ordering::Relaxed);\n}",
+            )],
+            &[],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+
+    #[test]
+    fn allowlisted_module_is_clean() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/stm/src/stats.rs",
+                "fn bump(&self) { self.commits.fetch_add(1, Ordering::Relaxed); }",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn acquire_release_are_not_flagged() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/node.rs",
+                "fn f(&self) { self.v.load(Ordering::Acquire); self.v.store(1, Ordering::Release); }",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/node.rs",
+                "#[cfg(test)]\nmod tests {\n fn t() { c.load(Ordering::Relaxed); }\n}",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+}

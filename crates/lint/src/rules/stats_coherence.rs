@@ -1,0 +1,335 @@
+//! **SF-STATS-COHERENCE** — stats fields and `SF_*` env knobs must not
+//! drift from the `SF_JSON` emission and the EXPERIMENTS.md tables.
+//!
+//! Three checks, all cross-referencing code against docs:
+//!
+//! 1. every field declared in a `define_stats!` / `define_wal_stats!`
+//!    invocation must appear in some `SF_JSON` emission string as
+//!    `"field":` (WAL fields under their exported `wal_` prefix);
+//! 2. every such field must have a backticked row in an EXPERIMENTS.md
+//!    table;
+//! 3. every `SF_*` env var the code reads (any exact `"SF_…"` string
+//!    literal outside test code — all reads go through `std::env::var`
+//!    with a literal name, directly or via a helper) must have a
+//!    backticked row in an EXPERIMENTS.md table, and every `SF_*` var
+//!    named in a table row must still be read somewhere — drift in either
+//!    direction is a finding.
+//!
+//! Docs-side findings (stale rows) anchor at EXPERIMENTS.md and can only
+//! be baselined, not waived — markdown has no `sf-lint:` comments.
+
+use crate::lexer::{balanced_end, TokenKind};
+use crate::{Finding, Workspace};
+use std::collections::BTreeMap;
+
+const CODE: &str = "SF-STATS-COHERENCE";
+const WAIVER_RULE: &str = "stats-coherence";
+
+const STAT_KINDS: &[&str] = &["counter", "max", "gauge"];
+
+#[derive(Debug)]
+struct DeclaredField {
+    /// Name as emitted in the JSON line (`wal_` prefix already applied).
+    emitted: String,
+    path: String,
+    line: usize,
+}
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // --- collect: declared stats fields -------------------------------
+    let mut declared: Vec<DeclaredField> = Vec::new();
+    for file in &ws.files {
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            let is_stats = tokens[i].text == "define_stats";
+            let is_wal = tokens[i].text == "define_wal_stats";
+            if !(is_stats || is_wal)
+                || tokens[i].kind != TokenKind::Ident
+                || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("!")
+            {
+                continue;
+            }
+            // Invocation body: the balanced {...} / (...) after the bang.
+            let Some(open) = tokens
+                .get(i + 2)
+                .filter(|t| t.text == "{" || t.text == "(")
+                .map(|_| i + 2)
+            else {
+                continue;
+            };
+            let end = balanced_end(tokens, open);
+            let body = &tokens[open + 1..end.saturating_sub(1)];
+            for w in body.windows(3) {
+                if STAT_KINDS.contains(&w[0].text.as_str())
+                    && w[0].kind == TokenKind::Ident
+                    && w[1].kind == TokenKind::Ident
+                    && w[2].text == ":"
+                {
+                    declared.push(DeclaredField {
+                        emitted: if is_wal {
+                            format!("wal_{}", w[1].text)
+                        } else {
+                            w[1].text.clone()
+                        },
+                        path: file.path.clone(),
+                        line: w[1].line,
+                    });
+                }
+            }
+        }
+    }
+
+    // --- collect: everything the emission strings and docs tables say ---
+    let mut all_strings = String::new();
+    for file in &ws.files {
+        for t in &file.tokens {
+            if t.kind == TokenKind::Str {
+                all_strings.push_str(&t.text);
+                all_strings.push('\n');
+            }
+        }
+    }
+    // Backticked names in doc table rows: name -> first (docfile, line).
+    let mut doc_rows: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for (doc_path, text) in &ws.docs {
+        for (n, line) in text.lines().enumerate() {
+            if !line.trim_start().starts_with('|') {
+                continue;
+            }
+            for name in backticked(line) {
+                doc_rows
+                    .entry(name)
+                    .or_insert_with(|| (doc_path.clone(), n + 1));
+            }
+        }
+    }
+
+    // --- check 1 & 2: declared fields vs emission and docs -------------
+    for f in &declared {
+        let emitted_pat = format!("\"{}\":", f.emitted);
+        if !all_strings.contains(&emitted_pat) {
+            findings.push(finding_at(
+                f,
+                ws,
+                format!(
+                    "stats field `{}` is declared but missing from the SF_JSON emission \
+                     (no string literal contains `{emitted_pat}`)",
+                    f.emitted
+                ),
+            ));
+        }
+        if !doc_rows.contains_key(&f.emitted) {
+            findings.push(finding_at(
+                f,
+                ws,
+                format!(
+                    "stats field `{}` is declared but has no row in the EXPERIMENTS.md \
+                     field table",
+                    f.emitted
+                ),
+            ));
+        }
+    }
+
+    // --- check 3: env vars, both directions ----------------------------
+    let mut reads: BTreeMap<String, (String, usize)> = BTreeMap::new();
+    for file in &ws.files {
+        for t in &file.tokens {
+            if t.kind == TokenKind::Str && is_env_name(&t.text) && !file.in_test_region(t.line) {
+                reads
+                    .entry(t.text.clone())
+                    .or_insert_with(|| (file.path.clone(), t.line));
+            }
+        }
+    }
+    for (var, (path, line)) in &reads {
+        if !doc_rows.contains_key(var) {
+            let file = ws.files.iter().find(|f| &f.path == path);
+            findings.push(Finding {
+                code: CODE,
+                path: path.clone(),
+                line: *line,
+                anchor: var.clone(),
+                message: format!(
+                    "env var `{var}` is read here but has no row in the EXPERIMENTS.md \
+                     env table"
+                ),
+                waived: file.is_some_and(|f| f.waived(WAIVER_RULE, *line)),
+                baselined: false,
+            });
+        }
+    }
+    for (name, (doc_path, line)) in &doc_rows {
+        if is_env_name(name) && !reads.contains_key(name) {
+            findings.push(Finding {
+                code: CODE,
+                path: doc_path.clone(),
+                line: *line,
+                anchor: name.clone(),
+                message: format!(
+                    "env var `{name}` has a table row in {doc_path} but nothing in the \
+                     workspace reads it — stale docs"
+                ),
+                waived: false,
+                baselined: false,
+            });
+        }
+    }
+
+    findings
+}
+
+fn finding_at(f: &DeclaredField, ws: &Workspace, message: String) -> Finding {
+    let file = ws.files.iter().find(|lf| lf.path == f.path);
+    Finding {
+        code: CODE,
+        path: f.path.clone(),
+        line: f.line,
+        anchor: f.emitted.clone(),
+        message,
+        waived: file.is_some_and(|lf| lf.waived(WAIVER_RULE, f.line)),
+        baselined: false,
+    }
+}
+
+/// `SF_` followed by at least one uppercase/digit/underscore char, nothing
+/// else — the exact-literal shape of an env-var name.
+fn is_env_name(s: &str) -> bool {
+    s.len() > 3
+        && s.starts_with("SF_")
+        && s[3..]
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// All `` `name` `` spans in a line.
+fn backticked(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('`') {
+        let after = &rest[start + 1..];
+        match after.find('`') {
+            Some(end) => {
+                let name = &after[..end];
+                if !name.is_empty() && !name.contains(char::is_whitespace) {
+                    out.push(name.to_string());
+                }
+                rest = &after[end + 1..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Workspace;
+
+    const STATS_SRC: &str = r#"
+define_stats! {
+    counter commits: "committed transactions",
+    counter aborts: "aborted attempts",
+    max max_read_set: "largest read set",
+}
+"#;
+
+    #[test]
+    fn field_missing_from_emission_and_docs_fires_twice() {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/stm/src/stats.rs", STATS_SRC),
+                (
+                    "crates/bench/src/lib.rs",
+                    r#"fn j() { format!("\"commits\":{},\"max_read_set\":{}", a, b); }"#,
+                ),
+            ],
+            &[(
+                "EXPERIMENTS.md",
+                "| field | meaning |\n|---|---|\n| `commits` | x |\n| `max_read_set` | y |\n",
+            )],
+        );
+        let fs = super::run(&ws);
+        let about_aborts: Vec<_> = fs.iter().filter(|f| f.anchor == "aborts").collect();
+        assert_eq!(about_aborts.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.anchor == "aborts"));
+    }
+
+    #[test]
+    fn wal_fields_use_their_exported_prefix() {
+        let ws = Workspace::from_sources(
+            &[
+                (
+                    "crates/persist/src/stats.rs",
+                    r#"define_wal_stats! { counter records: "records appended", }"#,
+                ),
+                (
+                    "crates/bench/src/lib.rs",
+                    r#"fn j() { format!("\"wal_records\":{}", n); }"#,
+                ),
+            ],
+            &[("EXPERIMENTS.md", "| `wal_records` | appended |\n")],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn env_var_read_without_doc_row_fires() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/bench/src/lib.rs",
+                r#"fn f() { std::env::var("SF_NEW_KNOB").ok(); }"#,
+            )],
+            &[("EXPERIMENTS.md", "| `SF_THREADS` | n |\n")],
+        );
+        let fs = super::run(&ws);
+        // SF_NEW_KNOB undocumented + SF_THREADS stale.
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs
+            .iter()
+            .any(|f| f.anchor == "SF_NEW_KNOB" && f.path.ends_with("lib.rs")));
+        assert!(fs
+            .iter()
+            .any(|f| f.anchor == "SF_THREADS" && f.path == "EXPERIMENTS.md"));
+    }
+
+    #[test]
+    fn documented_and_read_is_clean() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/bench/src/lib.rs",
+                r#"fn f() { std::env::var("SF_THREADS").ok(); }"#,
+            )],
+            &[("EXPERIMENTS.md", "| `SF_THREADS` | worker count |\n")],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn prose_mention_is_not_a_table_row() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/bench/src/lib.rs",
+                r#"fn f() { std::env::var("SF_THREADS").ok(); }"#,
+            )],
+            &[("EXPERIMENTS.md", "Set `SF_THREADS` to control workers.\n")],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].anchor, "SF_THREADS");
+    }
+
+    #[test]
+    fn test_region_env_reads_are_exempt() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/bench/src/lib.rs",
+                "#[cfg(test)]\nmod tests {\n fn t() { std::env::var(\"SF_TEST_ONLY\").ok(); }\n}",
+            )],
+            &[("EXPERIMENTS.md", "")],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+}

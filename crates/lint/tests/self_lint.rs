@@ -1,0 +1,53 @@
+//! The workspace must lint clean: every rule, run over the real sources,
+//! with only `lint.baseline` absorbing findings. A new finding fails
+//! `cargo test` the same way it fails the CI gate, so debt cannot land
+//! silently between CI pushes.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_non_baselined_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+
+    let ws = sf_lint::Workspace::load(&root).expect("load workspace sources");
+    assert!(
+        ws.files.len() > 20,
+        "suspiciously few sources ({}) — did source discovery break?",
+        ws.files.len()
+    );
+
+    let mut findings = sf_lint::run_rules(&ws);
+    let baseline_path = root.join("lint.baseline");
+    let entries = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path).expect("read lint.baseline");
+        sf_lint::baseline::parse(&text).expect("parse lint.baseline")
+    } else {
+        Vec::new()
+    };
+    let stale = sf_lint::baseline::apply(&mut findings, &entries);
+
+    let gating: Vec<String> = findings
+        .iter()
+        .filter(|f| !f.waived && !f.baselined)
+        .map(|f| format!("{} {}:{} {}", f.code, f.path, f.line, f.message))
+        .collect();
+    assert!(
+        gating.is_empty(),
+        "sf-lint found {} non-baselined finding(s) — fix them, waive them \
+         inline with a reason, and only as a last resort baseline them:\n{}",
+        gating.len(),
+        gating.join("\n")
+    );
+
+    // The ratchet must tighten: a baseline row that matches nothing is debt
+    // already paid — delete the row.
+    assert!(
+        stale.is_empty(),
+        "stale lint.baseline entries (remove them): {stale:?}"
+    );
+}

@@ -329,6 +329,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
                         let ticket = Arc::clone(&ticket);
                         tx.on_commit_versioned(move |version| {
                             let seq = wal.enqueue(WalRecord { version, op });
+                            // sf-lint: allow(relaxed-atomic, same-thread handoff; the mutator that stored the ticket reads it back in finish_mutation)
                             ticket.store(seq, Ordering::Relaxed);
                         });
                     }
@@ -344,6 +345,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
     /// triggers live in the writer thread instead, so the mutator returns
     /// the moment its record is durable.
     fn finish_mutation(&self, handle: &mut DurableHandle<M>) {
+        // sf-lint: allow(relaxed-atomic, same-thread handoff; reads back the ticket this thread stored in its commit hook)
         let seq = handle.ticket.swap(0, Ordering::Relaxed);
         if seq == 0 {
             return;
@@ -431,6 +433,7 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
                                 version,
                                 op: WalOp::Move { from, to, value },
                             });
+                            // sf-lint: allow(relaxed-atomic, same-thread handoff; the mutator that stored the ticket reads it back in finish_mutation)
                             ticket.store(seq, Ordering::Relaxed);
                         });
                     }

@@ -266,6 +266,7 @@ impl WalShared {
     /// Records enqueued since the last completed checkpoint (the
     /// auto-checkpoint size trigger reads this).
     pub fn records_since_checkpoint(&self) -> u64 {
+        // sf-lint: allow(relaxed-atomic, checkpoint-trigger heuristic; a stale count defers the checkpoint by at most one record)
         self.records_since_checkpoint.load(Ordering::Relaxed)
     }
 
@@ -323,6 +324,7 @@ impl WalShared {
         state.pending.push_back(record);
         state.enqueued_seq += 1;
         self.records_since_checkpoint
+            // sf-lint: allow(relaxed-atomic, checkpoint-trigger counter; readers treat it as a heuristic threshold)
             .fetch_add(1, Ordering::Relaxed);
         self.stats.note_ring_depth(state.pending.len() as u64);
         let seq = state.enqueued_seq;
@@ -440,6 +442,7 @@ impl WalShared {
         }
         let io_started = Instant::now();
         let result: io::Result<()> = (|| {
+            // sf-lint: allow(relaxed-atomic, fault-injection flag for crash tests; no ordering contract with real I/O)
             if self.fail_next_flush.swap(false, Ordering::Relaxed) {
                 return Err(io::Error::other("injected WAL flush failure"));
             }
@@ -545,6 +548,7 @@ impl WalShared {
                 break;
             }
         }
+        // sf-lint: allow(relaxed-atomic, trigger-counter reset; the checkpoint itself is ordered by the wal-state lock)
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
         *self
             .last_checkpoint_at

@@ -224,12 +224,14 @@ impl WalRecord {
         if payload.len() < MOVE_COMMIT_PAYLOAD_LEN {
             return None;
         }
+        // sf-lint: allow(recovery-panic, in-bounds: length-guarded against MOVE_COMMIT_PAYLOAD_LEN above)
         let version = u64::from_le_bytes(payload[0..8].try_into().ok()?);
         let word = |at: usize| -> Option<u64> {
             Some(u64::from_le_bytes(
                 payload.get(at..at + 8)?.try_into().ok()?,
             ))
         };
+        // sf-lint: allow(recovery-panic, in-bounds: length-guarded against MOVE_COMMIT_PAYLOAD_LEN above)
         let op = match (payload[8], payload.len()) {
             (TAG_INSERT, RECORD_PAYLOAD_LEN) => WalOp::Insert {
                 key: word(9)?,
@@ -277,10 +279,12 @@ pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
 /// payload, or checksum mismatch) — the torn-tail condition.
 pub fn read_frame(bytes: &[u8], offset: usize) -> Option<(&[u8], usize)> {
     let header = bytes.get(offset..offset + FRAME_HEADER_LEN)?;
+    // sf-lint: allow(recovery-panic, in-bounds: header is exactly FRAME_HEADER_LEN bytes by the get above)
     let len = u32::from_le_bytes(header[0..4].try_into().ok()?) as usize;
     if len > MAX_FRAME_LEN {
         return None;
     }
+    // sf-lint: allow(recovery-panic, in-bounds: header is exactly FRAME_HEADER_LEN bytes by the get above)
     let expected = u64::from_le_bytes(header[4..12].try_into().ok()?);
     let start = offset + FRAME_HEADER_LEN;
     let payload = bytes.get(start..start + len)?;

@@ -168,20 +168,28 @@ fn parse_checkpoint(bytes: &[u8]) -> io::Result<(u64, BTreeMap<Key, Value>)> {
     if next != bytes.len() {
         return Err(corrupt("trailing bytes after the checkpoint frame"));
     }
-    if payload.len() < 16 {
-        return Err(corrupt("checkpoint header"));
-    }
-    let version = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-    let count = u64::from_le_bytes(payload[8..16].try_into().unwrap()) as usize;
-    if payload.len() != 16 + count * 16 {
+    let word = |at: usize| -> io::Result<u64> {
+        payload
+            .get(at..at + 8)
+            .and_then(|bytes| bytes.try_into().ok())
+            .map(u64::from_le_bytes)
+            .ok_or_else(|| corrupt("checkpoint truncated"))
+    };
+    let version = word(0)?;
+    let count = word(8)? as usize;
+    // Checked arithmetic: a corrupt count near usize::MAX must not overflow
+    // the expected-length computation.
+    let expected_len = count
+        .checked_mul(16)
+        .and_then(|n| n.checked_add(16))
+        .ok_or_else(|| corrupt("checkpoint entry count"))?;
+    if payload.len() != expected_len {
         return Err(corrupt("checkpoint entry count"));
     }
     let mut entries = BTreeMap::new();
     for i in 0..count {
         let at = 16 + i * 16;
-        let key = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
-        let value = u64::from_le_bytes(payload[at + 8..at + 16].try_into().unwrap());
-        entries.insert(key, value);
+        entries.insert(word(at)?, word(at + 8)?);
     }
     Ok((version, entries))
 }

@@ -21,6 +21,7 @@ impl TempDir {
     /// for inspection — the drop cleanup is skipped on panic-in-drop only).
     pub fn new(label: &str) -> TempDir {
         static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // sf-lint: allow(relaxed-atomic, process-local unique-suffix counter; only atomicity matters)
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)

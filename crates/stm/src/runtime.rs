@@ -48,6 +48,7 @@ impl Stm {
 
     /// Register the calling thread and obtain its transaction handle.
     pub fn register(self: &Arc<Self>) -> ThreadCtx {
+        // sf-lint: allow(relaxed-atomic, owner ids need atomicity (uniqueness), not ordering)
         let id = self.next_owner.fetch_add(1, Ordering::Relaxed);
         ThreadCtx {
             stm: Arc::clone(self),
@@ -172,6 +173,7 @@ impl ThreadCtx {
                     Ok(info) => {
                         stats.record_commit(info.read_set, info.write_set);
                         if info.combined {
+                            // sf-lint: allow(relaxed-atomic, combined-commit telemetry counter; aggregated for reports only)
                             stats.combined_commits.fetch_add(1, Ordering::Relaxed);
                         }
                         if kind == TxKind::ReadOnly {
@@ -201,9 +203,13 @@ impl ThreadCtx {
                 }
             };
             reads_this_op += tx.reads;
+            // sf-lint: allow(relaxed-atomic, per-transaction telemetry counters; aggregated for reports only)
             stats.tx_reads.fetch_add(tx.reads, Ordering::Relaxed);
+            // sf-lint: allow(relaxed-atomic, per-transaction telemetry counter; aggregated for reports only)
             stats.tx_ureads.fetch_add(tx.ureads, Ordering::Relaxed);
+            // sf-lint: allow(relaxed-atomic, per-transaction telemetry counter; aggregated for reports only)
             stats.tx_writes.fetch_add(tx.writes, Ordering::Relaxed);
+            // sf-lint: allow(relaxed-atomic, per-transaction telemetry counter; aggregated for reports only)
             stats.elastic_cuts.fetch_add(tx.cuts, Ordering::Relaxed);
             let hooks = if committed.is_some() {
                 tx.take_commit_hooks()

@@ -363,6 +363,7 @@ fn wal_dir_for(base: &str) -> PathBuf {
     let root = std::env::var_os("SF_WAL_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join(format!("sf-wal-{}", std::process::id())));
+    // sf-lint: allow(relaxed-atomic, per-process build counter for unique WAL dirs; only atomicity matters)
     let n = BUILDS.fetch_add(1, Ordering::Relaxed);
     root.join(format!("{base}+wal-{n}"))
 }

@@ -164,6 +164,7 @@ fn worker_loop(
         RunLength::Ops(n) => n,
         RunLength::Timed(_) => u64::MAX,
     };
+    // sf-lint: allow(relaxed-atomic, stop flag polled per op; a stale read only runs one extra operation)
     while report.ops < op_budget && !stop.load(Ordering::Relaxed) {
         let op = gen.next_op();
         // 1-in-N latency sampling: the untimed path never reads the clock.
@@ -247,6 +248,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
         let started = Instant::now();
         if let RunLength::Timed(duration) = run {
             std::thread::sleep(duration);
+            // sf-lint: allow(relaxed-atomic, stop flag; the worker joins that follow provide the final synchronization)
             stop.store(true, Ordering::Relaxed);
         }
         let reports: Vec<ThreadReport> = workers

@@ -52,6 +52,7 @@ fn main() {
         "physical removals   : {}",
         tree.stats()
             .removals
+            // sf-lint: allow(relaxed-atomic, stats read for the example's report; staleness is harmless)
             .load(std::sync::atomic::Ordering::Relaxed)
     );
     println!("commits / aborts    : {} / {}", stats.commits, stats.aborts);
