@@ -1,0 +1,959 @@
+//! Concurrent-history recording and Wing–Gong/WGL linearizability checking
+//! against a `BTreeMap` sequential witness.
+//!
+//! The driver records an invocation/response timeline per worker thread
+//! ([`Recorder`] / [`HistoryHandle`]); after the run the merged history is
+//! checked by [`check_history`]: a depth-first search over linearisation
+//! orders, restricted at each step to operations whose invocation precedes
+//! every uncompleted operation's response (the WGL candidate rule), with
+//! memoisation on (linearised-set, witness-state-hash) to keep the search
+//! polynomial on the low-contention histories real runs produce.
+//!
+//! Linearizability is local (Herlihy & Wing): operations on disjoint keys
+//! never constrain each other, so before searching the history is split
+//! into independent per-key-cluster subhistories (`Move` unions its two
+//! keys; a `Scan` observes a whole range and disables the split). This is
+//! what keeps long driver histories tractable — one slow operation
+//! overlapping thousands of fast ones on *other* keys no longer widens the
+//! search window. A hard state budget backstops pathological clusters: the
+//! checker reports "inconclusive" instead of pinning a core.
+//!
+//! Crash histories are supported too ([`check_crash_history`]): operations
+//! with no response (in flight at the kill point) may be linearised or
+//! dropped, and the final witness state must equal the recovered contents
+//! — this is what gives `recover()` drills a linearizability verdict.
+//!
+//! Witness semantics mirror the production maps exactly:
+//! * `insert` returns `true` iff the key was absent (no overwrite);
+//! * `delete` returns `true` iff the key was present;
+//! * `move(from, to)` with `from == to` degenerates to `contains`; it
+//!   returns `false` when the source is absent **or** the destination is
+//!   occupied, and moves the value otherwise (`sf_tree::map::tx_move`,
+//!   `sf_tree::sharded::move_entry`);
+//! * `scan(lo, hi)` returns the entries with keys in `[lo, hi]`, ascending.
+
+use crate::sched::splitmix64;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// One map operation, as invoked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `insert(key, value)`.
+    Insert(u64, u64),
+    /// `delete(key)`.
+    Delete(u64),
+    /// `contains(key)`.
+    Contains(u64),
+    /// `move_entry(from, to)`.
+    Move(u64, u64),
+    /// `range_collect(lo, hi)` (inclusive bounds).
+    Scan(u64, u64),
+}
+
+/// An operation's observed result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Ret {
+    /// Result of insert/delete/contains/move.
+    Bool(bool),
+    /// Result of a range scan.
+    Entries(Vec<(u64, u64)>),
+}
+
+/// One completed (or, in crash histories, in-flight) operation with its
+/// real-time window.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// The invoked operation.
+    pub op: Op,
+    /// Observed result; `None` for operations still in flight at a crash.
+    pub ret: Option<Ret>,
+    /// Global sequence number drawn at invocation.
+    pub invoke: u64,
+    /// Global sequence number drawn at response (`u64::MAX` if pending).
+    pub response: u64,
+    /// Recording thread, for reports.
+    pub thread: u32,
+}
+
+/// Process-wide history recorder: hands out per-thread [`HistoryHandle`]s
+/// and merges their timelines.
+pub struct Recorder {
+    seq: AtomicU64,
+    next_thread: AtomicU64,
+    logs: Mutex<Vec<Vec<Event>>>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Recorder {
+        Recorder {
+            seq: AtomicU64::new(0),
+            next_thread: AtomicU64::new(0),
+            logs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Create a handle for one worker thread.
+    pub fn handle(self: &Arc<Self>) -> HistoryHandle {
+        HistoryHandle {
+            recorder: Arc::clone(self),
+            thread: self.next_thread.fetch_add(1, Ordering::Relaxed) as u32,
+            events: Vec::new(),
+        }
+    }
+
+    /// Merge all finished handles' timelines, sorted by invocation time.
+    pub fn take(&self) -> Vec<Event> {
+        let mut logs = self.logs.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut all: Vec<Event> = logs.drain(..).flatten().collect();
+        all.sort_by_key(|e| e.invoke);
+        all
+    }
+}
+
+/// An operation that has been invoked but not yet completed on a handle.
+#[derive(Debug)]
+pub struct Pending {
+    index: usize,
+}
+
+/// Per-thread recording handle. Buffers locally (no synchronisation on the
+/// hot path beyond one global sequence fetch per timestamp) and publishes
+/// on [`HistoryHandle::finish`] or drop.
+pub struct HistoryHandle {
+    recorder: Arc<Recorder>,
+    thread: u32,
+    events: Vec<Event>,
+}
+
+impl HistoryHandle {
+    /// Record an invocation; pair with [`HistoryHandle::complete`].
+    pub fn invoke(&mut self, op: Op) -> Pending {
+        let invoke = self.recorder.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.push(Event {
+            op,
+            ret: None,
+            invoke,
+            response: u64::MAX,
+            thread: self.thread,
+        });
+        Pending {
+            index: self.events.len() - 1,
+        }
+    }
+
+    /// Record the response for a pending invocation.
+    pub fn complete(&mut self, pending: Pending, ret: Ret) {
+        let response = self.recorder.seq.fetch_add(1, Ordering::SeqCst);
+        let ev = &mut self.events[pending.index];
+        ev.ret = Some(ret);
+        ev.response = response;
+    }
+
+    /// Publish this thread's timeline to the recorder.
+    pub fn finish(mut self) {
+        self.publish();
+    }
+
+    fn publish(&mut self) {
+        if self.events.is_empty() {
+            return;
+        }
+        let mut logs = self
+            .recorder
+            .logs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        logs.push(std::mem::take(&mut self.events));
+    }
+}
+
+impl Drop for HistoryHandle {
+    fn drop(&mut self) {
+        self.publish();
+    }
+}
+
+/// Outcome of a linearizability check.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// True when a valid linearisation exists.
+    pub ok: bool,
+    /// Number of events checked.
+    pub ops: usize,
+    /// Search states visited (for tuning/reports).
+    pub explored: u64,
+    /// Human-readable explanation on failure (empty when ok).
+    pub message: String,
+}
+
+/// Check a completed history (every event has a response) against the
+/// sequential witness seeded with `initial`.
+pub fn check_history(initial: &[(u64, u64)], events: &[Event]) -> Verdict {
+    check_inner(initial, events, None, SEARCH_BUDGET)
+}
+
+/// Check a crash history: events with `ret == None` were in flight at the
+/// kill point and may be linearised (with any effect) or dropped; the
+/// witness state after linearising everything must equal `recovered`.
+pub fn check_crash_history(
+    initial: &[(u64, u64)],
+    events: &[Event],
+    recovered: &[(u64, u64)],
+) -> Verdict {
+    let observed: BTreeMap<u64, u64> = recovered.iter().copied().collect();
+    check_inner(initial, events, Some(&observed), SEARCH_BUDGET)
+}
+
+/// [`check_history`] on a dedicated thread with a large stack. The search
+/// recurses once per event, so long driver histories (tens of thousands of
+/// operations) need more than the default main-thread stack.
+pub fn check_history_spawned(initial: Vec<(u64, u64)>, events: Vec<Event>) -> Verdict {
+    std::thread::Builder::new()
+        .name("sf-check-history".to_string())
+        .stack_size(256 << 20)
+        .spawn(move || check_history(&initial, &events))
+        .expect("spawn history checker")
+        .join()
+        .expect("history checker panicked")
+}
+
+const PENDING: u64 = u64::MAX;
+
+/// Widest completion window (in events past `base`) the memo table will
+/// represent: 64 words = 4096 bits. Wider windows skip memoisation —
+/// correct but unpruned, which is why the state budget exists.
+const MEMO_WORDS: usize = 64;
+
+/// Total search-state budget across all key clusters of one check. Real
+/// linearizable driver histories explore well under a million states; a
+/// search that needs more than this is contended beyond what a CI verdict
+/// is worth, and "inconclusive" beats a wedged job.
+const SEARCH_BUDGET: u64 = 20_000_000;
+
+struct Search<'a> {
+    events: &'a [Event],
+    state: BTreeMap<u64, u64>,
+    state_hash: u64,
+    /// `done[i]`: event i already linearised (or dropped, for pending ops).
+    done: Vec<bool>,
+    base: usize,
+    /// Monotonic upper bound on the highest index ever marked done.
+    /// Never lowered on backtrack (an over-approximation is fine: `done`
+    /// stays the ground truth; this only bounds `memo_key`'s scan).
+    max_done: usize,
+    explored: u64,
+    /// States this search may still visit; decremented per `solve` call.
+    remaining: u64,
+    /// Set when the budget ran out: the `false` result is then
+    /// "inconclusive", not "no linearisation exists".
+    exhausted: bool,
+    memo: HashSet<(usize, Box<[u64]>, u64)>,
+    final_state: Option<&'a BTreeMap<u64, u64>>,
+}
+
+fn entry_hash(k: u64, v: u64) -> u64 {
+    splitmix64(k.wrapping_mul(0x9e3779b97f4a7c15) ^ splitmix64(v ^ 0x2545f4914f6cdd1d))
+}
+
+enum Undo {
+    None,
+    Insert(u64),
+    Restore(u64, u64),
+    /// Move: remove `to`, restore `from`.
+    Move {
+        from: u64,
+        to: u64,
+        value: u64,
+    },
+}
+
+impl<'a> Search<'a> {
+    /// Apply `op` to the witness; returns (result, undo). Pure state
+    /// transition — result matching happens in the caller.
+    fn apply(&mut self, op: &Op) -> (Ret, Undo) {
+        match *op {
+            Op::Insert(k, v) => match self.state.entry(k) {
+                std::collections::btree_map::Entry::Occupied(_) => (Ret::Bool(false), Undo::None),
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(v);
+                    self.state_hash ^= entry_hash(k, v);
+                    (Ret::Bool(true), Undo::Insert(k))
+                }
+            },
+            Op::Delete(k) => match self.state.remove(&k) {
+                Some(v) => {
+                    self.state_hash ^= entry_hash(k, v);
+                    (Ret::Bool(true), Undo::Restore(k, v))
+                }
+                None => (Ret::Bool(false), Undo::None),
+            },
+            Op::Contains(k) => (Ret::Bool(self.state.contains_key(&k)), Undo::None),
+            Op::Move(from, to) => {
+                if from == to {
+                    return (Ret::Bool(self.state.contains_key(&from)), Undo::None);
+                }
+                if self.state.contains_key(&to) {
+                    return (Ret::Bool(false), Undo::None);
+                }
+                match self.state.remove(&from) {
+                    None => (Ret::Bool(false), Undo::None),
+                    Some(value) => {
+                        self.state.insert(to, value);
+                        self.state_hash ^= entry_hash(from, value) ^ entry_hash(to, value);
+                        (Ret::Bool(true), Undo::Move { from, to, value })
+                    }
+                }
+            }
+            Op::Scan(lo, hi) => {
+                let entries: Vec<(u64, u64)> =
+                    self.state.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                (Ret::Entries(entries), Undo::None)
+            }
+        }
+    }
+
+    fn revert(&mut self, undo: Undo) {
+        match undo {
+            Undo::None => {}
+            Undo::Insert(k) => {
+                let v = self.state.remove(&k).expect("undo insert");
+                self.state_hash ^= entry_hash(k, v);
+            }
+            Undo::Restore(k, v) => {
+                self.state.insert(k, v);
+                self.state_hash ^= entry_hash(k, v);
+            }
+            Undo::Move { from, to, value } => {
+                self.state.remove(&to).expect("undo move");
+                self.state.insert(from, value);
+                self.state_hash ^= entry_hash(from, value) ^ entry_hash(to, value);
+            }
+        }
+    }
+
+    /// Memo key: first un-linearised index plus a completion bitmask over
+    /// the window after it, plus the witness hash. Windows wider than
+    /// `MEMO_WORDS * 64` bits skip memoisation (correct, just unpruned).
+    ///
+    /// The scan stops at `max_done` — a monotonic upper bound on the
+    /// highest done index — not at the end of the event vector: done bits
+    /// only ever exist inside the (small) concurrency window, and walking
+    /// the whole tail here made every `solve` step O(history length),
+    /// which turned long driver histories quadratic.
+    fn memo_key(&self) -> Option<(usize, Box<[u64]>, u64)> {
+        let mut words = 0usize;
+        let mut bits = [0u64; MEMO_WORDS];
+        if self.max_done >= self.base {
+            let hi = self.max_done.min(self.events.len() - 1);
+            for i in self.base..=hi {
+                if self.done[i] {
+                    let off = i - self.base;
+                    if off >= MEMO_WORDS * 64 {
+                        return None;
+                    }
+                    bits[off / 64] |= 1u64 << (off % 64);
+                    words = words.max(off / 64 + 1);
+                }
+            }
+        }
+        Some((self.base, bits[..words].into(), self.state_hash))
+    }
+
+    fn solve(&mut self) -> bool {
+        if self.remaining == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.remaining -= 1;
+        self.explored += 1;
+        while self.base < self.events.len() && self.done[self.base] {
+            self.base += 1;
+        }
+        if self.base == self.events.len() {
+            return match self.final_state {
+                None => true,
+                Some(want) => self.state == *want,
+            };
+        }
+        if let Some(key) = self.memo_key() {
+            if !self.memo.insert(key) {
+                return false;
+            }
+        }
+        // WGL candidate rule: an op may linearise next iff its invocation
+        // precedes every un-linearised op's response. Since events are
+        // sorted by invocation, candidates form a prefix bounded by the
+        // minimum response among un-linearised ops seen so far.
+        let mut min_resp = u64::MAX;
+        let mut i = self.base;
+        while i < self.events.len() {
+            if !self.done[i] {
+                let ev = &self.events[i];
+                if ev.invoke >= min_resp {
+                    break;
+                }
+                // Try linearising event i here.
+                let (got, undo) = self.apply(&ev.op);
+                let matches = match &ev.ret {
+                    Some(want) => *want == got,
+                    None => true, // pending op: any effect acceptable
+                };
+                if matches {
+                    self.done[i] = true;
+                    self.max_done = self.max_done.max(i);
+                    let saved_base = self.base;
+                    if self.solve() {
+                        return true;
+                    }
+                    self.base = saved_base;
+                    self.done[i] = false;
+                }
+                self.revert(undo);
+                // A pending op may also never take effect at all. Model
+                // "drop" by marking it done without applying it.
+                if ev.ret.is_none() {
+                    self.done[i] = true;
+                    self.max_done = self.max_done.max(i);
+                    let saved_base = self.base;
+                    if self.solve() {
+                        return true;
+                    }
+                    self.base = saved_base;
+                    self.done[i] = false;
+                }
+                min_resp = min_resp.min(ev.response);
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+/// Union-find over the keys a history touches, used to split it into
+/// independent clusters (linearizability locality).
+struct KeyClusters {
+    parent: Vec<usize>,
+    key_node: HashMap<u64, usize>,
+}
+
+impl KeyClusters {
+    fn node(&mut self, k: u64) -> usize {
+        if let Some(&n) = self.key_node.get(&k) {
+            n
+        } else {
+            let n = self.parent.len();
+            self.parent.push(n);
+            self.key_node.insert(k, n);
+            n
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u64, b: u64) {
+        let (na, nb) = (self.node(a), self.node(b));
+        let (ra, rb) = (self.find(na), self.find(nb));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+fn check_inner(
+    initial: &[(u64, u64)],
+    events: &[Event],
+    final_state: Option<&BTreeMap<u64, u64>>,
+    budget: u64,
+) -> Verdict {
+    let mut sorted: Vec<Event> = events.to_vec();
+    sorted.sort_by_key(|e| e.invoke);
+    if final_state.is_none() {
+        if let Some(p) = sorted.iter().find(|e| e.ret.is_none()) {
+            return Verdict {
+                ok: false,
+                ops: sorted.len(),
+                explored: 0,
+                message: format!(
+                    "history has a pending op ({:?} by thread {}) but no crash state to check against",
+                    p.op, p.thread
+                ),
+            };
+        }
+    }
+    let n = sorted.len();
+
+    // Cluster the history by key: single-key ops claim their key, `Move`
+    // unions its endpoints, and a `Scan` — which observes a whole range —
+    // couples everything, forcing one whole-history search.
+    let mut clusters = KeyClusters {
+        parent: Vec::new(),
+        key_node: HashMap::new(),
+    };
+    let mut splittable = true;
+    for ev in &sorted {
+        match ev.op {
+            Op::Insert(k, _) | Op::Delete(k) | Op::Contains(k) => {
+                clusters.node(k);
+            }
+            Op::Move(a, b) => clusters.union(a, b),
+            Op::Scan(..) => {
+                splittable = false;
+                break;
+            }
+        }
+    }
+    // Bucket events by final cluster root, assigning group indices in
+    // first-event order; `key_group` records every touched key's group
+    // (both endpoints of a `Move`), for restricting initial/final states.
+    let mut key_group: HashMap<u64, usize> = HashMap::new();
+    let groups: Vec<Vec<Event>> = if splittable {
+        let mut by_root: HashMap<usize, usize> = HashMap::new();
+        let mut out: Vec<Vec<Event>> = Vec::new();
+        for ev in &sorted {
+            let (ka, kb) = match ev.op {
+                Op::Insert(k, _) | Op::Delete(k) | Op::Contains(k) => (k, None),
+                Op::Move(a, b) => (a, Some(b)),
+                Op::Scan(..) => unreachable!("scan histories are not split"),
+            };
+            let node = clusters.node(ka);
+            let root = clusters.find(node);
+            let idx = *by_root.entry(root).or_insert_with(|| {
+                out.push(Vec::new());
+                out.len() - 1
+            });
+            key_group.insert(ka, idx);
+            if let Some(kb) = kb {
+                key_group.insert(kb, idx);
+            }
+            out[idx].push(ev.clone());
+        }
+        out
+    } else {
+        vec![sorted.clone()]
+    };
+
+    // Keys outside every cluster are untouched by the history: a crash
+    // state must carry them through from `initial` unchanged, and must not
+    // invent keys no operation or initial entry explains. (The whole-
+    // history search covers this itself when the split is disabled.)
+    if splittable {
+        if let Some(want) = final_state {
+            for (k, v) in initial {
+                if !key_group.contains_key(k) && want.get(k) != Some(v) {
+                    return Verdict {
+                        ok: false,
+                        ops: n,
+                        explored: 0,
+                        message: format!(
+                            "recovered state lost or changed untouched key {k} (expected {v:?}, found {:?})",
+                            want.get(k)
+                        ),
+                    };
+                }
+            }
+            let initial_keys: HashSet<u64> = initial.iter().map(|(k, _)| *k).collect();
+            for k in want.keys() {
+                if !key_group.contains_key(k) && !initial_keys.contains(k) {
+                    return Verdict {
+                        ok: false,
+                        ops: n,
+                        explored: 0,
+                        message: format!(
+                            "recovered state contains key {k} that no operation or initial entry explains"
+                        ),
+                    };
+                }
+            }
+        }
+    }
+
+    let mut remaining = budget;
+    let mut explored_total = 0u64;
+    for (gi, group) in groups.iter().enumerate() {
+        let initial_g: BTreeMap<u64, u64> = if splittable {
+            initial
+                .iter()
+                .filter(|(k, _)| key_group.get(k) == Some(&gi))
+                .copied()
+                .collect()
+        } else {
+            initial.iter().copied().collect()
+        };
+        let final_g: Option<BTreeMap<u64, u64>> = final_state.map(|want| {
+            if splittable {
+                want.iter()
+                    .filter(|(k, _)| key_group.get(k) == Some(&gi))
+                    .map(|(k, v)| (*k, *v))
+                    .collect()
+            } else {
+                want.clone()
+            }
+        });
+        let state_hash = initial_g
+            .iter()
+            .fold(0u64, |h, (k, v)| h ^ entry_hash(*k, *v));
+        let mut search = Search {
+            events: group,
+            state: initial_g,
+            state_hash,
+            done: vec![false; group.len()],
+            base: 0,
+            max_done: 0,
+            explored: 0,
+            remaining,
+            exhausted: false,
+            memo: HashSet::new(),
+            final_state: final_g.as_ref(),
+        };
+        let ok = search.solve();
+        explored_total += search.explored;
+        remaining = search.remaining;
+        if search.exhausted {
+            return Verdict {
+                ok: false,
+                ops: n,
+                explored: explored_total,
+                message: format!(
+                    "linearizability search budget exhausted ({budget} states) — \
+                     verdict inconclusive; the history is more contended than the checker can decide"
+                ),
+            };
+        }
+        if !ok {
+            return Verdict {
+                ok: false,
+                ops: n,
+                explored: explored_total,
+                message: describe_failure(group, final_g.as_ref()),
+            };
+        }
+    }
+    Verdict {
+        ok: true,
+        ops: n,
+        explored: explored_total,
+        message: String::new(),
+    }
+}
+
+fn describe_failure(events: &[Event], final_state: Option<&BTreeMap<u64, u64>>) -> String {
+    let mut msg = String::from("history is NOT linearizable");
+    if final_state.is_some() {
+        msg.push_str(" against the recovered state");
+    }
+    msg.push_str(&format!(
+        " ({} events). Tail of the timeline:\n",
+        events.len()
+    ));
+    for ev in events
+        .iter()
+        .rev()
+        .take(12)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+    {
+        let resp = if ev.response == PENDING {
+            "pending".to_string()
+        } else {
+            ev.response.to_string()
+        };
+        msg.push_str(&format!(
+            "  t{} [{} .. {}] {:?} -> {:?}\n",
+            ev.thread, ev.invoke, resp, ev.op, ev.ret
+        ));
+    }
+    msg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: Op, ret: Ret, invoke: u64, response: u64, thread: u32) -> Event {
+        Event {
+            op,
+            ret: Some(ret),
+            invoke,
+            response,
+            thread,
+        }
+    }
+
+    #[test]
+    fn sequential_history_checks() {
+        let events = vec![
+            ev(Op::Insert(1, 10), Ret::Bool(true), 0, 1, 0),
+            ev(Op::Contains(1), Ret::Bool(true), 2, 3, 0),
+            ev(Op::Delete(1), Ret::Bool(true), 4, 5, 0),
+            ev(Op::Contains(1), Ret::Bool(false), 6, 7, 0),
+        ];
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+        assert_eq!(v.ops, 4);
+    }
+
+    #[test]
+    fn overlapping_ops_may_reorder() {
+        // contains(1) overlaps insert(1) and sees it: the contains must be
+        // linearised after the insert even though it was invoked first.
+        let events = vec![
+            ev(Op::Contains(1), Ret::Bool(true), 0, 5, 0),
+            ev(Op::Insert(1, 10), Ret::Bool(true), 1, 4, 1),
+        ];
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn non_overlapping_stale_read_is_rejected() {
+        // insert(1) completed before contains(1) was invoked, so the false
+        // result is a real-time violation.
+        let events = vec![
+            ev(Op::Insert(1, 10), Ret::Bool(true), 0, 1, 0),
+            ev(Op::Contains(1), Ret::Bool(false), 2, 3, 1),
+        ];
+        let v = check_history(&[], &events);
+        assert!(!v.ok);
+        assert!(v.message.contains("NOT linearizable"), "{}", v.message);
+    }
+
+    #[test]
+    fn move_semantics_match_the_tree() {
+        let initial = [(1, 10), (2, 20)];
+        let events = vec![
+            // dst occupied -> false
+            ev(Op::Move(1, 2), Ret::Bool(false), 0, 1, 0),
+            // self-move == contains
+            ev(Op::Move(1, 1), Ret::Bool(true), 2, 3, 0),
+            // real move
+            ev(Op::Move(1, 3), Ret::Bool(true), 4, 5, 0),
+            ev(Op::Contains(1), Ret::Bool(false), 6, 7, 0),
+            ev(
+                Op::Scan(0, 10),
+                Ret::Entries(vec![(2, 20), (3, 10)]),
+                8,
+                9,
+                0,
+            ),
+            // absent src -> false
+            ev(Op::Move(9, 4), Ret::Bool(false), 10, 11, 0),
+        ];
+        let v = check_history(&initial, &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn scan_must_be_atomic() {
+        // A scan that observes insert(1) but not the earlier-completed
+        // insert(2) is not linearizable.
+        let events = vec![
+            ev(Op::Insert(2, 20), Ret::Bool(true), 0, 1, 0),
+            ev(Op::Insert(1, 10), Ret::Bool(true), 2, 3, 0),
+            ev(Op::Scan(0, 10), Ret::Entries(vec![(1, 10)]), 4, 5, 1),
+        ];
+        let v = check_history(&[], &events);
+        assert!(!v.ok);
+    }
+
+    #[test]
+    fn concurrent_inserts_on_one_key() {
+        // Two concurrent insert(7) — exactly one wins, in either order.
+        let events = vec![
+            ev(Op::Insert(7, 1), Ret::Bool(false), 0, 10, 0),
+            ev(Op::Insert(7, 2), Ret::Bool(true), 1, 9, 1),
+            ev(Op::Contains(7), Ret::Bool(true), 11, 12, 0),
+        ];
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn crash_history_with_pending_op_applied_or_dropped() {
+        let pending = Event {
+            op: Op::Insert(5, 50),
+            ret: None,
+            invoke: 2,
+            response: PENDING,
+            thread: 1,
+        };
+        let acked = ev(Op::Insert(1, 10), Ret::Bool(true), 0, 1, 0);
+        // Case A: recovery kept the pending insert.
+        let v = check_crash_history(&[], &[acked.clone(), pending.clone()], &[(1, 10), (5, 50)]);
+        assert!(v.ok, "{}", v.message);
+        // Case B: recovery dropped it.
+        let v = check_crash_history(&[], &[acked.clone(), pending.clone()], &[(1, 10)]);
+        assert!(v.ok, "{}", v.message);
+        // Case C: recovery lost the ACKED insert — torn durability.
+        let v = check_crash_history(&[], &[acked, pending], &[(5, 50)]);
+        assert!(!v.ok);
+    }
+
+    #[test]
+    fn recorder_round_trip() {
+        let rec = Arc::new(Recorder::new());
+        let mut h0 = rec.handle();
+        let mut h1 = rec.handle();
+        let p = h0.invoke(Op::Insert(1, 1));
+        h0.complete(p, Ret::Bool(true));
+        let p = h1.invoke(Op::Contains(1));
+        h1.complete(p, Ret::Bool(true));
+        h0.finish();
+        h1.finish();
+        let events = rec.take();
+        assert_eq!(events.len(), 2);
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn memoisation_survives_wide_histories() {
+        // 40 sequential inserts then a full scan: trivially linearizable,
+        // must not blow up.
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for k in 0..40u64 {
+            events.push(ev(Op::Insert(k, k), Ret::Bool(true), t, t + 1, 0));
+            t += 2;
+        }
+        let all: Vec<(u64, u64)> = (0..40).map(|k| (k, k)).collect();
+        events.push(ev(Op::Scan(0, 100), Ret::Entries(all), t, t + 1, 0));
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn key_split_still_catches_a_single_bad_cluster() {
+        // Thousands of clean ops on other keys must not drown out one lost
+        // insert on key 3 — the per-key split checks each cluster alone.
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for i in 0..2_000u64 {
+            let k = 100 + (i % 64);
+            events.push(ev(Op::Insert(k, i), Ret::Bool(true), t, t + 1, 0));
+            events.push(ev(Op::Delete(k), Ret::Bool(true), t + 2, t + 3, 0));
+            t += 4;
+        }
+        events.push(ev(Op::Insert(3, 30), Ret::Bool(true), t, t + 1, 1));
+        events.push(ev(Op::Contains(3), Ret::Bool(false), t + 2, t + 3, 1));
+        let v = check_history(&[], &events);
+        assert!(!v.ok, "the lost insert must fail despite the clean noise");
+        assert!(v.message.contains("NOT linearizable"), "{}", v.message);
+    }
+
+    #[test]
+    fn moves_join_clusters_across_keys() {
+        // A move chains keys 1 -> 2 -> 3 into one cluster; observing the
+        // value at 3 only linearizes if the cluster is checked as a whole.
+        let events = vec![
+            ev(Op::Insert(1, 10), Ret::Bool(true), 0, 1, 0),
+            ev(Op::Move(1, 2), Ret::Bool(true), 2, 3, 0),
+            ev(Op::Move(2, 3), Ret::Bool(true), 4, 5, 0),
+            ev(Op::Contains(3), Ret::Bool(true), 6, 7, 1),
+            ev(Op::Contains(1), Ret::Bool(false), 8, 9, 1),
+            // Independent cluster rides along.
+            ev(Op::Insert(9, 90), Ret::Bool(true), 10, 11, 0),
+        ];
+        let v = check_history(&[], &events);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn crash_state_must_explain_untouched_and_unknown_keys() {
+        let acked = ev(Op::Insert(1, 10), Ret::Bool(true), 0, 1, 0);
+        // Untouched initial key 50 lost by recovery.
+        let v = check_crash_history(&[(50, 500)], std::slice::from_ref(&acked), &[(1, 10)]);
+        assert!(!v.ok);
+        assert!(v.message.contains("untouched key 50"), "{}", v.message);
+        // Recovery invented key 77 no op or initial entry explains.
+        let v = check_crash_history(&[], std::slice::from_ref(&acked), &[(1, 10), (77, 7)]);
+        assert!(!v.ok);
+        assert!(v.message.contains("key 77"), "{}", v.message);
+        // Clean carry-through passes.
+        let v = check_crash_history(&[(50, 500)], &[acked], &[(1, 10), (50, 500)]);
+        assert!(v.ok, "{}", v.message);
+    }
+
+    #[test]
+    fn exhausted_budget_reports_inconclusive_not_a_violation() {
+        // Heavily overlapped ops with a one-state budget: the search must
+        // stop immediately and say so, not wedge or claim a violation.
+        let events = vec![
+            ev(Op::Insert(1, 1), Ret::Bool(true), 0, 4, 0),
+            ev(Op::Contains(1), Ret::Bool(true), 1, 5, 1),
+            ev(Op::Delete(1), Ret::Bool(true), 2, 6, 2),
+        ];
+        let v = check_inner(&[], &events, None, 1);
+        assert!(!v.ok);
+        assert!(v.message.contains("inconclusive"), "{}", v.message);
+    }
+
+    #[test]
+    fn hot_key_stall_window_stays_tractable() {
+        // Regression for the armed-fig3 wedge: one operation whose
+        // response arrives thousands of sequence numbers late (a stalled
+        // insert behind a maintenance pass) used to widen the WGL window
+        // past the memo bitmask on contended runs, turning the search
+        // exponential. With per-key clustering the stalled op only windows
+        // against its own key's ops, and the wide memo covers the rest.
+        let mut events = Vec::new();
+        // The stalled op: invoked first, completes after everything.
+        events.push(ev(Op::Insert(7, 700), Ret::Bool(false), 0, 60_001, 0));
+        let mut t = 1u64;
+        for i in 0..5_000u64 {
+            // Hot-key traffic racing the stalled insert(7): a insert/delete
+            // pair per iteration keeps key 7 toggling, so the stall can
+            // linearize (as a failed insert) at any occupied moment.
+            events.push(ev(Op::Insert(7, i), Ret::Bool(true), t, t + 1, 1));
+            events.push(ev(Op::Delete(7), Ret::Bool(true), t + 2, t + 3, 1));
+            // Cold-key noise on another thread.
+            let k = 1_000 + (i % 128);
+            events.push(ev(Op::Insert(k, i), Ret::Bool(true), t + 4, t + 5, 2));
+            events.push(ev(Op::Delete(k), Ret::Bool(true), t + 6, t + 7, 2));
+            t += 8;
+        }
+        let v = check_history_spawned(Vec::new(), events);
+        assert!(v.ok, "{}", v.message);
+        assert_eq!(v.ops, 20_001);
+    }
+
+    #[test]
+    fn long_driver_history_checks_in_linear_time() {
+        // Regression: `memo_key` used to scan from `base` to the END of
+        // the event vector on every solve step, making real driver
+        // histories (tens of thousands of events) quadratic — a 100k-op
+        // fig3 run pinned a core for minutes. 30k sequential ops with a
+        // light 2-thread overlap must check essentially instantly; if this
+        // test is slow, the window bound in `memo_key` regressed.
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for i in 0..15_000u64 {
+            let k = i % 512;
+            // Two overlapping ops per step, emulating a 2-thread window.
+            events.push(ev(Op::Insert(k, i), Ret::Bool(true), t, t + 3, 0));
+            events.push(ev(Op::Delete(k), Ret::Bool(true), t + 1, t + 2, 1));
+            t += 4;
+        }
+        // The spawned variant is what the driver uses for long histories:
+        // the search recurses once per event, so this also needs its
+        // 256 MB stack.
+        let v = check_history_spawned(Vec::new(), events);
+        assert!(v.ok, "{}", v.message);
+        assert!(v.ops == 30_000);
+    }
+}

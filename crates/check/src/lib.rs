@@ -1,0 +1,302 @@
+//! `sf-check`: execution-level concurrency analysis for the
+//! speculation-friendly tree workspace — the dynamic twin of `sf-lint`.
+//!
+//! Three engines, all zero-dependency (only `sf-obs` for flight-recorder
+//! context in reports):
+//!
+//! * [`race`] — a FastTrack-style vector-clock data-race detector plus a
+//!   runtime lock-order (inversion) checker. Instrumentation lives in the
+//!   `parking_lot` shim and `sf_stm`'s versioned cells, compiled in behind
+//!   the `check` cargo feature and armed at runtime by `SF_CHECK_RACES=1`.
+//! * [`sched`] — [`sched::sched_point`] yield hooks at STM
+//!   acquire/validate/publish and maintenance/move/checkpoint boundaries,
+//!   driven either by a seeded PCT-style random fuzzer
+//!   (`SF_CHECK_SCHED_SEED`, `SF_CHECK_PREEMPTIONS`) or by a bounded
+//!   exhaustive DFS explorer for 2–3-thread unit scenarios.
+//! * [`history`] — invocation/response timeline recording
+//!   (`SF_CHECK_HISTORY=1` in the workload driver) and a Wing–Gong/WGL
+//!   linearizability checker with memoised state hashing, including a
+//!   crash mode that validates post-`recover()` states.
+//!
+//! The [`hooks`] module is the thin global layer production code calls:
+//! every hook is gated on an atomic flag and is a no-op until the matching
+//! `SF_CHECK_*` variable arms it, so `--features check` builds stay usable
+//! for ordinary runs. A detected race or inversion panics with both
+//! accesses' context and the `sf-obs` flight-recorder dump.
+//!
+//! Raw relaxed counters that are racy by design (hot-key popularity,
+//! statistics) are suppressed through the typed [`benign`] API — mirroring
+//! the sf-lint `SF-RELAXED-ATOMIC` waiver taxonomy — and counted, so a
+//! clean run reports what it skipped.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod history;
+pub mod race;
+pub mod sched;
+pub mod vc;
+
+pub use race::{BenignKind, Detector, RaceReport, ThreadSlot, Violation};
+pub use sched::{sched_point, SchedEvent};
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+thread_local! {
+    static BENIGN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Scope guard marking the current thread's monitored accesses as benign
+/// (suppressed from race reporting, but counted).
+pub struct BenignGuard {
+    kind: BenignKind,
+}
+
+impl Drop for BenignGuard {
+    fn drop(&mut self) {
+        let _ = self.kind;
+        BENIGN_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Enter a benign region: monitored accesses on this thread are exempt
+/// from race checking until the returned guard drops. Also counts one
+/// suppressed access of `kind` (so un-instrumented raw counters can call
+/// this purely for the accounting).
+pub fn benign(kind: BenignKind) -> BenignGuard {
+    BENIGN_DEPTH.with(|d| d.set(d.get() + 1));
+    if races_enabled() {
+        hooks::detector().note_benign(kind);
+    }
+    BenignGuard { kind }
+}
+
+static RACES_ON: AtomicBool = AtomicBool::new(false);
+static RACES_INIT: OnceLock<bool> = OnceLock::new();
+
+/// Is the race detector armed? Reads `SF_CHECK_RACES=1` once, after which
+/// [`set_races_enabled`] can override (used by self-tests and the driver).
+#[inline]
+pub fn races_enabled() -> bool {
+    if RACES_INIT.get().is_some() {
+        return RACES_ON.load(Ordering::Relaxed);
+    }
+    let on = *RACES_INIT.get_or_init(|| std::env::var("SF_CHECK_RACES").is_ok_and(|v| v == "1"));
+    if on {
+        RACES_ON.store(true, Ordering::Relaxed);
+    }
+    RACES_ON.load(Ordering::Relaxed)
+}
+
+/// Force the race detector on or off (overrides the env).
+pub fn set_races_enabled(on: bool) {
+    let _ = RACES_INIT.get_or_init(|| on);
+    RACES_ON.store(on, Ordering::Relaxed);
+}
+
+/// The thin global instrumentation layer. Call sites live in the
+/// `parking_lot` shim and in `sf_stm`; each hook no-ops unless
+/// [`races_enabled`] (the sched points are armed separately through
+/// [`sched`]).
+pub mod hooks {
+    use super::*;
+    use race::{Detector, ThreadSlot, Violation};
+    use std::cell::RefCell;
+
+    static DETECTOR: OnceLock<Detector> = OnceLock::new();
+
+    /// The process-global detector behind the hooks.
+    pub fn detector() -> &'static Detector {
+        DETECTOR.get_or_init(Detector::new)
+    }
+
+    thread_local! {
+        static SLOT: RefCell<Option<ThreadSlot>> = const { RefCell::new(None) };
+    }
+
+    fn with_slot(f: impl FnOnce(&Detector, &mut ThreadSlot) -> Option<Violation>) {
+        if !races_enabled() {
+            return;
+        }
+        let d = detector();
+        let violation = SLOT.with(|s| {
+            let mut slot = s.borrow_mut();
+            let slot = slot.get_or_insert_with(|| {
+                let name = std::thread::current()
+                    .name()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("thread-{:?}", std::thread::current().id()));
+                d.register(&name)
+            });
+            f(d, slot)
+        });
+        if let Some(v) = violation {
+            fail(v);
+        }
+    }
+
+    fn fail(v: Violation) -> ! {
+        let dump = sf_obs::FlightRecorder::global().dump();
+        let replay = sched::replay_hint().unwrap_or_default();
+        panic!(
+            "sf-check {}: {}\n--- flight recorder ---\n{}{}",
+            v.kind, v.message, dump, replay
+        );
+    }
+
+    /// Shim lock acquired (mutex or rwlock write). `class` is a stable
+    /// name for the lock-order graph.
+    pub fn lock_acquired(addr: usize, class: &'static str) {
+        with_slot(|d, s| d.lock_acquire(s, addr, class));
+    }
+
+    /// Shim lock released.
+    pub fn lock_released(addr: usize) {
+        with_slot(|d, s| {
+            d.lock_release(s, addr);
+            None
+        });
+    }
+
+    /// Shim lock destroyed: forget its clock and instance edges so a
+    /// recycled allocation does not inherit stale ordering.
+    pub fn lock_destroyed(addr: usize) {
+        if !races_enabled() {
+            return;
+        }
+        detector().sync_forget(addr);
+    }
+
+    /// STM cell dropped: forget its variable history and sync channels so
+    /// the allocator reusing the address cannot produce phantom races
+    /// against the previous tenant.
+    pub fn cell_retired(addr: usize) {
+        if !races_enabled() {
+            return;
+        }
+        detector().retire_cell(addr);
+    }
+
+    /// STM version-lock word acquired (commit-time or encounter-time
+    /// `try_lock` success).
+    pub fn cell_locked(addr: usize) {
+        with_slot(|d, s| {
+            d.sync_acquire(s, addr);
+            None
+        });
+    }
+
+    /// STM version-lock word released without publishing (abort path).
+    pub fn cell_unlocked(addr: usize) {
+        with_slot(|d, s| {
+            d.sync_release(s, addr);
+            None
+        });
+    }
+
+    /// Validated transactional read of a cell: acquire edge from the
+    /// version word, the read check, then a release into the cell's
+    /// *reader channel* (`addr ^ 1` — cells are 8-aligned so the odd
+    /// address never collides with a real sync object).
+    ///
+    /// The reader-channel release is what makes TL2's invisible reads
+    /// visible to the detector: the next writer absorbs it in
+    /// [`cell_published`], so a protocol-correct `validated read → lock →
+    /// publish` sequence is ordered. A read whose validation the writer
+    /// never observed (a publish that skipped the lock) stays unordered
+    /// and is reported.
+    pub fn cell_read(addr: usize, site: &'static str) {
+        with_slot(|d, s| {
+            if benign_here() {
+                d.note_benign(BenignKind::Other("benign-scope"));
+                return None;
+            }
+            d.cell_read_op(s, addr, site)
+        });
+    }
+
+    /// Commit publish of a cell (`write_and_unlock`): absorb the reader
+    /// channel (`addr ^ 1`), write check, then the release edge through
+    /// the version word itself.
+    ///
+    /// The reader-channel acquire must NOT be folded into the version
+    /// word: a buggy publish that skipped the lock would then absorb the
+    /// previous publisher's release and hide the write-write race. Kept
+    /// separate, prior *reads* are forgiven (they validated against the
+    /// version word) while an unlocked prior *write* still fails the
+    /// epoch check, because only [`cell_locked`] acquires the word.
+    pub fn cell_published(addr: usize, site: &'static str) {
+        with_slot(|d, s| {
+            let check = !benign_here();
+            if !check {
+                d.note_benign(BenignKind::Other("benign-scope"));
+            }
+            d.cell_publish_op(s, addr, site, check)
+        });
+    }
+
+    /// Count a deliberately racy raw access (hot/stats counters) without
+    /// running the race check.
+    pub fn benign_access(kind: BenignKind) {
+        if races_enabled() {
+            detector().note_benign(kind);
+        }
+    }
+
+    fn benign_here() -> bool {
+        BENIGN_DEPTH.with(|d| d.get() > 0)
+    }
+
+    /// End-of-run one-line summary (returns `None` when the detector is
+    /// off). The driver prints this after a checked run.
+    pub fn summary() -> Option<String> {
+        if !races_enabled() {
+            return None;
+        }
+        let d = detector();
+        let r = d.report();
+        let kinds: Vec<String> = d
+            .benign_breakdown()
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect();
+        Some(format!(
+            "sf-check races: {} race(s), {} inversion(s); {} reads / {} writes monitored; {} benign suppressed [{}]",
+            r.races,
+            r.order_violations,
+            r.monitored_reads,
+            r.monitored_writes,
+            r.benign_suppressed,
+            kinds.join(" ")
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_guard_nests_and_counts() {
+        set_races_enabled(true);
+        {
+            let _a = benign(BenignKind::StatsCounter);
+            let _b = benign(BenignKind::HotCounter);
+        }
+        hooks::benign_access(BenignKind::HotCounter);
+        let report = hooks::detector().report();
+        assert!(report.benign_suppressed >= 3);
+        // With the guards dropped the depth is back to zero.
+        BENIGN_DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn summary_mentions_monitored_counts() {
+        set_races_enabled(true);
+        let s = hooks::summary().expect("enabled");
+        assert!(s.contains("monitored"), "{s}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Vector clocks: the happens-before lattice underlying the race detector.
+//!
+//! A [`VectorClock`] maps thread indices to logical timestamps. Thread `t`'s
+//! clock `C_t` summarises everything `t` has observed: `C_t[u] = k` means
+//! "`t` has seen `u`'s first `k` increments". An access by `t` is ordered
+//! after an access `(u, k)` iff `C_t[u] >= k` — the FastTrack epoch test.
+
+/// A growable vector clock. Missing entries read as zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The empty clock (everything reads zero).
+    pub fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// Component for thread index `tid`.
+    pub fn get(&self, tid: u32) -> u64 {
+        self.slots.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    /// Set component `tid` to `value` (grows as needed).
+    pub fn set(&mut self, tid: u32, value: u64) {
+        let idx = tid as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, 0);
+        }
+        self.slots[idx] = value;
+    }
+
+    /// Increment this thread's own component and return the new value.
+    pub fn tick(&mut self, tid: u32) -> u64 {
+        let next = self.get(tid) + 1;
+        self.set(tid, next);
+        next
+    }
+
+    /// Pointwise maximum: `self ⊔= other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.slots.len() > self.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, &v) in other.slots.iter().enumerate() {
+            if v > self.slots[i] {
+                self.slots[i] = v;
+            }
+        }
+    }
+
+    /// Does this clock dominate the epoch `(tid, value)`? In FastTrack
+    /// terms: has the owner of this clock observed that access?
+    pub fn covers(&self, tid: u32, value: u64) -> bool {
+        self.get(tid) >= value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_tick() {
+        let mut c = VectorClock::new();
+        assert_eq!(c.get(3), 0);
+        c.set(3, 7);
+        assert_eq!(c.get(3), 7);
+        assert_eq!(c.tick(3), 8);
+        assert_eq!(c.get(3), 8);
+        assert_eq!(c.tick(0), 1);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 3);
+        b.set(1, 9);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 9);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn covers_is_epoch_ordering() {
+        let mut c = VectorClock::new();
+        c.set(1, 4);
+        assert!(c.covers(1, 4));
+        assert!(c.covers(1, 3));
+        assert!(!c.covers(1, 5));
+        assert!(!c.covers(2, 1));
+        assert!(c.covers(2, 0));
+    }
+}

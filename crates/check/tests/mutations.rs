@@ -1,0 +1,176 @@
+//! Mutation self-tests: deliberately broken code that sf-check MUST catch.
+//!
+//! Each test plants a known concurrency bug — an unlocked publish (racy
+//! counter), a lock-order inversion, a stub backend that acknowledges an
+//! insert and then denies it — and asserts the matching engine reports it.
+//! A detector that stays silent here is broken, whatever its clean-run
+//! tests say. This file is an integration test so it owns its process: the
+//! global hook-layer detector can be armed without leaking into other
+//! suites (tests within the file use disjoint addresses and lock classes).
+
+use sf_check::history::{check_history, Op, Recorder, Ret};
+use sf_check::hooks;
+use std::sync::Arc;
+
+fn panic_text(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic>")
+    }
+}
+
+/// Seeded racy counter, end-to-end through the hook layer: thread A
+/// publishes a cell under the version lock (the correct TL2 protocol);
+/// thread B is the mutation — it publishes the same cell without ever
+/// acquiring the lock, so no happens-before edge orders the two writes.
+/// The detector must kill thread B with a data-race report that names both
+/// sites.
+#[test]
+fn unlocked_publish_racy_counter_is_caught() {
+    sf_check::set_races_enabled(true);
+    let addr = 0x7000usize; // stand-in 8-aligned cell address, unique to this test
+    std::thread::Builder::new()
+        .name("mut-counter-a".into())
+        .spawn(move || {
+            hooks::cell_locked(addr);
+            hooks::cell_published(addr, "mut.counter.locked");
+        })
+        .unwrap()
+        .join()
+        .expect("the protocol-correct writer must survive");
+    let result = std::thread::Builder::new()
+        .name("mut-counter-b".into())
+        .spawn(move || {
+            // MUTATION: publish with no cell_locked first.
+            hooks::cell_published(addr, "mut.counter.unlocked");
+        })
+        .unwrap()
+        .join();
+    let msg = panic_text(result.expect_err("the unlocked publish must be reported"));
+    assert!(msg.contains("data-race"), "wrong report kind: {msg}");
+    assert!(
+        msg.contains("mut.counter.unlocked") && msg.contains("mut-counter-a"),
+        "report must name the racing site and the prior writer: {msg}"
+    );
+}
+
+/// The same mutation inside a typed benign scope must NOT be reported —
+/// and must be counted as suppressed. This is the escape hatch for
+/// deliberately racy counters; a suppression that silently widened to
+/// everything would also be caught here, because the first test proves the
+/// identical access panics outside the scope.
+#[test]
+fn benign_scope_suppresses_the_same_mutation() {
+    sf_check::set_races_enabled(true);
+    let addr = 0x7010usize;
+    std::thread::Builder::new()
+        .name("mut-benign-a".into())
+        .spawn(move || {
+            hooks::cell_locked(addr);
+            hooks::cell_published(addr, "mut.benign.locked");
+        })
+        .unwrap()
+        .join()
+        .expect("the protocol-correct writer must survive");
+    std::thread::Builder::new()
+        .name("mut-benign-b".into())
+        .spawn(move || {
+            let _guard = sf_check::benign(sf_check::BenignKind::Other("mutation-test"));
+            hooks::cell_published(addr, "mut.benign.unlocked");
+        })
+        .unwrap()
+        .join()
+        .expect("a benign-scoped access must be suppressed, not reported");
+    let suppressed = hooks::detector().report().benign_suppressed;
+    assert!(suppressed > 0, "suppression must be counted");
+}
+
+/// Lock-order inversion through the hook layer: thread A establishes
+/// `class-a → class-b` in the order graph; thread B is the mutation,
+/// acquiring the same two classes reversed. The second acquisition must
+/// panic with a lock-order report.
+#[test]
+fn lock_order_inversion_is_caught() {
+    sf_check::set_races_enabled(true);
+    let (la, lb) = (0x7100usize, 0x7110usize);
+    std::thread::Builder::new()
+        .name("mut-order-a".into())
+        .spawn(move || {
+            hooks::lock_acquired(la, "mut.class-a");
+            hooks::lock_acquired(lb, "mut.class-b");
+            hooks::lock_released(lb);
+            hooks::lock_released(la);
+        })
+        .unwrap()
+        .join()
+        .expect("consistent nesting is clean");
+    let result = std::thread::Builder::new()
+        .name("mut-order-b".into())
+        .spawn(move || {
+            // MUTATION: same classes, reversed nesting.
+            hooks::lock_acquired(lb, "mut.class-b");
+            hooks::lock_acquired(la, "mut.class-a");
+        })
+        .unwrap()
+        .join();
+    let msg = panic_text(result.expect_err("the reversed nesting must be reported"));
+    assert!(msg.contains("lock-order"), "wrong report kind: {msg}");
+    assert!(
+        msg.contains("mut.class-a") && msg.contains("mut.class-b"),
+        "report must name both classes: {msg}"
+    );
+}
+
+/// A stub backend that loses writes: it acknowledges `insert(7)` and then
+/// answers `contains(7) -> false`. No linearization order explains that
+/// history, and the checker must say so.
+#[test]
+fn non_linearizable_stub_backend_is_caught() {
+    let recorder = Arc::new(Recorder::new());
+    let mut log = recorder.handle();
+    let p = log.invoke(Op::Insert(7, 70));
+    log.complete(p, Ret::Bool(true));
+    let p = log.invoke(Op::Contains(7));
+    log.complete(p, Ret::Bool(false)); // MUTATION: the stub lost the insert
+    log.finish();
+    let verdict = check_history(&[], &recorder.take());
+    assert!(!verdict.ok, "the lost insert must fail the check");
+    assert!(
+        !verdict.message.is_empty(),
+        "failure must carry an explanation"
+    );
+
+    // Control: the honest answer linearizes.
+    let recorder = Arc::new(Recorder::new());
+    let mut log = recorder.handle();
+    let p = log.invoke(Op::Insert(7, 70));
+    log.complete(p, Ret::Bool(true));
+    let p = log.invoke(Op::Contains(7));
+    log.complete(p, Ret::Bool(true));
+    log.finish();
+    let verdict = check_history(&[], &recorder.take());
+    assert!(verdict.ok, "control history must pass: {}", verdict.message);
+}
+
+/// A stub that reorders a move's halves: the destination is visible while
+/// the source also still answers — two keys simultaneously live off one
+/// `move_entry`, which no sequential witness allows.
+#[test]
+fn double_visibility_during_move_is_caught() {
+    let recorder = Arc::new(Recorder::new());
+    let mut log = recorder.handle();
+    let p = log.invoke(Op::Insert(1, 10));
+    log.complete(p, Ret::Bool(true));
+    let p = log.invoke(Op::Move(1, 2));
+    log.complete(p, Ret::Bool(true));
+    let p = log.invoke(Op::Contains(2));
+    log.complete(p, Ret::Bool(true));
+    let p = log.invoke(Op::Contains(1));
+    log.complete(p, Ret::Bool(true)); // MUTATION: source still visible
+    log.finish();
+    let verdict = check_history(&[], &recorder.take());
+    assert!(!verdict.ok, "double visibility must fail the check");
+}

@@ -1,0 +1,37 @@
+//! Internal indirection over the `sf-check` instrumentation hooks.
+//!
+//! With the `check` feature the functions forward to `sf_check`; without it
+//! they are empty `#[inline(always)]` bodies, so the maintenance loop, the
+//! hot-key counters and the cross-shard move path carry their yield points
+//! and benign-access annotations unconditionally at zero default-build cost.
+
+#[cfg(feature = "check")]
+pub(crate) use sf_check::hooks::benign_access;
+#[cfg(feature = "check")]
+pub(crate) use sf_check::{sched_point, BenignKind, SchedEvent};
+
+#[cfg(not(feature = "check"))]
+mod noop {
+    /// Mirror of `sf_check::SchedEvent` restricted to the variants sf-tree
+    /// emits, so call sites compile identically in both configurations.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) enum SchedEvent {
+        MaintPass,
+        Move,
+    }
+
+    /// Mirror of `sf_check::BenignKind` restricted to what sf-tree uses.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) enum BenignKind {
+        HotCounter,
+    }
+
+    #[inline(always)]
+    pub(crate) fn sched_point(_ev: SchedEvent) {}
+
+    #[inline(always)]
+    pub(crate) fn benign_access(_kind: BenignKind) {}
+}
+
+#[cfg(not(feature = "check"))]
+pub(crate) use noop::*;

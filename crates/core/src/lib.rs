@@ -47,6 +47,7 @@
 #![deny(unsafe_code)]
 
 pub mod arena;
+mod chk;
 pub mod inspect;
 pub mod maintenance;
 pub mod map;

@@ -247,6 +247,7 @@ impl MaintenanceWorker {
     /// nodes, rotate unbalanced ones, then recycle previously retired nodes
     /// if every operation in flight at the start of the pass has drained.
     pub fn run_pass(&mut self) -> PassReport {
+        crate::chk::sched_point(crate::chk::SchedEvent::MaintPass);
         let started = std::time::Instant::now();
         let mut report = PassReport::default();
         let snapshot = self.core.arena.activity_snapshot();

@@ -21,7 +21,9 @@
 
 use std::collections::HashMap;
 use std::ops::{ControlFlow, RangeInclusive};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
 
 use sf_stm::{ThreadCtx, Transaction, TxResult};
 
@@ -33,9 +35,8 @@ use crate::node::{Key, Value};
 pub fn intern_label(label: String) -> &'static str {
     static CACHE: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
     let mut cache = CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
+        .get_or_init(|| Mutex::named(HashMap::new(), "map.intern"))
+        .lock();
     if let Some(&interned) = cache.get(&label) {
         return interned;
     }

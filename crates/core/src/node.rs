@@ -186,6 +186,7 @@ impl Node {
     /// atomic: invisible to the STM, so it can never cause an abort.
     #[inline]
     pub fn record_access(&self, weight: u64) {
+        crate::chk::benign_access(crate::chk::BenignKind::HotCounter);
         // sf-lint: allow(relaxed-atomic, hot-access mass; the maintenance hot pass reads it as a heuristic, staleness is by design)
         self.hot.fetch_add(weight, Ordering::Relaxed);
     }
@@ -202,6 +203,7 @@ impl Node {
     /// heuristic, not an invariant.
     #[inline]
     pub fn decay_access_mass(&self) {
+        crate::chk::benign_access(crate::chk::BenignKind::HotCounter);
         // sf-lint: allow(relaxed-atomic, lossy decay by design; racing accesses may be dropped or halved either way)
         let mass = self.hot.load(Ordering::Relaxed);
         if mass > 0 {

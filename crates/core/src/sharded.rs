@@ -84,7 +84,7 @@
 
 use std::ops::RangeInclusive;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 use sf_stm::{StatsSnapshot, Stm, StmConfig, ThreadCtx, Transaction, TxResult};
@@ -112,8 +112,11 @@ struct Shard<M> {
     stm: Arc<Stm>,
     map: Arc<M>,
     /// Serializes cross-shard moves that involve this shard (see the module
-    /// docs). Plain single-key operations never touch it.
-    move_lock: Mutex<()>,
+    /// docs). Plain single-key operations never touch it. Goes through the
+    /// `parking_lot` shim under a stable class name so checked builds run
+    /// the pairwise (lo, hi) acquisition order through the inversion
+    /// detector.
+    move_lock: parking_lot::Mutex<()>,
     /// The shard's rotator thread; paused during quiescent inspection,
     /// stopped on drop.
     maintenance: Option<MaintenanceHandle>,
@@ -222,7 +225,7 @@ impl<M: TxMap> ShardedMap<M> {
                 Shard {
                     stm: parts.stm,
                     map: parts.map,
-                    move_lock: Mutex::new(()),
+                    move_lock: parking_lot::Mutex::named((), "shard.move_lock"),
                     maintenance: parts.maintenance,
                 }
             })
@@ -437,10 +440,7 @@ where
             // shard's move lock is still taken so a cross-shard move's
             // rollback can never race a same-shard relocation of the copy it
             // is about to retract.
-            let _lock = self.shards[src]
-                .move_lock
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let _lock = self.shards[src].move_lock.lock();
             return self.shards[src]
                 .map
                 .move_entry(&mut handle.handles[src], from, to);
@@ -449,16 +449,15 @@ where
         // Cross-shard: serialize against other moves touching either shard,
         // acquiring the two move locks in index order to rule out deadlock.
         let (lo, hi) = (src.min(dst), src.max(dst));
+        crate::chk::sched_point(crate::chk::SchedEvent::Move);
         let _lock_lo = self.shards[lo]
             .move_lock
             // sf-lint: allow(lock-order, same-shard branch above returned; this is the first move lock of the cross-shard pair)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+            .lock();
         let _lock_hi = self.shards[hi]
             .move_lock
             // sf-lint: allow(lock-order, second move lock of the pair, taken in ascending shard-index order (lo < hi) to rule out deadlock)
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+            .lock();
 
         let (head, tail) = handle.handles.split_at_mut(hi);
         let (handle_lo, handle_hi) = (&mut head[lo], &mut tail[0]);

@@ -1,0 +1,156 @@
+//! DFS interleaving scenarios over the speculation-friendly tree: abstract
+//! operations racing the background maintenance traversal, explored
+//! exhaustively (within bounds) by sf-check's controlled scheduler.
+//!
+//! The first scenario is the PR 1 carry-over: a membership probe must never
+//! observe a *transient miss* for a key that is present throughout, no
+//! matter where a concurrent rotation pass is preempted. The unit-read
+//! traversal walks child pointers that the rotation rewires, so the probe
+//! is pinned at every STM sched point while the rotation advances one step
+//! at a time — exactly the interleavings the original race note worried
+//! about. Kept as a regression test.
+
+#![cfg(feature = "check")]
+
+use sf_check::sched::{explore, DfsOptions, DfsReport};
+use sf_stm::{Stm, StmConfig};
+use sf_tree::{MaintenanceConfig, OptSpecFriendlyTree, SpecFriendlyTree, TxMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn opts() -> DfsOptions {
+    DfsOptions {
+        max_schedules: 150,
+        max_depth: 96,
+        step_timeout: Duration::from_secs(5),
+        max_spin_grants: 64,
+    }
+}
+
+fn assert_clean(label: &str, report: &DfsReport) {
+    assert!(
+        report.failure.is_none(),
+        "{label}: schedule {:?} failed: {}",
+        report.failure.as_ref().map(|f| &f.schedule),
+        report.failure.as_ref().map_or("", |f| f.message.as_str())
+    );
+    assert!(report.schedules > 1, "{label}: explorer never branched");
+}
+
+/// No pass delay: the worker thread only runs when the explorer grants it.
+fn eager() -> MaintenanceConfig {
+    MaintenanceConfig {
+        pass_delay: Duration::ZERO,
+        ..MaintenanceConfig::default()
+    }
+}
+
+/// PR 1 carry-over — membership probe vs. rotation. An ascending insert
+/// order leaves the tree a right-leaning chain, so the first maintenance
+/// pass must rotate; the probe polls the key the rotation lifts. Under
+/// every explored preemption of the rotation transaction, `contains` must
+/// keep answering true (no transient miss on the clone-based path).
+#[test]
+fn probe_vs_rotation_has_no_transient_miss() {
+    let report = explore(&opts(), |ctx| {
+        let stm = Stm::new(StmConfig::ctl());
+        let tree = Arc::new(OptSpecFriendlyTree::new());
+        let mut setup = tree.register(stm.register());
+        for k in [10u64, 20, 30, 40, 50] {
+            assert!(tree.insert(&mut setup, k, k * 10));
+        }
+        let mut worker = tree.maintenance_worker_with(stm.register(), eager());
+        ctx.spawn("maint", move || {
+            worker.run_pass();
+        });
+        let probe_tree = Arc::clone(&tree);
+        let mut h = tree.register(stm.register());
+        ctx.spawn("probe", move || {
+            for _ in 0..3 {
+                assert!(
+                    probe_tree.contains(&mut h, 40),
+                    "transient miss: key 40 vanished mid-rotation"
+                );
+            }
+        });
+    });
+    assert_clean("probe-vs-rotation (optimized)", &report);
+}
+
+/// The same probe against the portable tree's in-place rotations, which
+/// mutate the very nodes the unit-read traversal is walking.
+#[test]
+fn probe_vs_inplace_rotation_has_no_transient_miss() {
+    let report = explore(&opts(), |ctx| {
+        let stm = Stm::new(StmConfig::ctl());
+        let tree = Arc::new(SpecFriendlyTree::new());
+        let mut setup = tree.register(stm.register());
+        for k in [10u64, 20, 30, 40, 50] {
+            assert!(tree.insert(&mut setup, k, k * 10));
+        }
+        let mut worker = tree.maintenance_worker_with(stm.register(), eager());
+        ctx.spawn("maint", move || {
+            worker.run_pass();
+        });
+        let probe_tree = Arc::clone(&tree);
+        let mut h = tree.register(stm.register());
+        ctx.spawn("probe", move || {
+            for _ in 0..3 {
+                assert!(
+                    probe_tree.contains(&mut h, 40),
+                    "transient miss: key 40 vanished mid-rotation"
+                );
+            }
+        });
+    });
+    assert_clean("probe-vs-rotation (portable)", &report);
+}
+
+/// Rotation pass racing a logical delete: whichever order the explorer
+/// picks, the deleted key must be gone, its neighbours must survive, and
+/// the structure must still pass the full consistency check once both
+/// threads are done.
+#[test]
+fn rotation_vs_delete_converges_to_a_consistent_tree() {
+    let report = explore(&opts(), |ctx| {
+        let stm = Stm::new(StmConfig::ctl());
+        let tree = Arc::new(OptSpecFriendlyTree::new());
+        let mut setup = tree.register(stm.register());
+        for k in [10u64, 20, 30, 40, 50] {
+            assert!(tree.insert(&mut setup, k, k * 10));
+        }
+        let done = Arc::new(AtomicUsize::new(0));
+        let verify = |tree: &Arc<OptSpecFriendlyTree>, h: &mut _| {
+            assert!(!tree.contains(h, 20), "deleted key came back");
+            for k in [10u64, 30, 40, 50] {
+                assert!(tree.contains(h, k), "key {k} lost");
+            }
+            tree.inspect().check_consistency().unwrap();
+        };
+        {
+            let mut worker = tree.maintenance_worker_with(stm.register(), eager());
+            let tree = Arc::clone(&tree);
+            let mut h = tree.register(stm.register());
+            let done = Arc::clone(&done);
+            ctx.spawn("maint", move || {
+                worker.run_pass();
+                if done.fetch_add(1, Ordering::SeqCst) == 1 {
+                    verify(&tree, &mut h);
+                }
+            });
+        }
+        {
+            let tree = Arc::clone(&tree);
+            let mut h = tree.register(stm.register());
+            let done = Arc::clone(&done);
+            ctx.spawn("delete", move || {
+                assert!(tree.delete(&mut h, 20), "delete of a present key failed");
+                if done.fetch_add(1, Ordering::SeqCst) == 1 {
+                    verify(&tree, &mut h);
+                }
+            });
+        }
+    });
+    assert_clean("rotation-vs-delete", &report);
+}

@@ -7,7 +7,7 @@
 //! `atomically` closures, a fixed cross-shard lock order, "relaxed atomics
 //! only for counters", and docs/JSON tables that must track the code. This
 //! crate lexes the workspace itself (no `syn` offline) and enforces those
-//! invariants as five rules with stable codes:
+//! invariants as six rules with stable codes:
 //!
 //! | code | invariant |
 //! |------|-----------|
@@ -16,6 +16,7 @@
 //! | `SF-RECOVERY-PANIC` | no `unwrap`/`expect`/literal-or-range indexing in the crash-recovery read path |
 //! | `SF-RELAXED-ATOMIC` | every `Ordering::Relaxed` outside designed-relaxed modules carries a waiver |
 //! | `SF-STATS-COHERENCE` | stats fields and `SF_*` env vars stay in sync with the `SF_JSON` emission and EXPERIMENTS.md tables |
+//! | `SF-SHIM-BYPASS` | blocking sync primitives come from the instrumented `parking_lot` shim, never `std::sync` directly |
 //!
 //! Findings can be waived inline (`// sf-lint: allow(rule, reason)`) or
 //! carried in a checked-in `lint.baseline` for burn-down; CI gates at zero
@@ -87,6 +88,9 @@ impl Workspace {
                 if name == "shims" || name == "lint" {
                     // `lint` excluded from self-analysis: its rule tables
                     // and fixtures quote the very patterns it flags.
+                    // `check` stays in (its `SF_CHECK_*` env reads feed the
+                    // coherence rule) but the invariant rules skip it — see
+                    // `rules::analysis_internal`.
                     continue;
                 }
                 collect_rs(&entry.path().join("src"), &mut rust_files)?;
@@ -143,6 +147,7 @@ pub fn run_rules(ws: &Workspace) -> Vec<Finding> {
     findings.extend(rules::lock_order::run(ws));
     findings.extend(rules::recovery_panic::run(ws));
     findings.extend(rules::relaxed_atomic::run(ws));
+    findings.extend(rules::shim_bypass::run(ws));
     findings.extend(rules::stats_coherence::run(ws));
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.code).cmp(&(b.path.as_str(), b.line, b.code)));

@@ -75,6 +75,9 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
     // to waive, never a missed inversion).
     let mut direct: HashMap<String, Vec<Acquisition>> = HashMap::new();
     for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
         for span in &file.functions {
             let acqs = direct_acquisitions(file, span.body_start, span.body_end);
             if !acqs.is_empty() {
@@ -88,6 +91,9 @@ pub fn run(ws: &Workspace) -> Vec<Finding> {
     // acquisitions, check against the held set.
     let mut findings = Vec::new();
     for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
         for span in &file.functions {
             check_function(file, span, &direct, &mut findings);
         }

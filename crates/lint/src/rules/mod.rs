@@ -1,4 +1,4 @@
-//! The rule engine: five launch rules with stable `SF-*` codes.
+//! The rule engine: six rules with stable `SF-*` codes.
 //!
 //! Each rule is a function from a [`crate::Workspace`] to findings. Rules
 //! share the small token-pattern helpers below rather than an AST — the
@@ -8,10 +8,21 @@
 pub mod lock_order;
 pub mod recovery_panic;
 pub mod relaxed_atomic;
+pub mod shim_bypass;
 pub mod stats_coherence;
 pub mod txn_purity;
 
 use crate::lexer::{Token, TokenKind};
+
+/// Files exempt from the *invariant* rules: the dynamic-analysis engine
+/// itself (`crates/check`). Its internals deliberately use what the rules
+/// forbid — raw `std::sync` locks (they must not recurse into the
+/// instrumentation they power) and relaxed counters — while the
+/// stats-coherence rule still reads it so `SF_CHECK_*` env vars stay in
+/// sync with the EXPERIMENTS.md table.
+pub(crate) fn analysis_internal(path: &str) -> bool {
+    path.starts_with("crates/check/")
+}
 
 /// Is token `i` the `name` of a method call `.name(` ?
 pub(crate) fn is_method_call(tokens: &[Token], i: usize, name: &str) -> bool {

@@ -42,6 +42,9 @@ const WRITE_PATH_FNS: &[&str] = &["encode_into", "write_frame"];
 pub fn run(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
         if !RECOVERY_FILES.contains(&file.path.as_str()) {
             continue;
         }

@@ -29,6 +29,9 @@ const ALLOWLIST: &[&str] = &[
 pub fn run(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
         if ALLOWLIST.contains(&file.path.as_str()) {
             continue;
         }

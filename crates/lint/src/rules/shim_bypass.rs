@@ -1,0 +1,182 @@
+//! **SF-SHIM-BYPASS** — blocking-sync primitives come from the
+//! `parking_lot` shim, not `std::sync`, outside the shim itself.
+//!
+//! PR 10's dynamic analysis (`sf-check`) sees lock operations only through
+//! the shim's instrumentation hooks: a `std::sync::Mutex`/`RwLock`/
+//! `Condvar` used directly is invisible to the race detector's
+//! happens-before edges and to the lock-order checker, silently punching a
+//! hole in both. This rule flags every `std::sync::{Mutex, RwLock,
+//! Condvar}` mention — path-qualified uses and `use std::sync::{...}`
+//! brace imports alike — outside `crates/shims`. The escape hatch is the
+//! usual inline waiver, `// sf-lint: allow(shim-bypass, <reason>)`, for
+//! the few places that must not recurse into instrumented locks (the
+//! detector's own support structures in `sf-obs`).
+
+use crate::lexer::TokenKind;
+use crate::rules::is_path_seg;
+use crate::{Finding, Workspace};
+
+const CODE: &str = "SF-SHIM-BYPASS";
+const WAIVER_RULE: &str = "shim-bypass";
+
+/// The blocking primitives the shim wraps. `Arc`, `Barrier`, `OnceLock`,
+/// atomics and channels are untracked by sf-check and stay fair game.
+const BANNED: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
+        let tokens = &file.tokens;
+        for i in 0..tokens.len() {
+            // `std :: sync :: <next>` (the lexer emits `:` twice per `::`).
+            if !is_path_seg(tokens, i, "std", "sync") {
+                continue;
+            }
+            if tokens.get(i + 4).is_none_or(|t| t.text != ":")
+                || tokens.get(i + 5).is_none_or(|t| t.text != ":")
+            {
+                continue;
+            }
+            let Some(next) = tokens.get(i + 6) else {
+                continue;
+            };
+            let banned = |s: &str| BANNED.iter().find(|b| **b == s).copied();
+            let mut hits: Vec<(&'static str, usize)> = Vec::new();
+            if next.text == "{" {
+                // `use std::sync::{Arc, Mutex, ...}` — walk the brace
+                // group (including nested groups) for banned idents.
+                let mut depth = 0usize;
+                for t in &tokens[i + 6..] {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        name if t.kind == TokenKind::Ident => {
+                            if let Some(b) = banned(name) {
+                                hits.push((b, t.line));
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            } else if next.kind == TokenKind::Ident {
+                if let Some(b) = banned(&next.text) {
+                    hits.push((b, next.line));
+                }
+            }
+            for (name, line) in hits {
+                if file.in_test_region(line) {
+                    continue;
+                }
+                let waived = file.waived(WAIVER_RULE, line);
+                findings.push(Finding {
+                    code: CODE,
+                    path: file.path.clone(),
+                    line,
+                    anchor: format!("std::sync::{name}"),
+                    message: format!(
+                        "`std::sync::{name}` bypasses the `parking_lot` shim — sf-check's \
+                         race and lock-order detectors only see shim locks, so this lock is \
+                         invisible to them; use `parking_lot::{name}` (`Mutex::named` for a \
+                         lock-order class), or waive with \
+                         `// sf-lint: allow(shim-bypass, <reason>)` if this lock must not \
+                         recurse into the instrumentation"
+                    ),
+                    waived,
+                    baselined: false,
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Workspace;
+
+    #[test]
+    fn qualified_mutex_fires() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "struct S { m: std::sync::Mutex<u32> }",
+            )],
+            &[],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].anchor, "std::sync::Mutex");
+        assert!(!fs[0].waived);
+    }
+
+    #[test]
+    fn brace_import_fires_per_banned_ident() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "use std::sync::{Arc, Condvar, Mutex, OnceLock};",
+            )],
+            &[],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+    }
+
+    #[test]
+    fn plain_arc_and_atomics_are_clean() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "use std::sync::Arc;\nuse std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::{Barrier, OnceLock};",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn waiver_marks_the_finding() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/obs/src/registry.rs",
+                "// sf-lint: allow(shim-bypass, the detector itself logs through sf-obs; an instrumented lock here would recurse)\nuse std::sync::Mutex;",
+            )],
+            &[],
+        );
+        let fs = super::run(&ws);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].waived);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "#[cfg(test)]\nmod tests {\n use std::sync::Mutex;\n}",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+
+    #[test]
+    fn shim_reexport_from_parking_lot_is_clean() {
+        let ws = Workspace::from_sources(
+            &[(
+                "crates/core/src/x.rs",
+                "use parking_lot::{Condvar, Mutex};\nfn f() { let m = Mutex::named(0u32, \"x\"); }",
+            )],
+            &[],
+        );
+        assert!(super::run(&ws).is_empty());
+    }
+}

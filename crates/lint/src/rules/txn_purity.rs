@@ -56,6 +56,9 @@ const BANNED_PATHS: &[(&str, &str, &str)] = &[
 pub fn run(ws: &Workspace) -> Vec<Finding> {
     let mut findings = Vec::new();
     for file in &ws.files {
+        if crate::rules::analysis_internal(&file.path) {
+            continue;
+        }
         if ALLOWLIST_PREFIXES.iter().any(|p| file.path.starts_with(p)) {
             continue;
         }

@@ -19,6 +19,7 @@
 //! time-ordered trace on demand.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// sf-lint: allow(shim-bypass, sf-check reports through sf-obs (flight-recorder dump, metrics); an instrumented lock here would recurse into the detector)
 use std::sync::{Arc, Mutex, Once, OnceLock, PoisonError};
 use std::time::Instant;
 

@@ -11,6 +11,7 @@
 //! stdout (which carries the `SF_JSON` lines CI parses).
 
 use std::fmt::Write as _;
+// sf-lint: allow(shim-bypass, sf-check reports through sf-obs (flight-recorder dump, metrics); an instrumented lock here would recurse into the detector)
 use std::sync::{Mutex, Once, OnceLock, PoisonError};
 
 /// One exposition sample: a metric name, optional `key="value"` labels, and

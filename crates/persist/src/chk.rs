@@ -1,0 +1,27 @@
+//! Internal indirection over the `sf-check` instrumentation hooks.
+//!
+//! With the `check` feature the functions forward to `sf_check`; without it
+//! they are empty `#[inline(always)]` bodies, so the checkpoint and
+//! cross-shard-move boundaries carry their schedule-fuzzer yield points
+//! unconditionally at zero default-build cost.
+
+#[cfg(feature = "check")]
+pub(crate) use sf_check::{sched_point, SchedEvent};
+
+#[cfg(not(feature = "check"))]
+mod noop {
+    /// Mirror of `sf_check::SchedEvent` restricted to the variants
+    /// sf-persist emits, so call sites compile identically in both
+    /// configurations.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) enum SchedEvent {
+        Move,
+        Checkpoint,
+    }
+
+    #[inline(always)]
+    pub(crate) fn sched_point(_ev: SchedEvent) {}
+}
+
+#[cfg(not(feature = "check"))]
+pub(crate) use noop::*;

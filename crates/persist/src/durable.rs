@@ -70,7 +70,9 @@ use std::io;
 use std::ops::RangeInclusive;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
 use std::time::Duration;
 
 use sf_obs::{EventKind, FlightRecorder, Sampler};
@@ -202,7 +204,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
         }
         stm.clock().advance_to(recovery.last_version);
         let label = intern_label(format!("{}+wal", inner.name()));
-        let checkpoint_lock = Arc::new(Mutex::new(()));
+        let checkpoint_lock = Arc::new(Mutex::named((), "durable.checkpoint"));
         if options.group == 0 && std::env::var_os("SF_RECOVERY_SMOKE").is_some() {
             warn_buffered_once("SF_RECOVERY_SMOKE is set (a crash drill is running)");
         }
@@ -220,11 +222,10 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
             let hook_lock = Arc::clone(&checkpoint_lock);
             wal.set_checkpoint_hook(Box::new(move |shared| {
                 let guard = match hook_lock.try_lock() {
-                    Ok(guard) => guard,
-                    Err(std::sync::TryLockError::Poisoned(poison)) => poison.into_inner(),
+                    Some(guard) => guard,
                     // Held by a move scope or an explicit checkpoint:
                     // stay deferred, the writer retries on its next wakeup.
-                    Err(std::sync::TryLockError::WouldBlock) => return false,
+                    None => return false,
                 };
                 // rotate() drains inline on the writer thread; the snapshot
                 // is a read-only STM transaction (no log records, no
@@ -289,10 +290,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
     /// concurrent mutators (see the [module docs](self)); concurrent
     /// checkpoints serialize.
     pub fn checkpoint(&self, handle: &mut DurableHandle<M>) -> io::Result<CheckpointReport> {
-        let _guard = self
-            .checkpoint_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _guard = self.checkpoint_lock.lock();
         self.checkpoint_locked(&mut handle.inner)
     }
 
@@ -363,7 +361,7 @@ impl<M: TxMapVersioned + 'static> DurableMap<M> {
             && self.options.auto_checkpoint > 0
             && self.wal.records_since_checkpoint() >= self.options.auto_checkpoint
         {
-            if let Ok(_guard) = self.checkpoint_lock.try_lock() {
+            if let Some(_guard) = self.checkpoint_lock.try_lock() {
                 self.checkpoint_locked(&mut handle.inner)
                     .expect("automatic checkpoint failed");
             }
@@ -467,10 +465,8 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
                 "a cross-shard move is running, whose crash atomicity relies on fsync ordering",
             );
         }
-        let _guard = self
-            .checkpoint_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        crate::chk::sched_point(crate::chk::SchedEvent::Move);
+        let _guard = self.checkpoint_lock.lock();
         let seq = self.wal.enqueue(WalRecord {
             version: 0,
             op: WalOp::MoveIntent {
@@ -503,10 +499,7 @@ impl<M: TxMapVersioned + 'static> TxMap for DurableMap<M> {
     /// lock so the stamped insert half cannot be checkpoint-truncated out
     /// of this log while the source's intent is still unresolved.
     fn move_peer_scope(&self, _move_id: u64, body: &mut dyn FnMut() -> bool) -> bool {
-        let _guard = self
-            .checkpoint_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _guard = self.checkpoint_lock.lock();
         body()
     }
 

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod chk;
 pub mod log;
 pub mod record;
 pub mod recovery;

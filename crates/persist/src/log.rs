@@ -69,7 +69,9 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::thread::{JoinHandle, ThreadId};
 use std::time::{Duration, Instant};
 
@@ -278,20 +280,16 @@ impl WalShared {
         &self.stats
     }
 
-    fn lock_state(&self) -> std::sync::MutexGuard<'_, PendingState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_state(&self) -> MutexGuard<'_, PendingState> {
+        self.state.lock()
     }
 
-    fn lock_segment(&self) -> std::sync::MutexGuard<'_, SegmentState> {
-        self.segment.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_segment(&self) -> MutexGuard<'_, SegmentState> {
+        self.segment.lock()
     }
 
     fn on_writer_thread(&self) -> bool {
-        *self
-            .writer_thread
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            == Some(std::thread::current().id())
+        *self.writer_thread.lock() == Some(std::thread::current().id())
     }
 
     fn thread_mode(&self) -> bool {
@@ -312,10 +310,7 @@ impl WalShared {
                 && state.poisoned.is_none()
                 && !state.shutdown
             {
-                state = self
-                    .space
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.space.wait(&mut state);
             }
         }
         if let Some(reason) = &state.poisoned {
@@ -357,10 +352,7 @@ impl WalShared {
             if self.thread_mode() || state.flushing {
                 // Thread mode always parks; in leader mode a follower parks
                 // while the current leader runs the batch.
-                state = self
-                    .flushed
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.flushed.wait(&mut state);
             } else {
                 state = self.flush_batch(state, false);
             }
@@ -384,10 +376,7 @@ impl WalShared {
                 if state.durable_seq >= goal {
                     return Ok(());
                 }
-                state = self
-                    .flushed
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.flushed.wait(&mut state);
             }
         }
         // Leader / buffered mode, or the writer thread draining inline.
@@ -397,10 +386,7 @@ impl WalShared {
                 return Err(io::Error::other(reason.clone()));
             }
             if state.flushing {
-                state = self
-                    .flushed
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
+                self.flushed.wait(&mut state);
                 continue;
             }
             state = self.flush_batch(state, self.on_writer_thread());
@@ -417,9 +403,9 @@ impl WalShared {
     /// panicking; callers observe it through their own paths.
     fn flush_batch<'a>(
         &'a self,
-        mut state: std::sync::MutexGuard<'a, PendingState>,
+        mut state: MutexGuard<'a, PendingState>,
         by_writer_thread: bool,
-    ) -> std::sync::MutexGuard<'a, PendingState> {
+    ) -> MutexGuard<'a, PendingState> {
         debug_assert!(!state.flushing);
         let take = if self.options.group == 0 {
             state.pending.len()
@@ -520,6 +506,7 @@ impl WalShared {
         entries: &[(Key, Value)],
         sealed_through: u64,
     ) -> io::Result<()> {
+        crate::chk::sched_point(crate::chk::SchedEvent::Checkpoint);
         let mut payload = Vec::with_capacity(16 + entries.len() * 16);
         payload.extend_from_slice(&version.to_le_bytes());
         payload.extend_from_slice(&(entries.len() as u64).to_le_bytes());
@@ -550,10 +537,7 @@ impl WalShared {
         }
         // sf-lint: allow(relaxed-atomic, trigger-counter reset; the checkpoint itself is ordered by the wal-state lock)
         self.records_since_checkpoint.store(0, Ordering::Relaxed);
-        *self
-            .last_checkpoint_at
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Instant::now();
+        *self.last_checkpoint_at.lock() = Instant::now();
         self.stats.note_checkpoint();
         FlightRecorder::global().record(EventKind::CheckpointDone, entries.len() as u64, version);
         Ok(())
@@ -569,10 +553,7 @@ impl WalShared {
             return true;
         }
         if let Some(interval) = self.options.checkpoint_interval {
-            let last = *self
-                .last_checkpoint_at
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let last = *self.last_checkpoint_at.lock();
             if last.elapsed() >= interval {
                 return true;
             }
@@ -591,10 +572,7 @@ impl WalShared {
             self.records_since_checkpoint(),
             0,
         );
-        let mut hook = self
-            .checkpoint_hook
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut hook = self.checkpoint_hook.lock();
         let ran = match hook.as_mut() {
             // The hook try-locks the durable map's checkpoint lock; `false`
             // means a move (or an explicit checkpoint) holds it — stay
@@ -616,10 +594,7 @@ impl WalShared {
     /// window, evaluate checkpoint triggers between batches, exit on
     /// shutdown after draining the ring.
     fn writer_loop(self: &Arc<Self>) {
-        *self
-            .writer_thread
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Some(std::thread::current().id());
+        *self.writer_thread.lock() = Some(std::thread::current().id());
         let group = self.options.group;
         let window = self.options.window;
         // How long to sleep when idle: short while a deferred checkpoint is
@@ -634,11 +609,7 @@ impl WalShared {
                 if state.shutdown {
                     return;
                 }
-                state = self
-                    .work
-                    .wait_timeout(state, Duration::from_millis(50))
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .0;
+                self.work.wait_for(&mut state, Duration::from_millis(50));
                 if state.shutdown {
                     return;
                 }
@@ -653,11 +624,7 @@ impl WalShared {
                 } else {
                     Duration::from_millis(100)
                 };
-                let (next, _timeout) = self
-                    .work
-                    .wait_timeout(state, idle)
-                    .unwrap_or_else(PoisonError::into_inner);
-                state = next;
+                self.work.wait_for(&mut state, idle);
                 if state.pending.is_empty() {
                     drop(state);
                     checkpoint_deferred = !self.run_checkpoint_hook();
@@ -677,11 +644,7 @@ impl WalShared {
                 if now >= deadline {
                     break;
                 }
-                let (next, _timeout) = self
-                    .work
-                    .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(PoisonError::into_inner);
-                state = next;
+                self.work.wait_for(&mut state, deadline - now);
             }
             state = self.flush_batch(state, true);
             if state.drain_goal <= state.durable_seq {
@@ -714,26 +677,32 @@ impl Wal {
         let shared = Arc::new(WalShared {
             dir,
             options,
-            state: Mutex::new(PendingState {
-                pending: VecDeque::new(),
-                enqueued_seq: 0,
-                durable_seq: 0,
-                flushing: false,
-                drain_goal: 0,
-                shutdown: false,
-                poisoned: None,
-            }),
+            state: Mutex::named(
+                PendingState {
+                    pending: VecDeque::new(),
+                    enqueued_seq: 0,
+                    durable_seq: 0,
+                    flushing: false,
+                    drain_goal: 0,
+                    shutdown: false,
+                    poisoned: None,
+                },
+                "wal.state",
+            ),
             flushed: Condvar::new(),
             space: Condvar::new(),
             work: Condvar::new(),
-            segment: Mutex::new(SegmentState {
-                file,
-                index: start_segment,
-            }),
+            segment: Mutex::named(
+                SegmentState {
+                    file,
+                    index: start_segment,
+                },
+                "wal.segment",
+            ),
             records_since_checkpoint: AtomicU64::new(0),
-            last_checkpoint_at: Mutex::new(Instant::now()),
-            checkpoint_hook: Mutex::new(None),
-            writer_thread: Mutex::new(None),
+            last_checkpoint_at: Mutex::named(Instant::now(), "wal.checkpoint_at"),
+            checkpoint_hook: Mutex::named(None, "wal.hook"),
+            writer_thread: Mutex::named(None, "wal.writer_id"),
             fail_next_flush: AtomicBool::new(false),
             stats: LogStats::new(),
         });
@@ -750,7 +719,7 @@ impl Wal {
         };
         Ok(Wal {
             shared,
-            writer: Mutex::new(writer),
+            writer: Mutex::named(writer, "wal.writer_handle"),
         })
     }
 
@@ -765,11 +734,7 @@ impl Wal {
     /// needed) and `false` when it must stay deferred (e.g. the checkpoint
     /// lock is held by an in-flight cross-shard move).
     pub fn set_checkpoint_hook(&self, hook: CheckpointHook) {
-        *self
-            .shared
-            .checkpoint_hook
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = Some(hook);
+        *self.shared.checkpoint_hook.lock() = Some(hook);
     }
 
     /// The directory this log writes to.
@@ -824,11 +789,7 @@ impl Drop for Wal {
         // Clean shutdown: drain the ring, then join the writer thread (crash
         // tests bypass this by never dropping the map). The writer drains
         // everything pending before honoring the shutdown flag.
-        let writer = self
-            .writer
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .take();
+        let writer = self.writer.lock().take();
         {
             let mut state = self.shared.lock_state();
             state.shutdown = true;

@@ -2,78 +2,363 @@
 //!
 //! The build environment of this repository has no network access, so the
 //! workspace vendors the small slice of `parking_lot` it actually uses:
-//! [`Mutex`] and [`RwLock`] with non-poisoning guards. The implementation
-//! wraps `std::sync` and recovers from poisoning (matching `parking_lot`'s
-//! semantics, where a panicking holder does not poison the lock).
+//! [`Mutex`], [`RwLock`] and [`Condvar`] with non-poisoning guards. The
+//! implementation wraps `std::sync` and recovers from poisoning (matching
+//! `parking_lot`'s semantics, where a panicking holder does not poison the
+//! lock).
+//!
+//! Guards are this crate's own wrapper types (not re-exported std guards)
+//! so that, under the `check` cargo feature, every acquire and release is
+//! reported to `sf-check`'s vector-clock race detector and lock-order
+//! graph. The release hook fires *before* the underlying lock is dropped
+//! and the acquire hook *after* it is taken, so the detector's
+//! happens-before edges always bracket the real critical section. Locks
+//! can carry a stable class name ([`Mutex::named`] / [`RwLock::named`])
+//! used by the lock-order checker; unnamed locks share a default class and
+//! still get pairwise (per-instance) inversion checking.
 
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
-pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+#[cfg(feature = "check")]
+use sf_check::hooks;
+
+#[cfg(not(feature = "check"))]
+mod hooks {
+    #[inline(always)]
+    pub fn lock_acquired(_addr: usize, _class: &'static str) {}
+    #[inline(always)]
+    pub fn lock_released(_addr: usize) {}
+    #[inline(always)]
+    pub fn lock_destroyed(_addr: usize) {}
+}
+
+const DEFAULT_MUTEX_CLASS: &str = "mutex";
+const DEFAULT_RWLOCK_CLASS: &str = "rwlock";
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()`.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    class: &'static str,
+    inner: sync::Mutex<T>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            class: DEFAULT_MUTEX_CLASS,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex with a stable class name for the sf-check lock-order
+    /// graph (e.g. `"wal.state"`, `"move_lock"`). Extension over the real
+    /// `parking_lot` API; behaves exactly like [`Mutex::new`] otherwise.
+    pub const fn named(value: T, class: &'static str) -> Self {
+        Mutex {
+            class,
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex and return the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        hooks::lock_destroyed(std::ptr::addr_of!(self.inner) as *const () as usize);
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        std::ptr::addr_of!(self.inner) as *const () as usize
+    }
+
     /// Acquire the lock, blocking until it is available. Never poisons.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        hooks::lock_acquired(self.addr(), self.class);
+        MutexGuard {
+            inner: Some(inner),
+            addr: self.addr(),
+            class: self.class,
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        hooks::lock_acquired(self.addr(), self.class);
+        Some(MutexGuard {
+            inner: Some(inner),
+            addr: self.addr(),
+            class: self.class,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("inner", &&self.inner)
+            .finish()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases (and reports the release) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+    addr: usize,
+    class: &'static str,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            // Publish the release edge while still holding the lock, so a
+            // competing acquirer can only observe it afterwards.
+            hooks::lock_released(self.addr);
+            self.inner = None;
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 
 /// A reader-writer lock with `parking_lot`'s non-poisoning accessors.
-#[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    class: &'static str,
+    inner: sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            class: DEFAULT_RWLOCK_CLASS,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Like [`RwLock::new`] with a stable lock-order class name.
+    pub const fn named(value: T, class: &'static str) -> Self {
+        RwLock {
+            class,
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock and return the protected value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        hooks::lock_destroyed(std::ptr::addr_of!(self.inner) as *const () as usize);
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn addr(&self) -> usize {
+        std::ptr::addr_of!(self.inner) as *const () as usize
+    }
+
     /// Acquire a shared read lock. Never poisons.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        hooks::lock_acquired(self.addr(), self.class);
+        RwLockReadGuard {
+            inner: Some(inner),
+            addr: self.addr(),
+        }
     }
 
     /// Acquire an exclusive write lock. Never poisons.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        hooks::lock_acquired(self.addr(), self.class);
+        RwLockWriteGuard {
+            inner: Some(inner),
+            addr: self.addr(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("inner", &&self.inner)
+            .finish()
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            hooks::lock_released(self.addr);
+            self.inner = None;
+        }
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            hooks::lock_released(self.addr);
+            self.inner = None;
+        }
+    }
+}
+
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable in `parking_lot`'s style: `wait` takes `&mut
+/// MutexGuard` and never poisons.
+#[derive(Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until notified. The mutex is released while waiting (the
+    /// race detector sees the release/re-acquire pair) and re-acquired
+    /// before returning; spurious wakeups are possible.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken");
+        hooks::lock_released(guard.addr);
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        hooks::lock_acquired(guard.addr, guard.class);
+        guard.inner = Some(inner);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard taken");
+        hooks::lock_released(guard.addr);
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        hooks::lock_acquired(guard.addr, guard.class);
+        guard.inner = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Block until `condition` returns false (checked under the lock).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut **guard) {
+            self.wait(guard);
+        }
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -117,5 +402,40 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 9;
         assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn named_locks_behave_like_plain_ones() {
+        let m = Mutex::named(3, "test.named");
+        assert_eq!(*m.lock(), 3);
+        let l = RwLock::named(4, "test.named_rw");
+        assert_eq!(*l.read(), 4);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            *ready = true;
+            cv.notify_one();
+            drop(ready);
+        });
+        let (lock, cv) = &*pair;
+        let mut ready = lock.lock();
+        cv.wait_while(&mut ready, |r| !*r);
+        assert!(*ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
     }
 }

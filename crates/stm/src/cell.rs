@@ -136,6 +136,16 @@ impl RawCell {
     }
 }
 
+// Under sf-check, a dropped cell must retire its detector state: the
+// allocator will reuse the address, and the next tenant must not inherit
+// the previous cell's epochs (phantom races) or clocks (phantom ordering).
+#[cfg(feature = "check")]
+impl Drop for RawCell {
+    fn drop(&mut self) {
+        crate::chk::cell_retired(self.addr());
+    }
+}
+
 /// A typed transactional memory location holding a `T`.
 ///
 /// All concurrent accesses must go through a [`crate::Transaction`] (or

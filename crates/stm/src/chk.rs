@@ -1,0 +1,46 @@
+//! Internal indirection over the `sf-check` instrumentation hooks.
+//!
+//! With the `check` feature the functions below forward to
+//! [`sf_check::hooks`] and [`sf_check::sched_point`]; without it they are
+//! empty `#[inline(always)]` bodies the optimizer erases, so call sites in
+//! the hot transaction paths stay unconditional and the default build pays
+//! nothing.
+
+#[cfg(feature = "check")]
+pub(crate) use sf_check::hooks::{
+    cell_locked, cell_published, cell_read, cell_retired, cell_unlocked,
+};
+#[cfg(feature = "check")]
+pub(crate) use sf_check::{sched_point, SchedEvent};
+
+#[cfg(not(feature = "check"))]
+mod noop {
+    /// Mirror of `sf_check::SchedEvent` restricted to the variants sf-stm
+    /// emits, so call sites compile identically in both configurations.
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) enum SchedEvent {
+        TxnBegin,
+        Acquire,
+        Validate,
+        Publish,
+        Spin,
+    }
+
+    #[inline(always)]
+    pub(crate) fn sched_point(_ev: SchedEvent) {}
+
+    #[inline(always)]
+    pub(crate) fn cell_locked(_addr: usize) {}
+
+    #[inline(always)]
+    pub(crate) fn cell_unlocked(_addr: usize) {}
+
+    #[inline(always)]
+    pub(crate) fn cell_read(_addr: usize, _site: &'static str) {}
+
+    #[inline(always)]
+    pub(crate) fn cell_published(_addr: usize, _site: &'static str) {}
+}
+
+#[cfg(not(feature = "check"))]
+pub(crate) use noop::*;

@@ -42,6 +42,7 @@
 #![deny(unsafe_code)]
 
 mod cell;
+mod chk;
 mod clock;
 mod config;
 mod error;

@@ -24,8 +24,10 @@ pub struct Stm {
     next_owner: AtomicU64,
     /// The flat-combining slot: small-write-set CTL commits serialize their
     /// publication here instead of fighting over version-lock CAS (see
-    /// [`StmConfig::combine_write_sets`]).
-    combiner: std::sync::Mutex<()>,
+    /// [`StmConfig::combine_write_sets`]). Goes through the `parking_lot`
+    /// shim so checked builds feed it to the lock-order/race instrumentation
+    /// under a stable class name.
+    combiner: parking_lot::Mutex<()>,
 }
 
 impl Stm {
@@ -36,7 +38,7 @@ impl Stm {
             config,
             stats: StatsRegistry::default(),
             next_owner: AtomicU64::new(1),
-            combiner: std::sync::Mutex::new(()),
+            combiner: parking_lot::Mutex::named((), "stm.combiner"),
         })
     }
 
@@ -157,6 +159,7 @@ impl ThreadCtx {
         let mut attempt: u32 = 0;
         let mut reads_this_op: u64 = 0;
         loop {
+            crate::chk::sched_point(crate::chk::SchedEvent::TxnBegin);
             let mut tx = Transaction::begin(
                 clock,
                 kind,

@@ -21,6 +21,7 @@
 //! aborting while they have not yet written anything (E-STM).
 
 use crate::cell::{RawCell, RawRead, TCell};
+use crate::chk;
 use crate::clock::GlobalClock;
 use crate::config::{LockAcquisition, TxKind};
 use crate::error::{Abort, AbortReason, TxResult};
@@ -85,7 +86,7 @@ pub struct Transaction<'env> {
     abort_hooks: Vec<Hook<'env>>,
     /// The STM's flat-combining slot, when the runtime enabled the combined
     /// fast commit path for this attempt (CTL, updating kinds only).
-    combiner: Option<&'env std::sync::Mutex<()>>,
+    combiner: Option<&'env parking_lot::Mutex<()>>,
     /// Largest write set eligible for the combined path.
     combine_threshold: usize,
     pub(crate) reads: u64,
@@ -132,7 +133,7 @@ impl<'env> Transaction<'env> {
     /// uncontended slot acquire is one CAS — noise next to validation —
     /// while under contention the slot turns the lock-grab storm into a
     /// queue.
-    pub(crate) fn set_combiner(&mut self, slot: &'env std::sync::Mutex<()>, threshold: usize) {
+    pub(crate) fn set_combiner(&mut self, slot: &'env parking_lot::Mutex<()>, threshold: usize) {
         debug_assert_eq!(self.acquisition, LockAcquisition::CommitTime);
         self.combiner = Some(slot);
         self.combine_threshold = threshold;
@@ -231,6 +232,7 @@ impl<'env> Transaction<'env> {
                 }
                 RawRead::Ok { value, version } => {
                     if version <= self.rv {
+                        chk::cell_read(raw.addr(), "txn.read");
                         self.read_set.push(ReadEntry { cell: raw, version });
                         return Ok(T::decode(value));
                     }
@@ -263,13 +265,17 @@ impl<'env> Transaction<'env> {
         let mut spins = 0u32;
         loop {
             match raw.read_consistent() {
-                RawRead::Ok { value, .. } => return T::decode(value),
+                RawRead::Ok { value, .. } => {
+                    chk::cell_read(raw.addr(), "txn.uread");
+                    return T::decode(value);
+                }
                 RawRead::Locked { owner_word } if owner_word == self.owner_word => {
                     // Locked by us but not buffered: unreachable in practice,
                     // fall back to the raw payload.
                     return T::decode(raw.load_raw());
                 }
                 RawRead::Locked { .. } => {
+                    chk::sched_point(chk::SchedEvent::Spin);
                     spins += 1;
                     if spins > 64 {
                         std::thread::yield_now();
@@ -313,22 +319,29 @@ impl<'env> Transaction<'env> {
                 });
                 Ok(())
             }
-            LockAcquisition::EncounterTime => match raw.try_lock(self.owner_word) {
-                Ok(prev) => {
-                    let prev_version = prev >> 1;
-                    if prev_version > self.rv && !self.extend() {
-                        raw.unlock_restore(prev);
-                        return Err(Abort::new(AbortReason::ReadVersion));
+            LockAcquisition::EncounterTime => {
+                chk::sched_point(chk::SchedEvent::Acquire);
+                match raw.try_lock(self.owner_word) {
+                    Ok(prev) => {
+                        chk::cell_locked(raw.addr());
+                        let prev_version = prev >> 1;
+                        if prev_version > self.rv && !self.extend() {
+                            // Release edge first: once the word flips back,
+                            // another thread may acquire it immediately.
+                            chk::cell_unlocked(raw.addr());
+                            raw.unlock_restore(prev);
+                            return Err(Abort::new(AbortReason::ReadVersion));
+                        }
+                        self.write_set.push(WriteEntry {
+                            cell: raw,
+                            value: encoded,
+                            prev_lock: Some(prev),
+                        });
+                        Ok(())
                     }
-                    self.write_set.push(WriteEntry {
-                        cell: raw,
-                        value: encoded,
-                        prev_lock: Some(prev),
-                    });
-                    Ok(())
+                    Err(_) => Err(Abort::new(AbortReason::WriteLocked)),
                 }
-                Err(_) => Err(Abort::new(AbortReason::WriteLocked)),
-            },
+            }
         }
     }
 
@@ -342,6 +355,7 @@ impl<'env> Transaction<'env> {
     /// transaction commit against a stale snapshot (e.g. an insert
     /// overwriting a child pointer that a concurrent rotation just updated).
     fn validate(&self) -> bool {
+        chk::sched_point(chk::SchedEvent::Validate);
         for entry in &self.read_set {
             let l = entry.cell.lock_word();
             if l & 1 == 1 {
@@ -398,6 +412,8 @@ impl<'env> Transaction<'env> {
     fn release_held_locks(&mut self) {
         for entry in &mut self.write_set {
             if let Some(prev) = entry.prev_lock.take() {
+                // Release edge before the word flips back (see commit).
+                chk::cell_unlocked(entry.cell.addr());
                 entry.cell.unlock_restore(prev);
             }
         }
@@ -409,8 +425,12 @@ impl<'env> Transaction<'env> {
     fn acquire_write_locks_once(&mut self) -> bool {
         for i in 0..self.write_set.len() {
             let cell = self.write_set[i].cell;
+            chk::sched_point(chk::SchedEvent::Acquire);
             match cell.try_lock(self.owner_word) {
-                Ok(prev) => self.write_set[i].prev_lock = Some(prev),
+                Ok(prev) => {
+                    chk::cell_locked(cell.addr());
+                    self.write_set[i].prev_lock = Some(prev);
+                }
                 Err(_) => {
                     self.release_held_locks();
                     return false;
@@ -430,14 +450,17 @@ impl<'env> Transaction<'env> {
         const SPIN_BOUND: u32 = 1 << 14;
         for i in 0..self.write_set.len() {
             let cell = self.write_set[i].cell;
+            chk::sched_point(chk::SchedEvent::Acquire);
             let mut spins = 0u32;
             loop {
                 match cell.try_lock(self.owner_word) {
                     Ok(prev) => {
+                        chk::cell_locked(cell.addr());
                         self.write_set[i].prev_lock = Some(prev);
                         break;
                     }
                     Err(_) => {
+                        chk::sched_point(chk::SchedEvent::Spin);
                         spins += 1;
                         if spins > SPIN_BOUND {
                             self.release_held_locks();
@@ -483,9 +506,7 @@ impl<'env> Transaction<'env> {
             }
             if combine {
                 let slot = self.combiner.expect("combined path requires a slot");
-                let guard = slot
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let guard = slot.lock();
                 if !self.acquire_write_locks_spinning() {
                     self.finished = true;
                     return Err(Abort::new(AbortReason::CombinerConflict));
@@ -503,8 +524,14 @@ impl<'env> Transaction<'env> {
             self.finished = true;
             return Err(Abort::new(AbortReason::CommitValidation));
         }
+        chk::sched_point(chk::SchedEvent::Publish);
         for entry in &self.write_set {
             debug_assert!(entry.prev_lock.is_some());
+            // Write check + release edge BEFORE the version word goes even:
+            // the instant `write_and_unlock` lands, a concurrent reader may
+            // validate against the new version and take its acquire edge, so
+            // the matching release must already be recorded.
+            chk::cell_published(entry.cell.addr(), "txn.commit");
             entry.cell.write_and_unlock(entry.value, wv);
         }
         drop(combined_guard);

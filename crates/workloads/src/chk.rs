@@ -1,0 +1,165 @@
+//! Driver-side integration of the `sf-check` engines.
+//!
+//! With the `check` feature, [`RunChecks::arm`] reads the `SF_CHECK_*`
+//! environment at the start of a measured run: `SF_CHECK_SCHED_SEED`
+//! installs the seeded schedule fuzzer, and `SF_CHECK_HISTORY=1` turns on
+//! invocation/response timeline recording in every worker, verified for
+//! linearizability against the initial contents after the workers join
+//! (panicking with the replay seed on a violation). `SF_CHECK_RACES=1` is
+//! consumed by the instrumentation hooks themselves; the driver just prints
+//! the end-of-run race summary.
+//!
+//! Without the feature everything here is an inert zero-sized stand-in, so
+//! `driver.rs` carries no `#[cfg]` at its call sites.
+//!
+//! Known scope limit: range scans over *sharded* backends are only
+//! per-shard-atomic by design (see `sf_tree::sharded`), so a history check
+//! of a scan workload is meaningful on single-STM backends only.
+
+#[cfg(feature = "check")]
+mod imp {
+    use std::sync::Arc;
+
+    use sf_check::history::{check_history_spawned, HistoryHandle, Pending, Recorder};
+    pub(crate) use sf_check::history::{Op, Ret};
+
+    /// Run-scoped dynamic-analysis state, armed from the environment.
+    pub(crate) struct RunChecks {
+        recorder: Option<Arc<Recorder>>,
+        initial: Vec<(u64, u64)>,
+    }
+
+    impl RunChecks {
+        /// Arm whatever the `SF_CHECK_*` environment asks for. `initial` is
+        /// only invoked when history recording is on (it snapshots the
+        /// pre-run contents, which the linearizability check starts from).
+        pub(crate) fn arm(initial: impl FnOnce() -> Vec<(u64, u64)>) -> RunChecks {
+            let _ = sf_check::sched::install_random_from_env();
+            let recorder = std::env::var("SF_CHECK_HISTORY")
+                .is_ok_and(|v| v == "1")
+                .then(|| Arc::new(Recorder::new()));
+            let initial = if recorder.is_some() {
+                initial()
+            } else {
+                Vec::new()
+            };
+            RunChecks { recorder, initial }
+        }
+
+        /// A per-worker operation log (inert when history is off).
+        pub(crate) fn worker(&self) -> WorkerLog {
+            WorkerLog {
+                handle: self.recorder.as_ref().map(Recorder::handle),
+            }
+        }
+
+        /// After the workers joined: run the linearizability check over the
+        /// recorded timeline and print the race-detector summary.
+        ///
+        /// # Panics
+        /// Panics when the recorded history is not linearizable, printing
+        /// the checker's diagnosis and the schedule replay seed.
+        pub(crate) fn verify(self, label: &str) {
+            if let Some(recorder) = self.recorder {
+                let events = recorder.take();
+                let verdict = check_history_spawned(self.initial, events);
+                if verdict.ok {
+                    eprintln!(
+                        "sf-check history: {label}: {} ops linearizable ({} states explored)",
+                        verdict.ops, verdict.explored
+                    );
+                } else {
+                    let replay = sf_check::sched::replay_hint().unwrap_or_default();
+                    panic!(
+                        "sf-check history: {label}: NOT linearizable: {}{replay}",
+                        verdict.message
+                    );
+                }
+            }
+            if let Some(summary) = sf_check::hooks::summary() {
+                eprintln!("{summary}");
+            }
+        }
+    }
+
+    /// Per-worker invocation/response log.
+    pub(crate) struct WorkerLog {
+        handle: Option<HistoryHandle>,
+    }
+
+    /// Token tying a completion to its invocation.
+    pub(crate) struct Ticket(Option<Pending>);
+
+    impl WorkerLog {
+        pub(crate) fn invoke(&mut self, op: Op) -> Ticket {
+            Ticket(self.handle.as_mut().map(|h| h.invoke(op)))
+        }
+
+        pub(crate) fn complete(&mut self, ticket: Ticket, ret: Ret) {
+            if let (Some(h), Some(p)) = (self.handle.as_mut(), ticket.0) {
+                h.complete(p, ret);
+            }
+        }
+
+        pub(crate) fn finish(self) {
+            if let Some(h) = self.handle {
+                h.finish();
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "check"))]
+mod imp {
+    /// Inert mirror of `sf_check::history::Op`.
+    #[allow(dead_code)]
+    pub(crate) enum Op {
+        Insert(u64, u64),
+        Delete(u64),
+        Contains(u64),
+        Move(u64, u64),
+        Scan(u64, u64),
+    }
+
+    /// Inert mirror of `sf_check::history::Ret`.
+    #[allow(dead_code)]
+    pub(crate) enum Ret {
+        Bool(bool),
+        Entries(Vec<(u64, u64)>),
+    }
+
+    pub(crate) struct RunChecks;
+
+    impl RunChecks {
+        #[inline(always)]
+        pub(crate) fn arm(_initial: impl FnOnce() -> Vec<(u64, u64)>) -> RunChecks {
+            RunChecks
+        }
+
+        #[inline(always)]
+        pub(crate) fn worker(&self) -> WorkerLog {
+            WorkerLog
+        }
+
+        #[inline(always)]
+        pub(crate) fn verify(self, _label: &str) {}
+    }
+
+    pub(crate) struct WorkerLog;
+    pub(crate) struct Ticket;
+
+    impl WorkerLog {
+        #[inline(always)]
+        pub(crate) fn invoke(&mut self, _op: Op) -> Ticket {
+            Ticket
+        }
+
+        #[inline(always)]
+        pub(crate) fn complete(&mut self, _ticket: Ticket, _ret: Ret) {}
+
+        #[inline(always)]
+        pub(crate) fn finish(self) {}
+    }
+}
+
+pub(crate) use imp::*;

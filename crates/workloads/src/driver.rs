@@ -20,6 +20,7 @@ use sf_stm::{StatsSnapshot, Stm};
 use sf_tree::TxMap;
 
 use crate::backend::{Backend, MapSession};
+use crate::chk;
 use crate::config::{RunLength, WorkloadConfig};
 use crate::keygen::{KeyGen, OpKind};
 use crate::latency::{self, LatencyReport};
@@ -156,6 +157,7 @@ fn worker_loop(
     run: RunLength,
     stop: &AtomicBool,
     barrier: &Barrier,
+    mut oplog: chk::WorkerLog,
 ) -> ThreadReport {
     let mut report = ThreadReport::default();
     let mut sampler = Sampler::from_env();
@@ -176,21 +178,30 @@ fn worker_loop(
         match op {
             OpKind::Contains => {
                 let key = gen.lookup_key();
-                if session.contains(key) {
+                let ticket = oplog.invoke(chk::Op::Contains(key));
+                let found = session.contains(key);
+                oplog.complete(ticket, chk::Ret::Bool(found));
+                if found {
                     report.successful_lookups += 1;
                 }
             }
             OpKind::Insert => {
                 let key = gen.insert_key();
                 report.attempted_updates += 1;
-                if session.insert(key, key) {
+                let ticket = oplog.invoke(chk::Op::Insert(key, key));
+                let inserted = session.insert(key, key);
+                oplog.complete(ticket, chk::Ret::Bool(inserted));
+                if inserted {
                     report.effective_updates += 1;
                 }
             }
             OpKind::Delete => {
                 let key = gen.delete_key();
                 report.attempted_updates += 1;
-                if session.delete(key) {
+                let ticket = oplog.invoke(chk::Op::Delete(key));
+                let deleted = session.delete(key);
+                oplog.complete(ticket, chk::Ret::Bool(deleted));
+                if deleted {
                     report.effective_updates += 1;
                 }
             }
@@ -198,7 +209,10 @@ fn worker_loop(
                 let from = gen.delete_key();
                 let to = gen.insert_key();
                 report.attempted_updates += 1;
-                if session.move_entry(from, to) {
+                let ticket = oplog.invoke(chk::Op::Move(from, to));
+                let moved = session.move_entry(from, to);
+                oplog.complete(ticket, chk::Ret::Bool(moved));
+                if moved {
                     report.effective_updates += 1;
                     report.effective_moves += 1;
                 }
@@ -206,7 +220,10 @@ fn worker_loop(
             OpKind::Scan => {
                 let (lo, hi) = gen.scan_range();
                 report.scans += 1;
-                report.scanned_entries += session.range_collect(lo, hi).len() as u64;
+                let ticket = oplog.invoke(chk::Op::Scan(lo, hi));
+                let entries = session.range_collect(lo, hi);
+                report.scanned_entries += entries.len() as u64;
+                oplog.complete(ticket, chk::Ret::Entries(entries));
             }
         }
         if let Some(started) = timed_since {
@@ -214,6 +231,7 @@ fn worker_loop(
         }
         report.ops += 1;
     }
+    oplog.finish();
     report
 }
 
@@ -232,6 +250,9 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
     let _metrics = backend.metrics_source();
     let wal_before = sf_persist::stats::snapshot();
     let lat_before = latency::LatencyBaseline::take();
+    // Arm whatever SF_CHECK_* asks for (check builds only). The initial
+    // snapshot for the history checker is taken here, after populate.
+    let checks = chk::RunChecks::arm(|| backend.session().range_collect(0, u64::MAX));
     let stop = AtomicBool::new(false);
     let barrier = Barrier::new(config.threads + 1);
     let run = config.run;
@@ -240,8 +261,11 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
             .map(|thread_index| {
                 let mut session = backend.session();
                 let mut gen = KeyGen::for_config(config, thread_index);
+                let oplog = checks.worker();
                 let (stop, barrier) = (&stop, &barrier);
-                scope.spawn(move || worker_loop(session.as_mut(), &mut gen, run, stop, barrier))
+                scope.spawn(move || {
+                    worker_loop(session.as_mut(), &mut gen, run, stop, barrier, oplog)
+                })
             })
             .collect();
         barrier.wait();
@@ -257,6 +281,7 @@ pub fn run_workload_backend(backend: &Backend, config: &WorkloadConfig) -> Workl
             .collect();
         (reports, started.elapsed())
     });
+    checks.verify(backend.label());
     let mut result = WorkloadResult {
         structure: backend.label().to_string(),
         threads: config.threads,

@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 
 pub mod backend;
+mod chk;
 mod config;
 mod driver;
 mod keygen;
